@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Every figure-level bench renders its textual figure/table into
+``benchmarks/out/<name>.txt`` (via the ``report_sink`` fixture) so the
+regenerated artefacts survive a plain ``pytest benchmarks/
+--benchmark-only`` run; pass ``-s`` to also see them inline.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Write one experiment's rendered report to benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> pathlib.Path:
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text)
+        print(f"\n{text}\n[report written to {path}]")
+        return path
+
+    return write

@@ -1,0 +1,53 @@
+"""Bench ABL-RULES — control-period and hysteresis sensitivity sweeps."""
+
+import pytest
+
+from repro.experiments.ablation import sweep_control_period, sweep_hysteresis
+from repro.experiments.fig3 import Fig3Config
+from repro.experiments.report import render_ablation
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_control_period_sweep(benchmark, report_sink):
+    rows = benchmark.pedantic(
+        lambda: sweep_control_period(
+            periods=(2.0, 5.0, 10.0, 20.0, 40.0),
+            base=Fig3Config(duration=600.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # every period eventually satisfies the contract...
+    assert all(r.time_to_contract is not None for r in rows)
+    # ...but the slowest loop cannot beat the fastest to it
+    assert rows[-1].time_to_contract >= rows[0].time_to_contract
+    report_sink("ablation_control_period", render_ablation(rows, "control period sweep (FIG3 scenario)"))
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_hysteresis_sweep(benchmark, report_sink):
+    rows = benchmark.pedantic(
+        lambda: sweep_hysteresis(widths=(0.0, 0.1, 0.2, 0.4, 0.8), duration=600.0),
+        rounds=1,
+        iterations=1,
+    )
+    degenerate, widest = rows[0], rows[-1]
+    # a degenerate stripe (low == high) reconfigures at least as much as
+    # the paper's wide 0.3-0.7 stripe
+    assert degenerate.reconfigurations >= widest.reconfigurations
+    report_sink("ablation_hysteresis", render_ablation(rows, "hysteresis width sweep (0.6-centred stripe)"))
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_initial_deployment_comparison(benchmark, report_sink):
+    """§3's model-based initial degree vs FIG3's ramp-from-one."""
+    from repro.experiments.ablation import compare_initial_deployment
+
+    rows = benchmark.pedantic(compare_initial_deployment, rounds=1, iterations=1)
+    ramp, model = rows
+    # the cost model's head start reaches the contract strictly sooner
+    assert model.time_to_contract < ramp.time_to_contract
+    report_sink(
+        "ablation_initial_deployment",
+        render_ablation(rows, "initial deployment: ramp-from-1 vs model-initial"),
+    )

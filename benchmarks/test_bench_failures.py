@@ -1,0 +1,17 @@
+"""Bench FAULT — crash recovery (fault-tolerance concern of §2)."""
+
+import pytest
+
+from repro.experiments.failures import run_faults
+from repro.experiments.report import render_faults
+
+
+@pytest.mark.benchmark(group="fault")
+def test_fault_scenario(benchmark, report_sink):
+    result = benchmark.pedantic(run_faults, rounds=3, iterations=1)
+
+    assert result.no_task_lost           # mechanism: at-least-once replay
+    assert result.replacements > 0       # manager: capacity re-recruited
+    assert result.capacity_recovered     # contract restored while live
+
+    report_sink("faults", render_faults(result))

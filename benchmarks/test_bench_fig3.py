@@ -1,0 +1,39 @@
+"""Bench FIG3 — regenerate Figure 3 (single AM, 0.6 task/s contract).
+
+Timing target: a full FIG3 scenario (600 simulated seconds of farm +
+manager dynamics).  Shape assertions guard the reproduced behaviour; the
+rendered figure goes to ``benchmarks/out/fig3.txt``.
+"""
+
+import pytest
+
+from repro.experiments.fig3 import Fig3Config, run_fig3
+from repro.experiments.report import render_fig3
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_scenario(benchmark, report_sink):
+    result = benchmark.pedantic(run_fig3, rounds=3, iterations=1)
+
+    # paper shape: ramp up from 1 worker until the contract holds
+    assert result.contract_met
+    assert result.staircase_is_monotone()
+    assert result.remove_worker_count == 0
+    assert result.final_workers >= 3  # 0.6 t/s at 0.2 t/s per worker
+    assert result.time_to_contract is not None
+
+    report_sink("fig3", render_fig3(result))
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_time_to_contract_scales_with_target(benchmark):
+    """Tighter contracts need more ramp steps (sanity of the dynamics)."""
+
+    def run_pair():
+        lo = run_fig3(Fig3Config(target_throughput=0.3, input_rate=0.5, duration=400.0))
+        hi = run_fig3(Fig3Config(target_throughput=0.9, input_rate=1.1, duration=400.0))
+        return lo, hi
+
+    lo, hi = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert hi.final_workers > lo.final_workers
+    assert hi.time_to_contract >= lo.time_to_contract

@@ -1,0 +1,50 @@
+"""Bench FIG4 — regenerate Figure 4 (hierarchical AMs, 3-stage pipeline).
+
+Timing target: the full 900-simulated-second hierarchical scenario with
+four managers.  Shape assertions pin the paper's phase structure; the
+four-graph textual figure goes to ``benchmarks/out/fig4.txt``.
+"""
+
+import pytest
+
+from repro.core.events import Events
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.report import render_fig4
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_scenario(benchmark, report_sink):
+    result = benchmark.pedantic(run_fig4, rounds=3, iterations=1)
+
+    # phase 1: starvation -> violations -> incRate ramp
+    assert result.first_violation_time is not None
+    assert len(result.inc_rate_times) >= 2
+    # phase 2: two batches of two workers; cores 5 -> 7 -> 9
+    assert len(result.add_worker_times) >= 2
+    steps = result.cores_step_values()
+    assert steps[0] == 5 and 7 in steps and 9 in steps
+    # phase 3: overshoot warning -> decRate
+    assert len(result.dec_rate_times) >= 1
+    # phase 4: endStream, all tasks delivered
+    assert result.end_stream_time is not None
+    assert result.app.delivered == result.config.total_tasks
+    # figure-level
+    assert result.phase_order_holds()
+    assert result.in_stripe_at_end()
+
+    report_sink("fig4", render_fig4(result))
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_event_causality(benchmark):
+    """The manager-to-manager causal chain measured end to end."""
+    result = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+    trace = result.trace
+    # every incRate is preceded by a raiseViol from AM_F
+    viol_times = [e.time for e in trace.events_of("AM_F", Events.RAISE_VIOL)]
+    for t in result.inc_rate_times:
+        assert any(v < t for v in viol_times)
+    # reaction latency is the violation transport delay + <= 1 tick
+    first_viol = min(viol_times)
+    first_inc = min(result.inc_rate_times)
+    assert 0 < first_inc - first_viol <= result.config.control_period + 1.0 + 1e-6

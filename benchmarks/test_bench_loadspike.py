@@ -1,0 +1,17 @@
+"""Bench EXT-LOAD — the §4.2 external-load adaptation claim."""
+
+import pytest
+
+from repro.experiments.loadspike import run_loadspike
+from repro.experiments.report import render_loadspike
+
+
+@pytest.mark.benchmark(group="loadspike")
+def test_loadspike_scenario(benchmark, report_sink):
+    result = benchmark.pedantic(run_loadspike, rounds=3, iterations=1)
+
+    assert result.dip_visible
+    assert result.workers_after > result.workers_before
+    assert result.adapted
+
+    report_sink("loadspike", render_loadspike(result))

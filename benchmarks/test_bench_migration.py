@@ -1,0 +1,17 @@
+"""Bench MIGRATE — migration-first vs growth recovery policy (§3)."""
+
+import pytest
+
+from repro.experiments.migration import run_migration
+from repro.experiments.report import render_migration
+
+
+@pytest.mark.benchmark(group="migration")
+def test_migration_vs_growth(benchmark, report_sink):
+    result = benchmark.pedantic(run_migration, rounds=1, iterations=1)
+
+    assert result.both_recover
+    assert result.migration_first.migrations > 0
+    assert result.migration_uses_fewer_nodes
+
+    report_sink("migration", render_migration(result))

@@ -1,0 +1,17 @@
+"""Bench PATTERNS — farm vs data-parallel map trade-off table."""
+
+import pytest
+
+from repro.experiments.patterns import run_patterns
+from repro.experiments.report import render_patterns
+
+
+@pytest.mark.benchmark(group="patterns")
+def test_patterns_tradeoff(benchmark, report_sink):
+    result = benchmark.pedantic(
+        lambda: run_patterns(degrees=(2, 4, 8)), rounds=1, iterations=1
+    )
+    for d in result.degrees():
+        assert result.farm_wins_throughput(d)
+        assert result.map_wins_latency(d)
+    report_sink("patterns", render_patterns(result))

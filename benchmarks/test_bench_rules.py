@@ -1,0 +1,72 @@
+"""Bench FIG5 — the rule engine under the paper's farm rule set.
+
+Figure 5 is a code artefact (the AM_F JBoss rule file); its benchmark
+counterpart measures our transliterated rule set's evaluation cost: a
+manager tick must be orders of magnitude cheaper than the control
+period, or the autonomic layer would perturb the computation it manages.
+"""
+
+import pytest
+
+from repro.core.policies import ManagersConstants, farm_rules
+from repro.rules.beans import (
+    ArrivalRateBean,
+    DepartureRateBean,
+    NumWorkerBean,
+    QueueVarianceBean,
+    RecordingSink,
+)
+from repro.rules.dsl import rule
+from repro.rules.engine import RuleEngine
+
+
+def build_engine():
+    consts = ManagersConstants(low=0.3, high=0.7)
+    return RuleEngine(farm_rules(consts)), RecordingSink()
+
+
+def one_tick(eng, sink):
+    eng.memory.replace(ArrivalRateBean(0.5).bind_sink(sink))
+    eng.memory.replace(DepartureRateBean(0.1).bind_sink(sink))
+    eng.memory.replace(NumWorkerBean(3).bind_sink(sink))
+    eng.memory.replace(QueueVarianceBean(1.0).bind_sink(sink))
+    return eng.evaluate()
+
+
+@pytest.mark.benchmark(group="rules")
+def test_fig5_rule_set_tick(benchmark):
+    """One full manager tick over the five Figure 5 rules."""
+    eng, sink = build_engine()
+    fired = benchmark(one_tick, eng, sink)
+    assert "CheckRateLow" in fired
+
+
+@pytest.mark.benchmark(group="rules")
+def test_fig5_quiet_tick(benchmark):
+    """The common case: everything in contract, no rule fires."""
+    eng, sink = build_engine()
+
+    def quiet():
+        eng.memory.replace(ArrivalRateBean(0.5).bind_sink(sink))
+        eng.memory.replace(DepartureRateBean(0.5).bind_sink(sink))
+        eng.memory.replace(NumWorkerBean(3).bind_sink(sink))
+        eng.memory.replace(QueueVarianceBean(1.0).bind_sink(sink))
+        return eng.evaluate()
+
+    assert benchmark(quiet) == []
+
+
+@pytest.mark.benchmark(group="rules")
+def test_agenda_scaling_100_rules(benchmark):
+    """Agenda computation with a rule base 20x the paper's size."""
+    eng = RuleEngine()
+    for i in range(100):
+        eng.add_rule(
+            rule(f"r{i}")
+            .salience(i % 7)
+            .when(ArrivalRateBean, lambda b, i=i: b.value > i / 100.0)
+            .then(lambda act: None)
+        )
+    eng.memory.insert(ArrivalRateBean(0.55))
+    fired = benchmark(eng.evaluate)
+    assert len(fired) == 55

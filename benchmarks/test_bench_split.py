@@ -1,0 +1,21 @@
+"""Bench SPLIT — P_spl heuristics quality and soundness (§3.1)."""
+
+import pytest
+
+from repro.experiments.report import render_split
+from repro.experiments.split import run_split, verify_throughput_split_soundness
+
+
+@pytest.mark.benchmark(group="split")
+def test_split_heuristics(benchmark, report_sink):
+    result = benchmark.pedantic(
+        lambda: run_split(n_cases=100), rounds=3, iterations=1
+    )
+    soundness = verify_throughput_split_soundness(n_cases=200)
+
+    checked, held = soundness
+    assert held == checked                    # the heuristic is sound
+    assert result.mean_efficiency >= 0.9      # near-optimal on average
+    assert result.beats_or_ties_uniform_fraction >= 0.8
+
+    report_sink("split", render_split(result, soundness))

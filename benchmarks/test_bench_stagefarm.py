@@ -1,0 +1,18 @@
+"""Bench STAGE-FARM — the §4.2 stage-to-farm transformation."""
+
+import pytest
+
+from repro.experiments.report import render_stagefarm
+from repro.experiments.stagefarm import run_stagefarm
+
+
+@pytest.mark.benchmark(group="stagefarm")
+def test_stagefarm_scenario(benchmark, report_sink):
+    result = benchmark.pedantic(run_stagefarm, rounds=3, iterations=1)
+
+    assert result.dip_visible             # the bottleneck is real
+    assert result.promoted                # the transformation fired
+    assert result.recovered               # and restored the contract
+    assert result.promotion_time > result.config.spike_time
+
+    report_sink("stagefarm", render_stagefarm(result))

@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the simulation substrate.
+
+Not a paper figure — these guard the reproduction's own usability: the
+DES must push enough events/second that 900-simulated-second scenarios
+stay interactive, and the farm mechanism must scale in worker count.
+"""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.farm import SimFarm
+from repro.sim.queues import Store
+from repro.sim.resources import make_cluster
+from repro.sim.workload import ConstantWork, finite_stream
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_event_dispatch_rate(benchmark):
+    """Raw scheduler throughput: 10k trivial timed events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(i * 0.001, lambda: None)
+        sim.run()
+        return sim.now
+
+    assert benchmark(run) > 0
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_process_context_switching(benchmark):
+    """Two processes ping-ponging through a pair of stores, 2k rounds."""
+
+    def run():
+        sim = Simulator()
+        a, b = Store(sim), Store(sim)
+        count = [0]
+
+        def ping():
+            for _ in range(2000):
+                a.put_nowait(1)
+                yield b.get()
+                count[0] += 1
+
+        def pong():
+            while True:
+                yield a.get()
+                b.put_nowait(1)
+
+        sim.process(ping())
+        sim.process(pong())
+        sim.run(max_events=10_000_000)
+        return count[0]
+
+    assert benchmark(run) == 2000
+
+
+@pytest.mark.benchmark(group="substrate")
+@pytest.mark.parametrize("n_workers", [2, 8, 32])
+def test_farm_simulation_scaling(benchmark, n_workers):
+    """1000 tasks through farms of increasing width."""
+
+    def run():
+        sim = Simulator()
+        nodes = make_cluster(n_workers + 1)
+        farm = SimFarm(sim, emitter_node=nodes[0], worker_setup_time=0.0)
+        for n in nodes[1:]:
+            farm.add_worker(n)
+        for t in finite_stream(1000, ConstantWork(1.0)):
+            farm.submit(t)
+        sim.run()
+        return farm.completed
+
+    assert benchmark(run) == 1000

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Multi-concern management: performance vs security (paper §3.2).
+
+A farm must grow to hold its throughput SLA, but the only free nodes
+live in ``untrusted_ip_domain_A``.  Two concern managers — AM_perf and
+AM_sec — are coordinated by a general manager (GM).  We run the same
+scenario twice:
+
+* **naive** — AM_perf commits new workers immediately; AM_sec only
+  notices at its next control tick.  The network audit log counts every
+  plaintext message that crossed untrusted ground in the meantime.
+* **two-phase** — AM_perf declares an *intent*; AM_sec amends the plan
+  ("these nodes run secured") before the commit.  Zero leaks.
+
+Run:  python examples/multiconcern_security.py
+"""
+
+from repro.experiments.multiconcern import MultiConcernConfig, run_multiconcern
+from repro.experiments.report import render_multiconcern
+
+
+def main() -> None:
+    naive = run_multiconcern(MultiConcernConfig(mode="naive"))
+    two_phase = run_multiconcern(MultiConcernConfig(mode="two-phase"))
+
+    print(render_multiconcern(naive, two_phase))
+
+    print("--- naive mode: the leaked messages ---")
+    for rec in naive.network.leaks()[:10]:
+        print(
+            f"  t={rec.time:6.1f}s  {rec.kind:>6}  {rec.src} -> {rec.dst}  "
+            f"(plaintext over a non-private link)"
+        )
+
+    print()
+    print("--- two-phase mode: the intent reviews ---")
+    for rec in two_phase.gm.intents:
+        print(
+            f"  t={rec.time:6.1f}s  {rec.originator} asked {rec.operation}: "
+            f"{rec.outcome} after review by {list(rec.reviewers)} "
+            f"({rec.amendments} amendment(s))"
+        )
+
+
+if __name__ == "__main__":
+    main()

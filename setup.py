@@ -1,0 +1,21 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e .`` also works on offline machines whose pip cannot
+fetch the ``wheel`` build dependency (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Behavioural skeletons with autonomic management of non-functional "
+        "concerns (reproduction of Aldinucci, Danelutto & Kilpatrick, IPDPS 2009)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,33 @@
+"""repro — behavioural skeletons with autonomic management.
+
+A from-scratch Python reproduction of *"Autonomic management of
+non-functional concerns in distributed & parallel application
+programming"* (Aldinucci, Danelutto, Kilpatrick — IPDPS 2009): the
+behavioural-skeleton framework (⟨pattern, autonomic manager⟩ pairs), a
+GCM-style component model, a JBoss-style rule engine, hierarchical and
+multi-concern contract management, a deterministic discrete-event grid
+substrate, and a live thread-based runtime.
+
+Quickstart::
+
+    from repro.core import build_farm_bs, MinThroughputContract
+    from repro.sim import Simulator, ResourceManager, make_cluster
+    from repro.sim.workload import TaskSource, ConstantWork
+
+    sim = Simulator()
+    pool = ResourceManager(make_cluster(16))
+    bs = build_farm_bs(sim, pool, worker_work=5.0, initial_degree=1)
+    TaskSource(sim, bs.farm.input, rate=0.8, work_model=ConstantWork(5.0))
+    bs.assign_contract(MinThroughputContract(0.6))
+    sim.run(until=600)                 # the manager grows the farm to 0.6 t/s
+
+Sub-packages: :mod:`repro.core` (the contribution), :mod:`repro.sim`
+(DES substrate), :mod:`repro.rules` (rule engine), :mod:`repro.
+skeletons` (pattern algebra + cost models), :mod:`repro.gcm` (component
+model), :mod:`repro.security` (the security concern), :mod:`repro.
+runtime` (threads), :mod:`repro.experiments` (figure regeneration).
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["core", "sim", "rules", "skeletons", "gcm", "security", "runtime", "experiments"]

@@ -1,0 +1,111 @@
+"""The paper's primary contribution: behavioural skeletons + autonomic managers.
+
+Public surface:
+
+* contracts & P_spl splitting — :mod:`~.contracts`
+* the manager base (MAPE loop, active/passive roles) — :mod:`~.manager`
+* Figure 5's rules and the AM_A policy set — :mod:`~.policies`
+* pattern-specific managers (AM_A/AM_P/AM_F/AM_C/AM_W) —
+  :mod:`~.skeleton_manager`
+* BS assembly (⟨pattern, manager⟩ + GCM component) — :mod:`~.behavioural`
+* hierarchy utilities — :mod:`~.hierarchy`
+* multi-concern GM and the two-phase intent protocol —
+  :mod:`~.multiconcern`
+"""
+
+from .behavioural import (
+    BehaviouralSkeleton,
+    FarmBS,
+    PipelineApp,
+    build_farm_bs,
+    build_map_bs,
+    build_three_stage_pipeline,
+)
+from .adaptation import install_stage_promotion, promote_stage_to_farm
+from .contracts import (
+    BestEffortContract,
+    CompositeContract,
+    Contract,
+    ContractError,
+    MaxLatencyContract,
+    MinThroughputContract,
+    ParallelismDegreeContract,
+    RateContract,
+    SecurityContract,
+    ThroughputRangeContract,
+    WeightedCompositeContract,
+    derive_super_contract,
+    split_contract,
+)
+from .events import Events, Violation, ViolationKind
+from .hierarchy import (
+    check_hierarchy,
+    format_hierarchy,
+    hierarchy_states,
+    managers_preorder,
+    passive_managers,
+    propagate_contract,
+)
+from .manager import AutonomicManager, ManagerError, ManagerState
+from .multiconcern import (
+    ConcernReview,
+    CoordinationMode,
+    GeneralManager,
+    IntentRecord,
+)
+from .policies import ManagersConstants, farm_rules, pipeline_rules
+from .skeleton_manager import (
+    ConsumerManager,
+    FarmManager,
+    PipelineManager,
+    ProducerManager,
+    WorkerManager,
+)
+
+__all__ = [
+    "Contract",
+    "ThroughputRangeContract",
+    "MinThroughputContract",
+    "MaxLatencyContract",
+    "BestEffortContract",
+    "RateContract",
+    "ParallelismDegreeContract",
+    "SecurityContract",
+    "CompositeContract",
+    "WeightedCompositeContract",
+    "derive_super_contract",
+    "split_contract",
+    "ContractError",
+    "promote_stage_to_farm",
+    "install_stage_promotion",
+    "Events",
+    "Violation",
+    "ViolationKind",
+    "AutonomicManager",
+    "ManagerState",
+    "ManagerError",
+    "ManagersConstants",
+    "farm_rules",
+    "pipeline_rules",
+    "FarmManager",
+    "PipelineManager",
+    "ProducerManager",
+    "ConsumerManager",
+    "WorkerManager",
+    "BehaviouralSkeleton",
+    "FarmBS",
+    "PipelineApp",
+    "build_farm_bs",
+    "build_map_bs",
+    "build_three_stage_pipeline",
+    "propagate_contract",
+    "hierarchy_states",
+    "check_hierarchy",
+    "managers_preorder",
+    "passive_managers",
+    "format_hierarchy",
+    "GeneralManager",
+    "CoordinationMode",
+    "ConcernReview",
+    "IntentRecord",
+]

@@ -1,0 +1,85 @@
+"""Event vocabulary and violation records of the manager hierarchy.
+
+The names are exactly those plotted in Figures 3 and 4 of the paper
+(``contrLow``, ``notEnough``, ``raiseViol``, ``incRate``, ``decRate``,
+``addWorker``, ``rebalance``, ``endStream`` …), so a regenerated trace
+can be compared event-for-event with the published ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Events", "ViolationKind", "Violation"]
+
+
+class Events:
+    """Canonical event-mark names used in traces."""
+
+    # farm manager observations (Fig. 4, second graph)
+    CONTR_LOW = "contrLow"
+    CONTR_HIGH = "contrHigh"
+    NOT_ENOUGH = "notEnough"
+    TOO_MUCH = "tooMuch"
+    RAISE_VIOL = "raiseViol"
+    ADD_WORKER = "addWorker"
+    REMOVE_WORKER = "removeWorker"
+    MIGRATE_WORKER = "migrateWorker"
+    REBALANCE = "rebalance"
+    # application manager actions (Fig. 4, first graph)
+    INC_RATE = "incRate"
+    DEC_RATE = "decRate"
+    END_STREAM = "endStream"
+    NEW_CONTRACT = "newContract"
+    # manager mode transitions (Fig. 1, right)
+    GO_PASSIVE = "goPassive"
+    GO_ACTIVE = "goActive"
+    # stage-to-farm transformation (§4.2, the paper's stated future work)
+    FARM_STAGE = "farmStage"
+    # security manager actions (§3.2)
+    SECURE_WORKER = "secureWorker"
+    INTENT_REVIEW = "intentReview"
+    INTENT_AMENDED = "intentAmended"
+    INTENT_VETOED = "intentVetoed"
+
+
+class ViolationKind:
+    """Reasons a manager reports a violation to its parent.
+
+    ``NOT_ENOUGH_TASKS`` / ``TOO_MUCH_TASKS`` are the paper's
+    ``notEnoughTasks_VIOL`` / ``tooMuchTasks_VIOL`` constants (Fig. 5);
+    ``NO_LOCAL_PLAN`` covers "corrective action is required and not
+    possible" (§3.1) — e.g. resource recruitment failed.
+    """
+
+    NOT_ENOUGH_TASKS = "notEnoughTasks"
+    TOO_MUCH_TASKS = "tooMuchTasks"
+    NO_LOCAL_PLAN = "noLocalPlan"
+    CONTRACT_UNSATISFIABLE = "contractUnsatisfiable"
+    SECURITY_BREACH = "securityBreach"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A contract-violation report travelling child → parent.
+
+    ``severity`` distinguishes the paper's two violation flavours (§4.2):
+    a *fatal* violation means the local manager has no plan and enters
+    passive mode; a *warning* (like ``tooMuchTasks`` — "strictly
+    speaking, it is useless to enforce the contract") is reported for
+    the parent's benefit while the reporter stays active.
+    """
+
+    kind: str
+    source: str
+    time: float
+    detail: Mapping[str, Any] = field(default_factory=dict)
+    severity: str = "fatal"
+
+    @property
+    def is_warning(self) -> bool:
+        return self.severity == "warning"
+
+    def __str__(self) -> str:
+        return f"Violation({self.kind} from {self.source} @ {self.time:.2f})"

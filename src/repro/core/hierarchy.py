@@ -1,0 +1,94 @@
+"""Manager-hierarchy utilities: propagation, inspection, invariants.
+
+The hierarchical management algorithm of §3.1 in one place:
+
+1. the user provides the top-level contract;
+2. the contract is split into sub-contracts, propagated to children, and
+   the manager enters active mode (this recursion is triggered by each
+   manager's ``on_contract`` hook — :func:`propagate_contract` is the
+   explicit entry point);
+3. active managers run their control loops;
+4. a manager that cannot recover locally reports a violation to its
+   parent and goes passive until re-contracted.
+
+The inspection helpers feed tests and reports: :func:`hierarchy_states`
+snapshots every manager's role, :func:`check_hierarchy` validates the
+structural invariants (single root, acyclic, consistent parent/child
+links).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .contracts import Contract
+from .manager import AutonomicManager, ManagerError, ManagerState
+
+__all__ = [
+    "propagate_contract",
+    "hierarchy_states",
+    "check_hierarchy",
+    "managers_preorder",
+    "passive_managers",
+    "format_hierarchy",
+]
+
+
+def propagate_contract(root: AutonomicManager, contract: Contract) -> None:
+    """Step 2 of the §3.1 algorithm: assign the SLA to the root manager.
+
+    Splitting/propagation to descendants happens inside each manager's
+    ``on_contract`` hook, so after this call every manager in the tree
+    holds its (sub-)contract and is in active mode.
+    """
+    root.assign_contract(contract)
+
+
+def managers_preorder(root: AutonomicManager) -> List[AutonomicManager]:
+    """Root plus all descendants, pre-order."""
+    return [root] + root.descendants()
+
+
+def hierarchy_states(root: AutonomicManager) -> Dict[str, str]:
+    """Map of manager name → role (active/passive) for the whole tree."""
+    return {m.name: m.state.value for m in managers_preorder(root)}
+
+
+def passive_managers(root: AutonomicManager) -> List[AutonomicManager]:
+    """Managers currently in passive mode anywhere in the tree."""
+    return [m for m in managers_preorder(root) if m.state is ManagerState.PASSIVE]
+
+
+def check_hierarchy(root: AutonomicManager) -> None:
+    """Validate structural invariants; raises :class:`ManagerError`.
+
+    * the root has no parent;
+    * every child's ``parent`` points back to its actual parent;
+    * no manager appears twice (the hierarchy is a tree, not a DAG);
+    * no manager is its own ancestor.
+    """
+    if root.parent is not None:
+        raise ManagerError(f"root {root.name} has a parent ({root.parent.name})")
+    seen: set = set()
+
+    def visit(m: AutonomicManager) -> None:
+        if id(m) in seen:
+            raise ManagerError(f"manager {m.name} appears twice in the hierarchy")
+        seen.add(id(m))
+        for c in m.children:
+            if c.parent is not m:
+                raise ManagerError(
+                    f"child {c.name} of {m.name} has parent "
+                    f"{c.parent.name if c.parent else None}"
+                )
+            visit(c)
+
+    visit(root)
+
+
+def format_hierarchy(root: AutonomicManager, indent: int = 0) -> str:
+    """ASCII rendering of the manager tree with roles and contracts."""
+    pad = "  " * indent
+    contract = root.contract.describe() if root.contract else "(no contract)"
+    line = f"{pad}{root.name} [{root.state.value}] — {contract}\n"
+    return line + "".join(format_hierarchy(c, indent + 1) for c in root.children)

@@ -1,0 +1,269 @@
+"""The autonomic manager: MAPE control loop, active/passive roles.
+
+"In the context of this work an autonomic manager is an independent
+activity completely and autonomically managing some specific
+non-functional concern within an application." (§3)  Managers are
+characterised by (i) the *concern* they manage, (ii) the *autonomic
+policies* they implement — here, rules in a :class:`~repro.rules.engine.
+RuleEngine` — and (iii) their *degree of cooperation* (parent/children
+links, and optionally a multi-concern coordinator).
+
+The control loop is the classical monitor → analyse → plan → execute
+cycle [16,17], realised as a periodic :meth:`control_step`:
+
+1. **monitor** — sample the ABC (None during reconfiguration blackouts,
+   in which case the whole cycle is skipped, reproducing Figure 4's
+   sensor-data gap);
+2. **analyse** — refresh the working-memory beans and note contract
+   events (``contrLow``/``contrHigh``);
+3. **plan** — one rule-engine evaluation selects and prioritises the
+   fireable rules;
+4. **execute** — rule actions fire :class:`ManagerOperation`s back into
+   the manager, which executes actuators or raises violations.
+
+**P_rol** (active/passive roles, §3.1): assigning a contract puts a
+manager in ACTIVE mode; an unrecoverable violation makes it report to
+its parent and drop to PASSIVE, where it keeps monitoring (and keeps
+re-reporting a persisting violation) but takes no corrective action
+until a new contract arrives.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..gcm.abc_controller import AutonomicBehaviourController
+from ..rules.beans import Bean, ManagerOperation
+from ..rules.engine import RuleEngine
+from ..sim.engine import PeriodicTask, Simulator
+from ..sim.trace import TraceRecorder
+from .contracts import Contract
+from .events import Events, Violation
+
+__all__ = ["ManagerState", "AutonomicManager", "ManagerError"]
+
+
+class ManagerError(RuntimeError):
+    """Raised for invalid manager wiring or usage."""
+
+
+class ManagerState(enum.Enum):
+    """Figure 1 (right): the two roles a BS manager can play."""
+
+    ACTIVE = "active"
+    PASSIVE = "passive"
+
+
+class AutonomicManager:
+    """Base autonomic manager; pattern-specific subclasses add policies."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        *,
+        concern: str = "performance",
+        abc: Optional[AutonomicBehaviourController] = None,
+        trace: Optional[TraceRecorder] = None,
+        control_period: float = 10.0,
+        violation_delay: float = 1.0,
+        autostart: bool = True,
+    ) -> None:
+        if control_period <= 0:
+            raise ManagerError("control_period must be positive")
+        self.name = name
+        self.sim = sim
+        self.concern = concern
+        self.abc = abc
+        self.trace = trace or TraceRecorder()
+        self.control_period = control_period
+        self.violation_delay = violation_delay
+
+        self.engine = RuleEngine()
+        self.contract: Optional[Contract] = None
+        self.state = ManagerState.PASSIVE
+        self.parent: Optional["AutonomicManager"] = None
+        self.children: List["AutonomicManager"] = []
+        self.coordinator: Optional[Any] = None  # multi-concern GM, if any
+
+        self.last_monitor: Optional[Dict[str, Any]] = None
+        self.unhandled_violations: List[Violation] = []
+        self.violations_raised: List[Violation] = []
+
+        self._loop: Optional[PeriodicTask] = None
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # hierarchy wiring
+    # ------------------------------------------------------------------
+    def add_child(self, child: "AutonomicManager") -> "AutonomicManager":
+        """Attach a child manager (a BS nested inside this one's BS)."""
+        if child.parent is not None:
+            raise ManagerError(f"{child.name} already has parent {child.parent.name}")
+        if child is self:
+            raise ManagerError("a manager cannot be its own child")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def descendants(self) -> List["AutonomicManager"]:
+        """All managers below this one (pre-order)."""
+        out: List[AutonomicManager] = []
+        for c in self.children:
+            out.append(c)
+            out.extend(c.descendants())
+        return out
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the periodic control loop (idempotent)."""
+        if self._loop is None or self._loop.cancelled:
+            self._loop = self.sim.periodic(
+                self.control_period, self.control_step, name=f"{self.name}.loop"
+            )
+
+    def stop(self) -> None:
+        """Stop the control loop."""
+        if self._loop is not None:
+            self._loop.cancel()
+
+    # ------------------------------------------------------------------
+    # contracts (active role entry point)
+    # ------------------------------------------------------------------
+    def assign_contract(self, contract: Contract) -> None:
+        """Receive a contract from the user or the parent manager."""
+        self.contract = contract
+        self.trace.mark(
+            self.sim.now, self.name, Events.NEW_CONTRACT, contract=contract.describe()
+        )
+        self.on_contract(contract)
+        self._set_state(ManagerState.ACTIVE)
+
+    def on_contract(self, contract: Contract) -> None:
+        """Hook: derive thresholds, split and propagate to children."""
+
+    def _set_state(self, state: ManagerState) -> None:
+        if state is self.state:
+            return
+        self.state = state
+        mark = Events.GO_ACTIVE if state is ManagerState.ACTIVE else Events.GO_PASSIVE
+        self.trace.mark(self.sim.now, self.name, mark)
+
+    @property
+    def active(self) -> bool:
+        return self.state is ManagerState.ACTIVE
+
+    # ------------------------------------------------------------------
+    # MAPE loop
+    # ------------------------------------------------------------------
+    def control_step(self) -> None:
+        """One control-loop tick: monitor, analyse, plan, execute."""
+        data = self.monitor()
+        if data is None:
+            return  # reconfiguration blackout: no sensor data this tick
+        self.last_monitor = data
+        self.observe(data)
+        if self.state is ManagerState.ACTIVE:
+            self.engine.evaluate()
+        else:
+            self.passive_step(data)
+
+    def monitor(self) -> Optional[Dict[str, Any]]:
+        """Sample the ABC (managers without an ABC see an empty sample)."""
+        if self.abc is None:
+            return {}
+        return self.abc.monitor()
+
+    def observe(self, data: Mapping[str, Any]) -> None:
+        """Hook: refresh working-memory beans, record trace samples."""
+
+    def passive_step(self, data: Mapping[str, Any]) -> None:
+        """Hook for PASSIVE mode: monitor-only behaviour.
+
+        Default: if the contract violation persists, re-report it so the
+        parent keeps seeing pressure (the repeated raiseViol marks of
+        Figure 4's first phase come from this).
+        """
+
+    # ------------------------------------------------------------------
+    # operations fired by rule actions
+    # ------------------------------------------------------------------
+    def make_bean(self, bean: Bean) -> Bean:
+        """Bind a bean's operation sink to this manager."""
+        return bean.bind_sink(self._operation_sink)
+
+    def _operation_sink(self, op: ManagerOperation, data: Any) -> None:
+        self.on_operation(op, data)
+
+    def on_operation(self, op: ManagerOperation, data: Any) -> None:
+        """Hook: execute one operation ordered by a rule action.
+
+        Default behaviour: RAISE_VIOLATION becomes a violation report;
+        anything else goes straight to the ABC, and an ABC refusal (no
+        resources, nothing to remove, …) escalates as a violation —
+        "If corrective action is required and not possible, a contract
+        violation is reported to the parent" (§3.1).
+        """
+        if op is ManagerOperation.RAISE_VIOLATION:
+            self.raise_violation(str(data))
+            return
+        if self.abc is None:
+            raise ManagerError(f"{self.name}: no ABC to execute {op}")
+        ok = self.abc.execute(op, data)
+        if not ok:
+            from .events import ViolationKind
+
+            self.raise_violation(ViolationKind.NO_LOCAL_PLAN, operation=op.value)
+
+    # ------------------------------------------------------------------
+    # violations (passive role entry point)
+    # ------------------------------------------------------------------
+    def raise_violation(self, kind: str, severity: str = "fatal", **detail: Any) -> Violation:
+        """Report a violation to the parent.
+
+        A *fatal* violation also drops this manager to PASSIVE mode when a
+        parent exists to eventually re-contract it (§3.1: "the manager
+        remains in passive mode until it receives a new contract").  A
+        *root* manager's violations go to the user, who is not part of the
+        control loop, so the root stays active and keeps retrying — going
+        permanently passive would deadlock the whole hierarchy.  Warnings
+        (e.g. ``tooMuchTasks``, §4.2) never change the state.
+        """
+        violation = Violation(kind, self.name, self.sim.now, detail, severity)
+        self.violations_raised.append(violation)
+        self.trace.mark(self.sim.now, self.name, Events.RAISE_VIOL, kind=kind)
+        if severity == "fatal" and self.parent is not None:
+            self._set_state(ManagerState.PASSIVE)
+        if self.parent is not None:
+            # Violation reports travel over the network: the parent sees
+            # them "a little bit after" (Fig. 4) the child raised them.
+            self.sim.schedule(
+                self.violation_delay, self.parent.child_violation, self, violation
+            )
+        else:
+            self.unhandled_violations.append(violation)
+        return violation
+
+    def child_violation(self, child: "AutonomicManager", violation: Violation) -> None:
+        """Hook: a child reported a violation.  Default: record only."""
+        self.unhandled_violations.append(violation)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def contract_satisfied(self) -> Optional[bool]:
+        """Judge the current contract against the last monitor sample."""
+        if self.contract is None or self.last_monitor is None:
+            return None
+        return self.contract.check(self.last_monitor)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} {self.state.value}>"

@@ -1,0 +1,334 @@
+"""Manager policies: the paper's rule files, transliterated.
+
+:func:`farm_rules` is a one-to-one port of Figure 5 (the ``AM_F`` JBoss
+rule file): ``CheckInterArrivalRateLow``, ``CheckInterArrivalRateHigh``,
+``CheckRateLow``, ``CheckRateHigh`` and ``CheckLoadBalance``, with the
+same preconditions, the same ``setData``/``fireOperation`` action shape
+and the same constants table (:class:`ManagersConstants`).
+
+:func:`pipeline_rules` encodes the application-manager behaviour narrated
+in §4.2: respond to a farm's ``notEnoughTasks`` violation with an
+``incRate`` contract to the producer, to ``tooMuchTasks`` with a
+``decRate``, stop issuing rate increases once the stream has ended, and
+escalate anything locally unhandleable to the parent (or the user).
+
+Thresholds live in a mutable constants object captured by the rule
+closures, so re-assigning a contract re-tunes the rules in place —
+re-deploying rule sets at run time is exactly what the JBoss engine
+avoided in the original implementation too.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from ..rules.beans import (
+    ArrivalRateBean,
+    DepartureRateBean,
+    EndOfStreamBean,
+    LatencyBean,
+    ManagerOperation,
+    NumWorkerBean,
+    QueueVarianceBean,
+    ViolationBean,
+)
+from ..rules.dsl import rule, value_eq
+from ..rules.engine import Rule
+from .events import ViolationKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .skeleton_manager import PipelineManager
+
+__all__ = [
+    "ManagersConstants",
+    "farm_rules",
+    "migration_farm_rules",
+    "latency_rule",
+    "pipeline_rules",
+]
+
+
+class ManagersConstants:
+    """The tuning constants referenced by Figure 5's rule file.
+
+    ``FARM_LOW_PERF_LEVEL``/``FARM_HIGH_PERF_LEVEL`` come from the
+    contract (the 0.3/0.7 stripe in Figure 4); the rest are deployment
+    parameters.  Instances are mutable on purpose: the farm manager
+    rewrites the levels when a new contract arrives.
+    """
+
+    def __init__(
+        self,
+        *,
+        low: float = 0.0,
+        high: float = float("inf"),
+        max_workers: int = 16,
+        min_workers: int = 1,
+        add_burst: int = 2,
+        max_unbalance: float = 4.0,
+    ) -> None:
+        self.FARM_LOW_PERF_LEVEL = low
+        self.FARM_HIGH_PERF_LEVEL = high
+        self.FARM_MAX_NUM_WORKERS = max_workers
+        self.FARM_MIN_NUM_WORKERS = min_workers
+        # Figure 4 adds workers two at a time; this is that batch size
+        # (the FARM_ADD_WORKERS payload of CheckRateLow's setData).
+        self.FARM_ADD_WORKERS = add_burst
+        self.FARM_MAX_UNBALANCE = max_unbalance
+        # Latency SLA bound (inf = no latency contract); not in Figure 5 —
+        # an extension rule (CheckLatencyHigh) enforces it.
+        self.FARM_MAX_LATENCY = float("inf")
+
+    # violation payloads (the paper's ManagersConstants.*_VIOL)
+    notEnoughTasks_VIOL = ViolationKind.NOT_ENOUGH_TASKS
+    tooMuchTasks_VIOL = ViolationKind.TOO_MUCH_TASKS
+
+
+def farm_rules(consts: ManagersConstants) -> List[Rule]:
+    """Figure 5, rule for rule.
+
+    The conditions read the constants through the ``consts`` closure so
+    threshold updates apply without rebuilding the rules.
+    """
+
+    def check_inter_arrival_rate_low(act):
+        arrival = act["arrivalBean"]
+        arrival.set_data(consts.notEnoughTasks_VIOL)
+        arrival.fire_operation(ManagerOperation.RAISE_VIOLATION)
+
+    def check_inter_arrival_rate_high(act):
+        arrival = act["arrivalBean"]
+        arrival.set_data(consts.tooMuchTasks_VIOL)
+        arrival.fire_operation(ManagerOperation.RAISE_VIOLATION)
+
+    def check_rate_low(act):
+        departure = act["departureBean"]
+        departure.set_data({"count": consts.FARM_ADD_WORKERS})
+        departure.fire_operation(ManagerOperation.ADD_EXECUTOR)
+        departure.fire_operation(ManagerOperation.BALANCE_LOAD)
+
+    def check_rate_high(act):
+        departure = act["departureBean"]
+        departure.fire_operation(ManagerOperation.REMOVE_EXECUTOR)
+        departure.fire_operation(ManagerOperation.BALANCE_LOAD)
+
+    def check_load_balance(act):
+        act["varianceBean"].fire_operation(ManagerOperation.BALANCE_LOAD)
+
+    return [
+        rule("CheckInterArrivalRateLow")
+        .doc("input pressure below contract: raise notEnoughTasks violation")
+        .salience(20)
+        .when(
+            ArrivalRateBean,
+            lambda b: b.value < consts.FARM_LOW_PERF_LEVEL,
+            bind="arrivalBean",
+        )
+        .then(check_inter_arrival_rate_low),
+        rule("CheckInterArrivalRateHigh")
+        .doc("input pressure above contract: raise tooMuchTasks warning")
+        .salience(20)
+        .when(
+            ArrivalRateBean,
+            lambda b: b.value > consts.FARM_HIGH_PERF_LEVEL,
+            bind="arrivalBean",
+        )
+        .then(check_inter_arrival_rate_high),
+        rule("CheckRateLow")
+        .doc("enough input but low output: add workers and rebalance")
+        .salience(10)
+        .when(
+            DepartureRateBean,
+            lambda b: b.value < consts.FARM_LOW_PERF_LEVEL,
+            bind="departureBean",
+        )
+        .when(
+            ArrivalRateBean,
+            lambda b: b.value >= consts.FARM_LOW_PERF_LEVEL,
+            bind="arrivalBean",
+        )
+        .when(
+            NumWorkerBean,
+            lambda b: b.value <= consts.FARM_MAX_NUM_WORKERS,
+            bind="parDegree",
+        )
+        .then(check_rate_low),
+        rule("CheckRateHigh")
+        .doc("output above contract: drop a worker and rebalance")
+        .salience(10)
+        .when(
+            DepartureRateBean,
+            lambda b: b.value > consts.FARM_HIGH_PERF_LEVEL,
+            bind="departureBean",
+        )
+        .when(
+            NumWorkerBean,
+            lambda b: b.value > consts.FARM_MIN_NUM_WORKERS,
+            bind="parDegree",
+        )
+        .then(check_rate_high),
+        rule("CheckLoadBalance")
+        .doc("uneven worker queues: redistribute queued tasks")
+        .salience(5)
+        .when(
+            QueueVarianceBean,
+            lambda b: b.value > consts.FARM_MAX_UNBALANCE,
+            bind="varianceBean",
+        )
+        .then(check_load_balance),
+    ]
+
+
+def latency_rule(consts: ManagersConstants) -> Rule:
+    """Extension beyond Figure 5: enforce a mean-latency SLA.
+
+    When queueing delay pushes the windowed mean latency past
+    ``FARM_MAX_LATENCY`` (set from a
+    :class:`~repro.core.contracts.MaxLatencyContract`), grow the farm —
+    more workers drain the queues and latency falls back toward the pure
+    service time.  With the default bound of +inf the rule never fires,
+    so installing it alongside the Figure 5 set is free.
+    """
+
+    def check_latency_high(act):
+        latency = act["latencyBean"]
+        latency.set_data({"count": consts.FARM_ADD_WORKERS})
+        latency.fire_operation(ManagerOperation.ADD_EXECUTOR)
+        latency.fire_operation(ManagerOperation.BALANCE_LOAD)
+
+    return (
+        rule("CheckLatencyHigh")
+        .doc("mean latency above the SLA bound: add workers to drain queues")
+        .salience(8)
+        .when(
+            LatencyBean,
+            lambda b: b.value > consts.FARM_MAX_LATENCY,
+            bind="latencyBean",
+        )
+        .when(
+            NumWorkerBean,
+            lambda b: b.value <= consts.FARM_MAX_NUM_WORKERS,
+            bind="parDegree",
+        )
+        .then(check_latency_high)
+    )
+
+
+def migration_farm_rules(consts: ManagersConstants) -> List[Rule]:
+    """Figure 5's rule set with migration-first recovery.
+
+    §3 lists "migration of poorly performing activities to faster
+    execution resources" among the performance AM's policies.  This
+    variant replaces ``CheckRateLow``'s action with a ``MIGRATE``
+    operation: the manager first tries to *move* its slowest worker to a
+    faster node (no extra resources consumed), and only falls back to
+    ``ADD_EXECUTOR`` if no sufficiently faster node exists — see
+    :meth:`repro.core.skeleton_manager.FarmManager.on_operation`.
+    """
+    rules = farm_rules(consts)
+
+    def migrate_or_grow(act):
+        departure = act["departureBean"]
+        departure.set_data({"count": consts.FARM_ADD_WORKERS})
+        departure.fire_operation(ManagerOperation.MIGRATE)
+        departure.fire_operation(ManagerOperation.BALANCE_LOAD)
+
+    out: List[Rule] = []
+    for r in rules:
+        if r.name == "CheckRateLow":
+            out.append(
+                Rule(
+                    name=r.name,
+                    conditions=r.conditions,
+                    action=migrate_or_grow,
+                    salience=r.salience,
+                    doc="low output: migrate the slowest worker, or grow",
+                )
+            )
+        else:
+            out.append(r)
+    return out
+
+
+def pipeline_rules(manager: "PipelineManager") -> List[Rule]:
+    """Application-manager (AM_A) policies for the Figure 4 pipeline.
+
+    The violation beans are inserted by :meth:`AutonomicManager.
+    child_violation`; one bean is consumed per rule firing.
+    """
+
+    def _is_violation(kind: str):
+        return lambda b: b.value.kind == kind
+
+    def respond_not_enough(act):
+        violation = act["viol"].value
+        act.memory.retract(act["viol"])
+        manager.handle_not_enough(violation)
+
+    def ack_not_enough_after_end(act):
+        violation = act["viol"].value
+        act.memory.retract(act["viol"])
+        manager.acknowledge_violation(violation)
+
+    def respond_too_much(act):
+        violation = act["viol"].value
+        act.memory.retract(act["viol"])
+        manager.handle_too_much(violation)
+
+    def escalate(act):
+        violation = act["viol"].value
+        act.memory.retract(act["viol"])
+        manager.escalate(violation)
+
+    return [
+        rule("RespondNotEnough")
+        .doc("farm starves and the stream is live: raise producer rate")
+        .salience(20)
+        .when(
+            ViolationBean,
+            _is_violation(ViolationKind.NOT_ENOUGH_TASKS),
+            bind="viol",
+        )
+        .when_not(EndOfStreamBean, value_eq(True))
+        .then(respond_not_enough),
+        rule("AckNotEnoughAfterEndStream")
+        .doc(
+            "stream ended: notEnough persists but no significant action "
+            "remains; just re-activate the reporter"
+        )
+        .salience(20)
+        .when(
+            ViolationBean,
+            _is_violation(ViolationKind.NOT_ENOUGH_TASKS),
+            bind="viol",
+        )
+        .when(EndOfStreamBean, value_eq(True))
+        .then(ack_not_enough_after_end),
+        rule("RespondTooMuch")
+        .doc("farm flooded: slightly decrease producer rate")
+        .salience(15)
+        .when(
+            ViolationBean,
+            _is_violation(ViolationKind.TOO_MUCH_TASKS),
+            bind="viol",
+        )
+        .then(respond_too_much),
+        rule("EscalateNoLocalPlan")
+        .doc("child out of local plans: pass the violation upwards")
+        .salience(10)
+        .when(
+            ViolationBean,
+            _is_violation(ViolationKind.NO_LOCAL_PLAN),
+            bind="viol",
+        )
+        .then(escalate),
+        rule("EscalateUnsatisfiable")
+        .doc("child cannot ever satisfy its contract: pass upwards")
+        .salience(10)
+        .when(
+            ViolationBean,
+            _is_violation(ViolationKind.CONTRACT_UNSATISFIABLE),
+            bind="viol",
+        )
+        .then(escalate),
+    ]

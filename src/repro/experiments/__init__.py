@@ -1,0 +1,84 @@
+"""Experiment drivers regenerating every figure of the paper.
+
+One module per experiment id from DESIGN.md: :mod:`~.fig3` (Figure 3),
+:mod:`~.fig4` (Figure 4), :mod:`~.loadspike` (the §4.2 external-load
+claim), :mod:`~.multiconcern` (the §3.2 two-phase protocol),
+:mod:`~.split` (P_spl heuristics), :mod:`~.ablation` (design-knob
+sweeps), plus :mod:`~.report` which renders each result as the textual
+analogue of the corresponding figure.
+"""
+
+from .ablation import (
+    AblationRow,
+    compare_initial_deployment,
+    sweep_control_period,
+    sweep_hysteresis,
+)
+from .failures import FaultConfig, FaultResult, run_faults
+from .fig3 import Fig3Config, Fig3Result, run_fig3
+from .patterns import PatternPoint, PatternsResult, run_patterns
+from .stagefarm import StageFarmConfig, StageFarmResult, run_stagefarm
+from .fig4 import Fig4Config, Fig4Result, run_fig4
+from .loadspike import LoadSpikeConfig, LoadSpikeResult, run_loadspike
+from .migration import MigrationConfig, MigrationOutcome, MigrationResult, run_migration
+from .multiconcern import MultiConcernConfig, MultiConcernResult, run_multiconcern
+from .report import (
+    render_ablation,
+    render_faults,
+    render_fig3,
+    render_fig4,
+    render_loadspike,
+    render_migration,
+    render_multiconcern,
+    render_patterns,
+    render_split,
+    render_stagefarm,
+    table,
+)
+from .split import SplitResult, run_split, verify_throughput_split_soundness
+
+__all__ = [
+    "Fig3Config",
+    "Fig3Result",
+    "run_fig3",
+    "Fig4Config",
+    "Fig4Result",
+    "run_fig4",
+    "LoadSpikeConfig",
+    "LoadSpikeResult",
+    "run_loadspike",
+    "MultiConcernConfig",
+    "MultiConcernResult",
+    "run_multiconcern",
+    "SplitResult",
+    "run_split",
+    "verify_throughput_split_soundness",
+    "AblationRow",
+    "sweep_control_period",
+    "sweep_hysteresis",
+    "compare_initial_deployment",
+    "FaultConfig",
+    "FaultResult",
+    "run_faults",
+    "StageFarmConfig",
+    "StageFarmResult",
+    "run_stagefarm",
+    "render_fig3",
+    "render_fig4",
+    "render_loadspike",
+    "render_multiconcern",
+    "render_split",
+    "render_ablation",
+    "render_faults",
+    "render_stagefarm",
+    "render_patterns",
+    "render_migration",
+    "MigrationConfig",
+    "MigrationOutcome",
+    "MigrationResult",
+    "run_migration",
+    "PatternPoint",
+    "PatternsResult",
+    "run_patterns",
+    "table",
+]

@@ -1,0 +1,131 @@
+"""Run every experiment and print/regenerate the full report set.
+
+Usage::
+
+    python -m repro.experiments            # run everything, print reports
+    python -m repro.experiments fig4 mc    # run a subset
+
+Experiment keys: fig3, fig4, loadspike, multiconcern (mc), split,
+ablation, faults, stagefarm, patterns.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict
+
+from .ablation import sweep_control_period, sweep_hysteresis
+from .failures import run_faults
+from .fig3 import Fig3Config, run_fig3
+from .fig4 import run_fig4
+from .loadspike import run_loadspike
+from .migration import run_migration
+from .multiconcern import MultiConcernConfig, run_multiconcern
+from .patterns import run_patterns
+from .report import (
+    render_ablation,
+    render_faults,
+    render_fig3,
+    render_fig4,
+    render_loadspike,
+    render_migration,
+    render_multiconcern,
+    render_patterns,
+    render_split,
+    render_stagefarm,
+)
+from .split import run_split, verify_throughput_split_soundness
+from .stagefarm import run_stagefarm
+
+
+def _fig3() -> str:
+    return render_fig3(run_fig3())
+
+
+def _fig4() -> str:
+    return render_fig4(run_fig4())
+
+
+def _loadspike() -> str:
+    return render_loadspike(run_loadspike())
+
+
+def _multiconcern() -> str:
+    naive = run_multiconcern(MultiConcernConfig(mode="naive"))
+    two_phase = run_multiconcern(MultiConcernConfig(mode="two-phase"))
+    return render_multiconcern(naive, two_phase)
+
+
+def _split() -> str:
+    return render_split(run_split(n_cases=100), verify_throughput_split_soundness(n_cases=200))
+
+
+def _ablation() -> str:
+    a = render_ablation(
+        sweep_control_period(base=Fig3Config(duration=600.0)),
+        "control period sweep (FIG3 scenario)",
+    )
+    b = render_ablation(
+        sweep_hysteresis(duration=600.0), "hysteresis width sweep (0.6-centred stripe)"
+    )
+    return a + "\n" + b
+
+
+def _faults() -> str:
+    return render_faults(run_faults())
+
+
+def _stagefarm() -> str:
+    return render_stagefarm(run_stagefarm())
+
+
+def _patterns() -> str:
+    return render_patterns(run_patterns())
+
+
+def _migration() -> str:
+    return render_migration(run_migration())
+
+
+RUNNERS: Dict[str, Callable[[], str]] = {
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "loadspike": _loadspike,
+    "multiconcern": _multiconcern,
+    "mc": _multiconcern,
+    "split": _split,
+    "ablation": _ablation,
+    "faults": _faults,
+    "stagefarm": _stagefarm,
+    "patterns": _patterns,
+    "migration": _migration,
+}
+
+DEFAULT_ORDER = (
+    "fig3",
+    "fig4",
+    "loadspike",
+    "multiconcern",
+    "split",
+    "ablation",
+    "faults",
+    "stagefarm",
+    "patterns",
+    "migration",
+)
+
+
+def main(argv: list[str]) -> int:
+    keys = argv or list(DEFAULT_ORDER)
+    unknown = [k for k in keys if k not in RUNNERS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; choose from {sorted(RUNNERS)}")
+        return 2
+    for key in keys:
+        print(RUNNERS[key]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,184 @@
+"""Experiment FIG4 — hierarchical AMs in a three-stage pipeline (Figure 4).
+
+The paper's scenario, phase by phase (§4.2):
+
+1. The user hands AM_A a 0.3–0.7 tasks/s throughput contract; AM_A
+   forwards it to AM_P / AM_F / AM_C; AM_F's workers get best-effort.
+2. **Starvation** — the producer emits too slowly; AM_F sees contrLow +
+   notEnough, has no useful local action, raises violations and goes
+   passive; AM_A responds with incRate contracts to AM_P ("the first
+   stage produces tasks more and more frequently").
+3. **Growth** — once input pressure suffices but throughput is still
+   low, AM_F adds two workers (addWorker), with a monitoring blackout
+   during reconfiguration; if the contract is still unmet it adds two
+   more.
+4. **Overshoot** — the rate increases overshoot the stripe; AM_F raises
+   a tooMuchTasks *warning* and AM_A decRates the producer slightly.
+5. **Drain** — the stream ends (endStream); AM_A stops reacting to
+   notEnough; AM_F locally rebalances queued tasks.
+
+The regenerated figure is four aligned traces: AM_A events, AM_F events,
+rates vs the contract stripe, and cores in use (5 → 7 → 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.behavioural import PipelineApp, build_three_stage_pipeline
+from ..core.contracts import ThroughputRangeContract
+from ..core.events import Events
+from ..sim.engine import Simulator
+from ..sim.resources import ResourceManager, make_cluster
+from ..sim.trace import TraceRecorder
+from ..sim.workload import UniformWork
+
+__all__ = ["Fig4Config", "Fig4Result", "run_fig4"]
+
+
+@dataclass
+class Fig4Config:
+    """Parameters of the FIG4 scenario."""
+
+    contract_low: float = 0.3
+    contract_high: float = 0.7
+    initial_rate: float = 0.2        # below the stripe: phase-2 starvation
+    max_rate: float = 1.5
+    worker_work_lo: float = 9.0      # per-task work (uniform band): one
+    worker_work_hi: float = 15.0     # worker ≈ 1/12 tasks/s on average
+    total_tasks: int = 300
+    initial_degree: int = 3          # + producer + consumer = 5 cores
+    pool_size: int = 24
+    duration: float = 900.0
+    control_period: float = 10.0
+    worker_setup_time: float = 10.0
+    rate_window: float = 30.0
+    inc_factor: float = 1.4
+    dec_factor: float = 0.92
+    seed: int = 42
+
+    @property
+    def mean_worker_work(self) -> float:
+        return (self.worker_work_lo + self.worker_work_hi) / 2.0
+
+
+@dataclass
+class Fig4Result:
+    """Outcome of one FIG4 run with the figure's four traces."""
+
+    config: Fig4Config
+    trace: TraceRecorder
+    app: PipelineApp
+    cores_series: List[Tuple[float, float]] = field(default_factory=list)
+    input_rate_series: List[Tuple[float, float]] = field(default_factory=list)
+    throughput_series: List[Tuple[float, float]] = field(default_factory=list)
+
+    # -- event accessors (the first two graphs) -------------------------
+    def am_a_events(self) -> List[str]:
+        return self.trace.event_names("AM_A")
+
+    def am_f_events(self) -> List[str]:
+        return self.trace.event_names("AM_F")
+
+    @property
+    def inc_rate_times(self) -> List[float]:
+        return [e.time for e in self.trace.events_of("AM_A", Events.INC_RATE)]
+
+    @property
+    def dec_rate_times(self) -> List[float]:
+        return [e.time for e in self.trace.events_of("AM_A", Events.DEC_RATE)]
+
+    @property
+    def add_worker_times(self) -> List[float]:
+        return [e.time for e in self.trace.events_of("AM_F", Events.ADD_WORKER)]
+
+    @property
+    def first_violation_time(self) -> Optional[float]:
+        ev = self.trace.first(Events.RAISE_VIOL, actor="AM_F")
+        return ev.time if ev else None
+
+    @property
+    def end_stream_time(self) -> Optional[float]:
+        ev = self.trace.first(Events.END_STREAM, actor="AM_A")
+        return ev.time if ev else None
+
+    # -- figure-level checks ---------------------------------------------
+    def phase_order_holds(self) -> bool:
+        """The paper's causal chain: starve → raiseViol → incRate → addWorker."""
+        return self.trace.assert_order(
+            [Events.NOT_ENOUGH, Events.RAISE_VIOL]
+        ) and self.trace.assert_order([Events.RAISE_VIOL, Events.INC_RATE]) and (
+            not self.add_worker_times
+            or min(self.add_worker_times) > min(self.inc_rate_times or [float("inf")])
+        )
+
+    def cores_step_values(self) -> List[int]:
+        """Distinct cores-in-use plateau values, in order (5 → 7 → 9)."""
+        steps: List[int] = []
+        for _, v in self.cores_series:
+            iv = int(v)
+            if not steps or steps[-1] != iv:
+                steps.append(iv)
+        return steps
+
+    def final_throughput(self) -> Optional[float]:
+        """Delivery rate while the stream was still live (steady state)."""
+        end = self.end_stream_time
+        pts = [
+            (t, v)
+            for t, v in self.throughput_series
+            if end is None or t <= end
+        ]
+        return pts[-1][1] if pts else None
+
+    def in_stripe_at_end(self) -> bool:
+        v = self.final_throughput()
+        if v is None:
+            return False
+        return self.config.contract_low <= v <= self.config.contract_high * 1.1
+
+
+def run_fig4(config: Optional[Fig4Config] = None) -> Fig4Result:
+    """Run the FIG4 scenario and return its traces and summary."""
+    cfg = config or Fig4Config()
+    sim = Simulator()
+    trace = TraceRecorder()
+    rm = ResourceManager(make_cluster(cfg.pool_size))
+
+    app = build_three_stage_pipeline(
+        sim,
+        rm,
+        work_model=UniformWork(cfg.worker_work_lo, cfg.worker_work_hi, seed=cfg.seed),
+        worker_work=cfg.mean_worker_work,
+        initial_rate=cfg.initial_rate,
+        max_rate=cfg.max_rate,
+        total_tasks=cfg.total_tasks,
+        initial_degree=cfg.initial_degree,
+        control_period=cfg.control_period,
+        worker_setup_time=cfg.worker_setup_time,
+        rate_window=cfg.rate_window,
+        inc_factor=cfg.inc_factor,
+        dec_factor=cfg.dec_factor,
+        trace=trace,
+    )
+    app.assign_contract(ThroughputRangeContract(cfg.contract_low, cfg.contract_high))
+
+    def sample() -> None:
+        snap = app.farm.force_snapshot()
+        trace.sample("cores", sim.now, app.cores_in_use())
+        trace.sample("input_rate", sim.now, snap.arrival_rate)
+        trace.sample("throughput", sim.now, snap.departure_rate)
+        trace.sample("producer_rate", sim.now, app.source.rate)
+
+    sim.periodic(cfg.control_period / 2.0, sample, name="sampler")
+    sim.run(until=cfg.duration)
+
+    return Fig4Result(
+        config=cfg,
+        trace=trace,
+        app=app,
+        cores_series=trace.series_values("cores"),
+        input_rate_series=trace.series_values("input_rate"),
+        throughput_series=trace.series_values("throughput"),
+    )

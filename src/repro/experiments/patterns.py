@@ -1,0 +1,167 @@
+"""Experiment PATTERNS — task farm vs data-parallel map trade-off.
+
+Section 3 presents both stream-parallel (task farm) and data-parallel
+(map) computation as instances of one functional-replication BS.  The
+*choice* between them is a functional concern, but it has non-functional
+consequences the cost models predict:
+
+* the **farm** pipelines whole tasks across workers — best *throughput*
+  under stream pressure (no per-task coordination), but a task's
+  *latency* is its full service time plus queueing;
+* the **map** scatters each task across all workers — best single-task
+  *latency* (work/degree + scatter/gather overheads), but those
+  overheads are paid per task, capping throughput below the farm's.
+
+This experiment runs the same stream through both mechanisms at equal
+degree and measures throughput and mean latency; the expected shape is
+the classic crossover: the map wins latency whenever ``work/degree +
+overheads < work``, the farm wins or ties throughput everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..sim.engine import Simulator
+from ..sim.farm import SimFarm
+from ..sim.map import SimMap
+from ..sim.resources import make_cluster
+from ..sim.workload import ConstantWork, TaskSource
+
+__all__ = ["PatternPoint", "PatternsResult", "run_patterns"]
+
+
+@dataclass
+class PatternPoint:
+    """Measurements for one (pattern, degree) cell.
+
+    ``throughput`` comes from a *saturated* run (input pressure well
+    above capacity); ``mean_latency`` from an *unloaded* run (pressure
+    well below capacity, so queueing does not mask the per-task service
+    shape).  The two regimes isolate what each pattern is best at.
+    """
+
+    pattern: str
+    degree: int
+    throughput: float
+    mean_latency: float
+    completed: int
+
+
+@dataclass
+class PatternsResult:
+    task_work: float
+    input_rate: float
+    points: List[PatternPoint] = field(default_factory=list)
+
+    def point(self, pattern: str, degree: int) -> PatternPoint:
+        for p in self.points:
+            if p.pattern == pattern and p.degree == degree:
+                return p
+        raise KeyError((pattern, degree))
+
+    def degrees(self) -> List[int]:
+        return sorted({p.degree for p in self.points})
+
+    def map_wins_latency(self, degree: int) -> bool:
+        return (
+            self.point("map", degree).mean_latency
+            < self.point("farm", degree).mean_latency
+        )
+
+    def farm_wins_throughput(self, degree: int) -> bool:
+        return (
+            self.point("farm", degree).throughput
+            >= self.point("map", degree).throughput - 1e-9
+        )
+
+
+def _build(pattern: str, degree: int, *, scatter: float, gather: float):
+    sim = Simulator()
+    nodes = make_cluster(degree + 1, prefix=f"{pattern}{degree}")
+    if pattern == "farm":
+        mech = SimFarm(sim, name="farm", emitter_node=nodes[0], worker_setup_time=0.0)
+    else:
+        mech = SimMap(
+            sim,
+            name="map",
+            emitter_node=nodes[0],
+            worker_setup_time=0.0,
+            scatter_overhead=scatter,
+            gather_overhead=gather,
+        )
+    for n in nodes[1:]:
+        mech.add_worker(n)
+    return sim, mech
+
+
+def _run_one(
+    pattern: str,
+    degree: int,
+    *,
+    task_work: float,
+    n_tasks: int,
+    scatter: float,
+    gather: float,
+) -> PatternPoint:
+    # saturated regime: throughput is capacity-bound
+    sim, mech = _build(pattern, degree, scatter=scatter, gather=gather)
+    capacity = degree / task_work
+    TaskSource(
+        sim,
+        mech.input,
+        rate=capacity * 4.0,
+        work_model=ConstantWork(task_work),
+        total=n_tasks,
+    )
+    sim.run(max_events=5_000_000)
+    done = mech.output.peek_items()
+    makespan = max((t.completed_at for t in done), default=sim.now)
+    throughput = len(done) / makespan if makespan > 0 else 0.0
+
+    # unloaded regime: latency shows the per-task service shape
+    sim2, mech2 = _build(pattern, degree, scatter=scatter, gather=gather)
+    TaskSource(
+        sim2,
+        mech2.input,
+        rate=max(capacity * 0.2, 1e-3),
+        work_model=ConstantWork(task_work),
+        total=max(10, n_tasks // 5),
+    )
+    sim2.run(max_events=5_000_000)
+    done2 = mech2.output.peek_items()
+    latencies = [t.latency for t in done2 if t.latency is not None]
+
+    return PatternPoint(
+        pattern=pattern,
+        degree=degree,
+        throughput=throughput,
+        mean_latency=sum(latencies) / len(latencies) if latencies else 0.0,
+        completed=len(done),
+    )
+
+
+def run_patterns(
+    *,
+    degrees: tuple = (2, 4, 8),
+    task_work: float = 8.0,
+    n_tasks: int = 80,
+    scatter: float = 0.05,
+    gather: float = 0.05,
+) -> PatternsResult:
+    """Sweep both patterns over ``degrees`` with the same stream."""
+    result = PatternsResult(task_work=task_work, input_rate=0.0)
+    for degree in degrees:
+        for pattern in ("farm", "map"):
+            result.points.append(
+                _run_one(
+                    pattern,
+                    degree,
+                    task_work=task_work,
+                    n_tasks=n_tasks,
+                    scatter=scatter,
+                    gather=gather,
+                )
+            )
+    return result

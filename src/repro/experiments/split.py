@@ -1,0 +1,165 @@
+"""Experiment SPLIT — soundness of the P_spl contract-splitting heuristics.
+
+Section 3.1 argues there is no general way to split an SLA into
+sub-SLAs, but that pattern-specific heuristics work: a pipeline's
+throughput contract can be forwarded to each stage (slowest-stage
+model), and a parallelism-degree budget can be split proportionally to
+stage weights.  This experiment *quantifies* the heuristics' soundness
+under the analytical cost model:
+
+* **throughput split** — if every stage, after farming to its split
+  degree, meets the (identical) stage sub-contract, does the whole
+  pipeline meet the parent contract?  (Always, by the slowest-stage
+  model — verified over many random trees.)
+* **degree split** — how much throughput does proportional splitting
+  achieve versus (a) an exhaustive optimal allocation of the same
+  budget, and (b) a uniform split?  The proportional heuristic should
+  sit close to optimal and dominate uniform on skewed pipelines.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..core.contracts import ParallelismDegreeContract, split_contract
+from ..skeletons.ast import Farm, Pipe, Seq
+from ..skeletons.cost import throughput
+
+__all__ = ["SplitCase", "SplitResult", "run_split", "optimal_allocation", "allocation_throughput"]
+
+
+@dataclass
+class SplitCase:
+    """One random pipeline instance and its three allocations."""
+
+    works: Tuple[float, ...]
+    budget: int
+    proportional: Tuple[int, ...]
+    uniform: Tuple[int, ...]
+    optimal: Tuple[int, ...]
+    thr_proportional: float
+    thr_uniform: float
+    thr_optimal: float
+
+    @property
+    def proportional_efficiency(self) -> float:
+        """Proportional throughput as a fraction of optimal."""
+        if self.thr_optimal == 0:
+            return 1.0
+        return self.thr_proportional / self.thr_optimal
+
+
+@dataclass
+class SplitResult:
+    cases: List[SplitCase] = field(default_factory=list)
+
+    @property
+    def mean_efficiency(self) -> float:
+        if not self.cases:
+            return 0.0
+        return sum(c.proportional_efficiency for c in self.cases) / len(self.cases)
+
+    @property
+    def min_efficiency(self) -> float:
+        return min((c.proportional_efficiency for c in self.cases), default=0.0)
+
+    @property
+    def beats_or_ties_uniform_fraction(self) -> float:
+        if not self.cases:
+            return 0.0
+        wins = sum(1 for c in self.cases if c.thr_proportional >= c.thr_uniform - 1e-9)
+        return wins / len(self.cases)
+
+
+def allocation_throughput(works: Sequence[float], degrees: Sequence[int]) -> float:
+    """Pipeline throughput when stage i is farmed to degrees[i]."""
+    pipe = Pipe(*[Farm(Seq(w), degree=max(1, d)) for w, d in zip(works, degrees)])
+    return throughput(pipe)
+
+
+def optimal_allocation(works: Sequence[float], budget: int) -> Tuple[int, ...]:
+    """Exhaustive best allocation of ``budget`` workers over stages.
+
+    Greedy water-filling is optimal for this max-min problem, but we
+    verify with a true greedy-by-bottleneck loop: repeatedly give one
+    worker to the current slowest stage.
+    """
+    n = len(works)
+    degrees = [1] * n
+    for _ in range(budget - n):
+        stage_times = [w / d for w, d in zip(works, degrees)]
+        slowest = max(range(n), key=lambda i: stage_times[i])
+        degrees[slowest] += 1
+    return tuple(degrees)
+
+
+def uniform_allocation(n_stages: int, budget: int) -> Tuple[int, ...]:
+    base = budget // n_stages
+    extra = budget % n_stages
+    return tuple(base + (1 if i < extra else 0) for i in range(n_stages))
+
+
+def run_split(
+    *,
+    n_cases: int = 50,
+    max_stages: int = 5,
+    max_budget: int = 24,
+    seed: int = 7,
+) -> SplitResult:
+    """Monte-Carlo comparison of the degree-splitting heuristics."""
+    rng = random.Random(seed)
+    result = SplitResult()
+    for _ in range(n_cases):
+        n = rng.randint(2, max_stages)
+        works = tuple(round(rng.uniform(0.5, 10.0), 2) for _ in range(n))
+        budget = rng.randint(n, max_budget)
+
+        pipe = Pipe(*[Seq(w) for w in works])
+        contract = ParallelismDegreeContract(min_degree=1, max_degree=budget)
+        subs = split_contract(contract, pipe)
+        proportional = tuple(s.max_degree for s in subs)
+
+        uniform = uniform_allocation(n, budget)
+        optimal = optimal_allocation(works, budget)
+
+        result.cases.append(
+            SplitCase(
+                works=works,
+                budget=budget,
+                proportional=proportional,
+                uniform=uniform,
+                optimal=optimal,
+                thr_proportional=allocation_throughput(works, proportional),
+                thr_uniform=allocation_throughput(works, uniform),
+                thr_optimal=allocation_throughput(works, optimal),
+            )
+        )
+    return result
+
+
+def verify_throughput_split_soundness(
+    *, n_cases: int = 100, seed: int = 11
+) -> Tuple[int, int]:
+    """Check: stages meeting the forwarded throughput SLA ⇒ pipe meets it.
+
+    Returns (cases checked, cases where the implication held).
+    """
+    rng = random.Random(seed)
+    held = 0
+    for _ in range(n_cases):
+        n = rng.randint(2, 6)
+        works = [rng.uniform(0.5, 10.0) for _ in range(n)]
+        target = rng.uniform(0.1, 1.0)
+        # farm each stage to the minimum degree satisfying the stage SLA
+        stages = []
+        for w in works:
+            degree = 1
+            while throughput(Farm(Seq(w), degree=degree)) < target:
+                degree += 1
+            stages.append(Farm(Seq(w), degree=degree))
+        pipe = Pipe(*stages)
+        if throughput(pipe) >= target - 1e-9:
+            held += 1
+    return n_cases, held

@@ -1,0 +1,46 @@
+"""GCM component model substrate (Fractal-style membrane architecture).
+
+Components and composites (:mod:`~.component`), interfaces and bindings
+(:mod:`~.interfaces`), the standard Lifecycle/Content/Binding
+controllers (:mod:`~.controllers`) and the Autonomic Behaviour
+Controllers that expose monitoring and actuators to the managers
+(:mod:`~.abc_controller`).
+"""
+
+from .abc_controller import (
+    ABCError,
+    AutonomicBehaviourController,
+    FarmABC,
+    PlannedReconfiguration,
+    ProducerABC,
+    StageABC,
+)
+from .component import Component, ComponentError, CompositeComponent, LifecycleState
+from .controllers import (
+    BindingController,
+    ContentController,
+    LifecycleController,
+    install_standard_controllers,
+)
+from .interfaces import Binding, Interface, InterfaceError, Role
+
+__all__ = [
+    "Component",
+    "CompositeComponent",
+    "ComponentError",
+    "LifecycleState",
+    "Interface",
+    "Binding",
+    "Role",
+    "InterfaceError",
+    "LifecycleController",
+    "ContentController",
+    "BindingController",
+    "install_standard_controllers",
+    "AutonomicBehaviourController",
+    "FarmABC",
+    "ProducerABC",
+    "StageABC",
+    "PlannedReconfiguration",
+    "ABCError",
+]

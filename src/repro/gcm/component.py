@@ -1,0 +1,194 @@
+"""GCM components: primitive and composite, with a controller membrane.
+
+A GCM/Fractal component is a unit of composition wrapped in a *membrane*
+of controllers.  The paper's behavioural skeletons "are implemented as
+GCM composite components" whose membrane hosts the autonomic manager
+next to the standard Lifecycle, Content and Binding controllers
+(Fig. 2, left).  This module gives that architecture:
+
+* :class:`Component` — name, server/client interfaces, membrane
+  (controller registry), lifecycle state.
+* :class:`CompositeComponent` — additionally holds sub-components and
+  internal bindings, managed through its Content/Binding controllers.
+
+Controllers themselves live in :mod:`repro.gcm.controllers`; the ABC
+(monitoring + actuators) in :mod:`repro.gcm.abc_controller`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, List, Optional
+
+from .interfaces import Binding, Interface, Role
+
+__all__ = ["LifecycleState", "Component", "CompositeComponent", "ComponentError"]
+
+
+class ComponentError(RuntimeError):
+    """Raised for invalid component operations."""
+
+
+class LifecycleState(enum.Enum):
+    STOPPED = "stopped"
+    STARTED = "started"
+
+
+class Component:
+    """A primitive GCM component."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ComponentError("component needs a name")
+        self.name = name
+        self._interfaces: Dict[str, Interface] = {}
+        self._controllers: Dict[str, Any] = {}
+        self.state = LifecycleState.STOPPED
+        self.parent: Optional["CompositeComponent"] = None
+
+    # ------------------------------------------------------------------
+    # interfaces
+    # ------------------------------------------------------------------
+    def add_server_interface(
+        self, name: str, implementation: Callable[..., Any], *, functional: bool = True
+    ) -> Interface:
+        """Expose a service on this component."""
+        return self._add_interface(
+            Interface(name, Role.SERVER, self, implementation, functional)
+        )
+
+    def add_client_interface(self, name: str, *, functional: bool = True) -> Interface:
+        """Declare a required service."""
+        return self._add_interface(Interface(name, Role.CLIENT, self, None, functional))
+
+    def _add_interface(self, itf: Interface) -> Interface:
+        if itf.name in self._interfaces:
+            raise ComponentError(f"{self.name}: duplicate interface {itf.name!r}")
+        self._interfaces[itf.name] = itf
+        return itf
+
+    def interface(self, name: str) -> Interface:
+        try:
+            return self._interfaces[name]
+        except KeyError:
+            raise ComponentError(f"{self.name}: no interface {name!r}") from None
+
+    def interfaces(self, role: Optional[Role] = None, functional: Optional[bool] = None) -> List[Interface]:
+        out = list(self._interfaces.values())
+        if role is not None:
+            out = [i for i in out if i.role is role]
+        if functional is not None:
+            out = [i for i in out if i.functional is functional]
+        return out
+
+    # ------------------------------------------------------------------
+    # membrane
+    # ------------------------------------------------------------------
+    def add_controller(self, name: str, controller: Any) -> Any:
+        """Install a membrane controller (lifecycle, content, abc, am...)."""
+        if name in self._controllers:
+            raise ComponentError(f"{self.name}: duplicate controller {name!r}")
+        self._controllers[name] = controller
+        return controller
+
+    def controller(self, name: str) -> Any:
+        try:
+            return self._controllers[name]
+        except KeyError:
+            raise ComponentError(f"{self.name}: no controller {name!r}") from None
+
+    def has_controller(self, name: str) -> bool:
+        return name in self._controllers
+
+    @property
+    def controllers(self) -> Dict[str, Any]:
+        return dict(self._controllers)
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks (called by LifecycleController)
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        """Hook invoked when the component starts."""
+
+    def on_stop(self) -> None:
+        """Hook invoked when the component stops."""
+
+    @property
+    def started(self) -> bool:
+        return self.state is LifecycleState.STARTED
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} {self.state.value}>"
+
+
+class CompositeComponent(Component):
+    """A component containing sub-components and internal bindings."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._children: Dict[str, Component] = {}
+        self._bindings: List[Binding] = []
+
+    # content (used by ContentController)
+    @property
+    def children(self) -> List[Component]:
+        return list(self._children.values())
+
+    def child(self, name: str) -> Component:
+        try:
+            return self._children[name]
+        except KeyError:
+            raise ComponentError(f"{self.name}: no child {name!r}") from None
+
+    def _add_child(self, comp: Component) -> Component:
+        if comp.name in self._children:
+            raise ComponentError(f"{self.name}: duplicate child {comp.name!r}")
+        if comp.parent is not None:
+            raise ComponentError(
+                f"{comp.name} already belongs to {comp.parent.name}"
+            )
+        self._children[comp.name] = comp
+        comp.parent = self
+        return comp
+
+    def _remove_child(self, comp: Component) -> None:
+        if comp.name not in self._children:
+            raise ComponentError(f"{self.name}: {comp.name!r} is not a child")
+        dangling = [
+            b
+            for b in self._bindings
+            if b.client.owner is comp or b.server.owner is comp
+        ]
+        if dangling:
+            raise ComponentError(
+                f"{self.name}: cannot remove {comp.name!r}; {len(dangling)} binding(s) attached"
+            )
+        del self._children[comp.name]
+        comp.parent = None
+
+    # bindings (used by BindingController)
+    @property
+    def bindings(self) -> List[Binding]:
+        return list(self._bindings)
+
+    def _add_binding(self, binding: Binding) -> Binding:
+        for b in self._bindings:
+            if b.client is binding.client:
+                raise ComponentError(
+                    f"{self.name}: client interface {binding.client.name!r} already bound"
+                )
+        self._bindings.append(binding)
+        return binding
+
+    def _remove_binding(self, binding: Binding) -> None:
+        try:
+            self._bindings.remove(binding)
+        except ValueError:
+            raise ComponentError(f"{self.name}: unknown binding") from None
+
+    def binding_of(self, client_itf: Interface) -> Optional[Binding]:
+        """The binding whose client side is ``client_itf`` (None if unbound)."""
+        for b in self._bindings:
+            if b.client is client_itf:
+                return b
+        return None

@@ -1,0 +1,146 @@
+"""Standard GCM/Fractal membrane controllers.
+
+"The ABC, in turn, uses services from the GCM/Fractal standard
+controllers Lifecycle, Content and Binding Controller to implement both
+monitoring and actuators." (§4.1)  These are those controllers:
+
+* :class:`LifecycleController` — start/stop, recursive over composites.
+* :class:`ContentController` — add/remove sub-components (content may
+  only change while the composite is stopped *or* when the caller
+  explicitly asks for a live reconfiguration, which is what the farm's
+  ``ADD_EXECUTOR`` actuator does).
+* :class:`BindingController` — create/remove/secure bindings.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .component import Component, ComponentError, CompositeComponent, LifecycleState
+from .interfaces import Binding, Interface
+
+__all__ = ["LifecycleController", "ContentController", "BindingController", "install_standard_controllers"]
+
+
+class LifecycleController:
+    """Start/stop a component tree (Fractal's lifecycle-controller)."""
+
+    NAME = "lifecycle-controller"
+
+    def __init__(self, component: Component) -> None:
+        self.component = component
+
+    def start(self) -> None:
+        """Start the component, children first (so servers are up)."""
+        comp = self.component
+        if comp.state is LifecycleState.STARTED:
+            return
+        if isinstance(comp, CompositeComponent):
+            for child in comp.children:
+                _lifecycle(child).start()
+        comp.state = LifecycleState.STARTED
+        comp.on_start()
+
+    def stop(self) -> None:
+        """Stop the component, parent first (so no new requests flow)."""
+        comp = self.component
+        if comp.state is LifecycleState.STOPPED:
+            return
+        comp.state = LifecycleState.STOPPED
+        comp.on_stop()
+        if isinstance(comp, CompositeComponent):
+            for child in comp.children:
+                _lifecycle(child).stop()
+
+
+def _lifecycle(comp: Component) -> LifecycleController:
+    if comp.has_controller(LifecycleController.NAME):
+        return comp.controller(LifecycleController.NAME)
+    return comp.add_controller(LifecycleController.NAME, LifecycleController(comp))
+
+
+class ContentController:
+    """Manage a composite's sub-components (Fractal's content-controller)."""
+
+    NAME = "content-controller"
+
+    def __init__(self, composite: CompositeComponent) -> None:
+        if not isinstance(composite, CompositeComponent):
+            raise ComponentError("ContentController requires a CompositeComponent")
+        self.composite = composite
+
+    def add(self, child: Component, *, live: bool = False) -> Component:
+        """Add ``child`` to the composite's content.
+
+        Content changes on a STARTED composite require ``live=True`` —
+        the dynamic-reconfiguration path used by the farm manager when
+        adding workers at run time.
+        """
+        self._check_mutable(live)
+        self.composite._add_child(child)
+        if live and self.composite.state is LifecycleState.STARTED:
+            _lifecycle(child).start()
+        return child
+
+    def remove(self, child: Component, *, live: bool = False) -> None:
+        """Remove ``child`` (it must have no bindings attached)."""
+        self._check_mutable(live)
+        if child.state is LifecycleState.STARTED:
+            if not live:
+                raise ComponentError(f"cannot remove started child {child.name!r}")
+            _lifecycle(child).stop()
+        self.composite._remove_child(child)
+
+    def _check_mutable(self, live: bool) -> None:
+        if self.composite.state is LifecycleState.STARTED and not live:
+            raise ComponentError(
+                f"{self.composite.name}: content change on started composite "
+                "requires live=True"
+            )
+
+
+class BindingController:
+    """Create and manage bindings inside a composite."""
+
+    NAME = "binding-controller"
+
+    def __init__(self, composite: CompositeComponent) -> None:
+        if not isinstance(composite, CompositeComponent):
+            raise ComponentError("BindingController requires a CompositeComponent")
+        self.composite = composite
+
+    def bind(self, client: Interface, server: Interface, *, secured: bool = False) -> Binding:
+        """Wire a client interface to a server interface."""
+        binding = Binding(client, server, secured=secured)
+        return self.composite._add_binding(binding)
+
+    def unbind(self, binding: Binding) -> None:
+        self.composite._remove_binding(binding)
+
+    def secure(self, binding: Binding) -> None:
+        """Switch one wire to the secure protocol."""
+        binding.secure()
+
+    def secure_all(self) -> int:
+        """Secure every binding in the composite; returns count changed."""
+        changed = 0
+        for b in self.composite.bindings:
+            if not b.secured:
+                b.secure()
+                changed += 1
+        return changed
+
+    def unsecured(self) -> List[Binding]:
+        """Bindings still on the plain protocol (security-audit helper)."""
+        return [b for b in self.composite.bindings if not b.secured]
+
+
+def install_standard_controllers(comp: Component) -> Component:
+    """Install Lifecycle (+ Content/Binding for composites) on ``comp``."""
+    _lifecycle(comp)
+    if isinstance(comp, CompositeComponent):
+        if not comp.has_controller(ContentController.NAME):
+            comp.add_controller(ContentController.NAME, ContentController(comp))
+        if not comp.has_controller(BindingController.NAME):
+            comp.add_controller(BindingController.NAME, BindingController(comp))
+    return comp

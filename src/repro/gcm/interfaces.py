@@ -1,0 +1,89 @@
+"""Component interfaces and bindings (Fractal/GCM style).
+
+GCM components expose *server* interfaces (services they provide) and
+*client* interfaces (services they require); a :class:`Binding` connects
+a client interface to a server interface.  Besides functional
+interfaces, components expose *non-functional* (membrane) interfaces —
+in the paper these include the AM's contract port and the violation
+callback port added in §4.2 ("Essentially this involved addition of
+callback interfaces to signal violations").
+
+Bindings carry a ``secured`` flag: the security manager's actuator
+re-binds communications crossing untrusted domains onto the secure
+protocol (§3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+__all__ = ["Role", "Interface", "Binding", "InterfaceError"]
+
+
+class InterfaceError(RuntimeError):
+    """Raised for interface/binding misuse."""
+
+
+class Role(enum.Enum):
+    """Whether an interface provides (SERVER) or requires (CLIENT) a service."""
+
+    SERVER = "server"
+    CLIENT = "client"
+
+
+@dataclass
+class Interface:
+    """One port of a component.
+
+    ``implementation`` is the callable behind a SERVER interface; CLIENT
+    interfaces acquire their target via a :class:`Binding`.
+    ``functional=False`` marks membrane (controller) interfaces.
+    """
+
+    name: str
+    role: Role
+    owner: Any = None
+    implementation: Optional[Callable[..., Any]] = None
+    functional: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InterfaceError("interface needs a name")
+        if self.role is Role.SERVER and self.implementation is None:
+            raise InterfaceError(f"server interface {self.name!r} needs an implementation")
+
+    def invoke(self, *args: Any, **kwargs: Any) -> Any:
+        """Call a SERVER interface's implementation directly."""
+        if self.role is not Role.SERVER:
+            raise InterfaceError(f"cannot invoke client interface {self.name!r} directly")
+        assert self.implementation is not None
+        return self.implementation(*args, **kwargs)
+
+
+@dataclass
+class Binding:
+    """A client→server wire between two components' interfaces."""
+
+    client: Interface
+    server: Interface
+    secured: bool = False
+
+    def __post_init__(self) -> None:
+        if self.client.role is not Role.CLIENT:
+            raise InterfaceError(
+                f"binding source {self.client.name!r} must be a CLIENT interface"
+            )
+        if self.server.role is not Role.SERVER:
+            raise InterfaceError(
+                f"binding target {self.server.name!r} must be a SERVER interface"
+            )
+
+    def call(self, *args: Any, **kwargs: Any) -> Any:
+        """Invoke the bound server through this wire."""
+        return self.server.invoke(*args, **kwargs)
+
+    def secure(self) -> None:
+        """Switch this wire to the secure protocol (idempotent)."""
+        self.secured = True

@@ -1,0 +1,76 @@
+"""Forward-chaining rule engine — the JBoss Rules (Drools) substitute.
+
+Autonomic-manager policies are precondition→action rules evaluated
+periodically against a working memory of monitoring beans; see
+:mod:`repro.rules.engine` for the execution semantics, :mod:`~.beans`
+for the fact types, and :mod:`~.dsl` for the fluent builder used to
+transliterate Figure 5's rule file.
+"""
+
+from .beans import (
+    ArrivalRateBean,
+    LatencyBean,
+    Bean,
+    ContractBean,
+    DepartureRateBean,
+    EndOfStreamBean,
+    ManagerOperation,
+    NumWorkerBean,
+    QueueVarianceBean,
+    RecordingSink,
+    UtilizationBean,
+    ViolationBean,
+)
+from .dsl import (
+    RuleBuilder,
+    always,
+    rule,
+    value_between,
+    value_eq,
+    value_ge,
+    value_gt,
+    value_is,
+    value_le,
+    value_lt,
+)
+from .engine import (
+    Activation,
+    Condition,
+    NotExists,
+    Rule,
+    RuleEngine,
+    RuleEngineError,
+    WorkingMemory,
+)
+
+__all__ = [
+    "Bean",
+    "ArrivalRateBean",
+    "DepartureRateBean",
+    "NumWorkerBean",
+    "QueueVarianceBean",
+    "UtilizationBean",
+    "LatencyBean",
+    "ContractBean",
+    "ViolationBean",
+    "EndOfStreamBean",
+    "ManagerOperation",
+    "RecordingSink",
+    "Rule",
+    "RuleEngine",
+    "RuleEngineError",
+    "WorkingMemory",
+    "Condition",
+    "NotExists",
+    "Activation",
+    "rule",
+    "RuleBuilder",
+    "value_lt",
+    "value_le",
+    "value_gt",
+    "value_ge",
+    "value_eq",
+    "value_between",
+    "value_is",
+    "always",
+]

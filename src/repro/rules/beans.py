@@ -1,0 +1,144 @@
+"""Working-memory facts (beans) and manager operations.
+
+The paper's autonomic managers keep monitored quantities in *beans*
+inserted into the JBoss rule engine's working memory; Figure 5's rules
+match on ``ArrivalRateBean``, ``DepartureRateBean``, ``NumWorkerBean``
+and ``QuequeVarianceBean`` and react by calling ``setData`` /
+``fireOperation`` on the matched bean.  We reproduce that interface
+one-to-one: beans carry a ``value``, optional attached ``data`` and a
+reference to an *operation sink* (the ABC controller / manager) that
+receives fired operations.
+
+:class:`ManagerOperation` enumerates the actuator verbs appearing in the
+paper (``RAISE_VIOLATION``, ``ADD_EXECUTOR``, ``REMOVE_EXECUTOR``,
+``BALANCE_LOAD``, ``MIGRATE`` — §3 lists migration among the performance
+policies) plus the extra verbs needed by the pipeline and security
+managers in later sections (``SET_RATE``, ``SECURE_CHANNEL``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = [
+    "ManagerOperation",
+    "Bean",
+    "ArrivalRateBean",
+    "DepartureRateBean",
+    "NumWorkerBean",
+    "QueueVarianceBean",
+    "UtilizationBean",
+    "LatencyBean",
+    "ContractBean",
+    "ViolationBean",
+    "EndOfStreamBean",
+    "RecordingSink",
+]
+
+
+class ManagerOperation(enum.Enum):
+    """Actuator verbs a rule action may fire (paper's ``ManagerOperation``)."""
+
+    RAISE_VIOLATION = "raise_violation"
+    ADD_EXECUTOR = "add_executor"
+    REMOVE_EXECUTOR = "remove_executor"
+    BALANCE_LOAD = "balance_load"
+    SET_RATE = "set_rate"
+    SECURE_CHANNEL = "secure_channel"
+    MIGRATE = "migrate"
+    NOOP = "noop"
+
+
+OperationSink = Callable[[ManagerOperation, Any], None]
+
+
+class Bean:
+    """Base working-memory fact: a named numeric/flag observation.
+
+    ``fire_operation`` forwards to the owning manager's operation sink,
+    carrying whatever ``set_data`` attached first — exactly the calling
+    convention of the rule actions in Figure 5::
+
+        $arrivalBean.setData(ManagersConstants.notEnoughTasks_VIOL);
+        $arrivalBean.fireOperation(ManagerOperation.RAISE_VIOLATION);
+    """
+
+    def __init__(self, value: Any = None, sink: Optional[OperationSink] = None) -> None:
+        self.value = value
+        self.data: Any = None
+        self._sink = sink
+
+    def bind_sink(self, sink: OperationSink) -> "Bean":
+        """Attach the operation sink (done by the manager at insert time)."""
+        self._sink = sink
+        return self
+
+    def set_data(self, data: Any) -> None:
+        """Attach payload for the next fired operation."""
+        self.data = data
+
+    def fire_operation(self, op: ManagerOperation) -> None:
+        """Dispatch ``op`` (with attached data) to the operation sink."""
+        if self._sink is None:
+            raise RuntimeError(
+                f"{type(self).__name__} has no operation sink bound; "
+                "insert it through a manager (or call bind_sink) first"
+            )
+        self._sink(op, self.data)
+        self.data = None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(value={self.value!r})"
+
+
+class ArrivalRateBean(Bean):
+    """Input task inter-arrival rate (tasks/second)."""
+
+
+class DepartureRateBean(Bean):
+    """Output/served task rate (tasks/second)."""
+
+
+class NumWorkerBean(Bean):
+    """Current parallelism degree of the managed farm."""
+
+
+class QueueVarianceBean(Bean):
+    """Variance of per-worker queue lengths (the paper's QuequeVarianceBean)."""
+
+
+class UtilizationBean(Bean):
+    """Mean worker utilisation in [0, 1]."""
+
+
+class LatencyBean(Bean):
+    """Windowed mean task-completion latency (seconds)."""
+
+
+class ContractBean(Bean):
+    """The currently assigned contract (value = Contract instance)."""
+
+
+class ViolationBean(Bean):
+    """A violation reported by a child manager (value = Violation)."""
+
+
+class EndOfStreamBean(Bean):
+    """Flag: the input stream has terminated (value = bool)."""
+
+
+class RecordingSink:
+    """Test helper: an operation sink that records what was fired."""
+
+    def __init__(self) -> None:
+        self.fired: List[Tuple[ManagerOperation, Any]] = []
+
+    def __call__(self, op: ManagerOperation, data: Any) -> None:
+        self.fired.append((op, data))
+
+    def ops(self) -> List[ManagerOperation]:
+        return [op for op, _ in self.fired]
+
+    def clear(self) -> None:
+        self.fired.clear()

@@ -1,0 +1,139 @@
+"""Fluent builder for rules, mirroring the JBoss source syntax.
+
+Figure 5's rules read::
+
+    rule "CheckRateLow"
+      when
+        $departureBean : DepartureRateBean( value < FARM_LOW_PERF_LEVEL )
+        $arrivalBean   : ArrivalRateBean( value >= FARM_LOW_PERF_LEVEL )
+        $parDegree     : NumWorkerBean( value <= FARM_MAX_NUM_WORKERS )
+      then
+        $departureBean.setData(FARM_ADD_WORKERS);
+        $departureBean.fireOperation(ManagerOperation.ADD_EXECUTOR);
+    end
+
+With this DSL the Python transliteration keeps the same shape::
+
+    (rule("CheckRateLow")
+        .when(DepartureRateBean, value_lt(LOW), bind="departure")
+        .when(ArrivalRateBean, value_ge(LOW), bind="arrival")
+        .when(NumWorkerBean, value_le(MAX_W), bind="par")
+        .then(add_workers_action))
+
+``value_lt`` & friends build predicates over a bean's ``value``
+attribute, covering the comparison forms used throughout the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Type
+
+from .engine import Action, Condition, NotExists, Predicate, Rule, RuleEngineError
+
+__all__ = [
+    "rule",
+    "RuleBuilder",
+    "value_lt",
+    "value_le",
+    "value_gt",
+    "value_ge",
+    "value_eq",
+    "value_between",
+    "value_is",
+    "always",
+]
+
+
+def value_lt(threshold: float) -> Predicate:
+    """Predicate: ``fact.value < threshold``."""
+    return lambda fact: fact.value < threshold
+
+
+def value_le(threshold: float) -> Predicate:
+    """Predicate: ``fact.value <= threshold``."""
+    return lambda fact: fact.value <= threshold
+
+
+def value_gt(threshold: float) -> Predicate:
+    """Predicate: ``fact.value > threshold``."""
+    return lambda fact: fact.value > threshold
+
+
+def value_ge(threshold: float) -> Predicate:
+    """Predicate: ``fact.value >= threshold``."""
+    return lambda fact: fact.value >= threshold
+
+
+def value_eq(expected: Any) -> Predicate:
+    """Predicate: ``fact.value == expected``."""
+    return lambda fact: fact.value == expected
+
+
+def value_between(lo: float, hi: float) -> Predicate:
+    """Predicate: ``lo <= fact.value <= hi``."""
+    return lambda fact: lo <= fact.value <= hi
+
+
+def value_is(pred: Callable[[Any], bool]) -> Predicate:
+    """Predicate over ``fact.value`` rather than the fact itself."""
+    return lambda fact: pred(fact.value)
+
+
+def always(fact: Any) -> bool:
+    """Predicate that matches any fact of the condition's type."""
+    return True
+
+
+class RuleBuilder:
+    """Accumulates conditions then produces an immutable :class:`Rule`."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._conditions: List[Any] = []
+        self._salience = 0
+        self._doc = ""
+
+    def when(
+        self,
+        fact_type: Type[Any],
+        predicate: Optional[Predicate] = None,
+        *,
+        bind: Optional[str] = None,
+    ) -> "RuleBuilder":
+        """Add a positive pattern (conjunctive with earlier ones)."""
+        self._conditions.append(Condition(fact_type, predicate, bind))
+        return self
+
+    def when_not(
+        self, fact_type: Type[Any], predicate: Optional[Predicate] = None
+    ) -> "RuleBuilder":
+        """Add a negative pattern: *no* such fact may exist."""
+        self._conditions.append(NotExists(fact_type, predicate))
+        return self
+
+    def salience(self, value: int) -> "RuleBuilder":
+        """Set the priority (higher fires first within one agenda)."""
+        self._salience = value
+        return self
+
+    def doc(self, text: str) -> "RuleBuilder":
+        """Attach human-readable documentation to the rule."""
+        self._doc = text
+        return self
+
+    def then(self, action: Action) -> Rule:
+        """Finish the rule with its action; returns the built Rule."""
+        if not self._conditions:
+            raise RuleEngineError(f"rule {self._name!r} has no conditions")
+        return Rule(
+            name=self._name,
+            conditions=tuple(self._conditions),
+            action=action,
+            salience=self._salience,
+            doc=self._doc,
+        )
+
+
+def rule(name: str) -> RuleBuilder:
+    """Entry point of the DSL: ``rule("Name").when(...).then(action)``."""
+    return RuleBuilder(name)

@@ -1,0 +1,322 @@
+"""Forward-chaining precondition→action rule engine (JBoss Rules analog).
+
+The paper implements each autonomic manager's policy as JBoss
+precondition–action rules: "Preconditions are first order formulas over
+the parameters monitored by the ABC controller.  Actions are calls to
+one or more of the actuator services […].  The control loop itself
+invokes the JBoss rule engine periodically.  At each invocation,
+'fireable' rules are selected, prioritized and executed." (§4.1)
+
+This module reproduces those semantics:
+
+* :class:`WorkingMemory` — typed fact storage (insert/retract/replace).
+* :class:`Rule` — a name, a list of :class:`Condition` patterns
+  (conjunctive), a salience (priority), and an action taking an
+  :class:`Activation` context with the bound facts.
+* :class:`RuleEngine.evaluate` — one engine invocation: match all rules
+  against working memory, order the agenda by (salience desc, rule
+  declaration order), execute each activation's action.  This single
+  pass per control tick is exactly the paper's periodic invocation
+  model; :meth:`RuleEngine.fire_until_quiescent` additionally offers the
+  classic chaining mode with refraction for applications that update
+  facts from inside actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+__all__ = [
+    "Condition",
+    "NotExists",
+    "Rule",
+    "Activation",
+    "WorkingMemory",
+    "RuleEngine",
+    "RuleEngineError",
+]
+
+
+class RuleEngineError(RuntimeError):
+    """Raised for malformed rules or engine misuse."""
+
+
+Predicate = Callable[[Any], bool]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """Pattern: "a fact of ``fact_type`` for which ``predicate`` holds".
+
+    ``bind`` names the matched fact in the activation context, mirroring
+    JBoss's ``$arrivalBean : ArrivalRateBean(value < LOW)``.
+    """
+
+    fact_type: Type[Any]
+    predicate: Optional[Predicate] = None
+    bind: Optional[str] = None
+
+    def matches(self, fact: Any) -> bool:
+        if not isinstance(fact, self.fact_type):
+            return False
+        if self.predicate is None:
+            return True
+        return bool(self.predicate(fact))
+
+
+@dataclass(frozen=True)
+class NotExists:
+    """Negative pattern: no fact of ``fact_type`` satisfies ``predicate``."""
+
+    fact_type: Type[Any]
+    predicate: Optional[Predicate] = None
+
+    def matches_none(self, facts: Iterable[Any]) -> bool:
+        for fact in facts:
+            if isinstance(fact, self.fact_type):
+                if self.predicate is None or self.predicate(fact):
+                    return False
+        return True
+
+
+Action = Callable[["Activation"], None]
+
+
+@dataclass
+class Rule:
+    """One precondition→action rule."""
+
+    name: str
+    conditions: Sequence[Any]  # Condition | NotExists
+    action: Action
+    salience: int = 0
+    enabled: bool = True
+    doc: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise RuleEngineError("rule needs a non-empty name")
+        if not self.conditions:
+            raise RuleEngineError(f"rule {self.name!r} needs at least one condition")
+        for c in self.conditions:
+            if not isinstance(c, (Condition, NotExists)):
+                raise RuleEngineError(
+                    f"rule {self.name!r}: conditions must be Condition/NotExists, got {c!r}"
+                )
+
+
+class Activation:
+    """A fireable (rule, bound-facts) pair on the agenda."""
+
+    __slots__ = ("rule", "bindings", "engine")
+
+    def __init__(self, rule: Rule, bindings: Dict[str, Any], engine: "RuleEngine") -> None:
+        self.rule = rule
+        self.bindings = bindings
+        self.engine = engine
+
+    def __getitem__(self, name: str) -> Any:
+        return self.bindings[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.bindings
+
+    @property
+    def memory(self) -> "WorkingMemory":
+        return self.engine.memory
+
+    def __repr__(self) -> str:
+        return f"<Activation {self.rule.name} {list(self.bindings)}>"
+
+
+class WorkingMemory:
+    """Fact storage: insertion-ordered, type-indexed."""
+
+    def __init__(self) -> None:
+        self._facts: List[Any] = []
+
+    def insert(self, fact: Any) -> Any:
+        """Add a fact; returns it (for chaining)."""
+        self._facts.append(fact)
+        return fact
+
+    def retract(self, fact: Any) -> bool:
+        """Remove a fact; returns whether it was present."""
+        try:
+            self._facts.remove(fact)
+            return True
+        except ValueError:
+            return False
+
+    def retract_type(self, fact_type: Type[Any]) -> int:
+        """Remove every fact of ``fact_type``; returns count removed."""
+        keep = [f for f in self._facts if not isinstance(f, fact_type)]
+        removed = len(self._facts) - len(keep)
+        self._facts = keep
+        return removed
+
+    def replace(self, fact: Any) -> Any:
+        """Retract all facts of ``type(fact)`` then insert ``fact``.
+
+        The idiom for refreshing a monitoring bean each control tick.
+        """
+        self.retract_type(type(fact))
+        return self.insert(fact)
+
+    def facts(self, fact_type: Optional[Type[Any]] = None) -> List[Any]:
+        """All facts (optionally filtered by type), insertion order."""
+        if fact_type is None:
+            return list(self._facts)
+        return [f for f in self._facts if isinstance(f, fact_type)]
+
+    def first(self, fact_type: Type[Any]) -> Optional[Any]:
+        """First fact of ``fact_type`` (None if absent)."""
+        for f in self._facts:
+            if isinstance(f, fact_type):
+                return f
+        return None
+
+    def clear(self) -> None:
+        self._facts.clear()
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __contains__(self, fact: Any) -> bool:
+        return fact in self._facts
+
+
+@dataclass
+class FireRecord:
+    """Audit entry: one rule firing during an evaluation."""
+
+    cycle: int
+    rule_name: str
+    bound: Tuple[str, ...] = ()
+
+
+class RuleEngine:
+    """Agenda-based rule evaluation over a working memory."""
+
+    def __init__(self, rules: Iterable[Rule] = ()) -> None:
+        self.memory = WorkingMemory()
+        self._rules: List[Rule] = []
+        self.history: List[FireRecord] = []
+        self._cycle = 0
+        for r in rules:
+            self.add_rule(r)
+
+    # ------------------------------------------------------------------
+    # rule management
+    # ------------------------------------------------------------------
+    def add_rule(self, rule: Rule) -> None:
+        if any(r.name == rule.name for r in self._rules):
+            raise RuleEngineError(f"duplicate rule name {rule.name!r}")
+        self._rules.append(rule)
+
+    def add_rules(self, rules: Iterable[Rule]) -> None:
+        for r in rules:
+            self.add_rule(r)
+
+    def remove_rule(self, name: str) -> bool:
+        before = len(self._rules)
+        self._rules = [r for r in self._rules if r.name != name]
+        return len(self._rules) < before
+
+    def rule(self, name: str) -> Rule:
+        for r in self._rules:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    @property
+    def rules(self) -> List[Rule]:
+        return list(self._rules)
+
+    def enable(self, name: str, enabled: bool = True) -> None:
+        self.rule(name).enabled = enabled
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+    def _match_rule(self, rule: Rule) -> Optional[Dict[str, Any]]:
+        """First-match binding for a rule, or None if not fireable.
+
+        Each positive condition binds the *first* (insertion-ordered)
+        fact satisfying it — the deterministic analogue of JBoss's
+        single-activation pattern for the bean-per-type memories the
+        managers use.
+        """
+        bindings: Dict[str, Any] = {}
+        facts = self.memory.facts()
+        for cond in rule.conditions:
+            if isinstance(cond, NotExists):
+                if not cond.matches_none(facts):
+                    return None
+                continue
+            matched = None
+            for fact in facts:
+                if cond.matches(fact):
+                    matched = fact
+                    break
+            if matched is None:
+                return None
+            if cond.bind:
+                bindings[cond.bind] = matched
+        return bindings
+
+    def agenda(self) -> List[Activation]:
+        """Fireable activations, ordered by salience desc then rule order."""
+        activations: List[Tuple[int, int, Activation]] = []
+        for idx, rule in enumerate(self._rules):
+            if not rule.enabled:
+                continue
+            bindings = self._match_rule(rule)
+            if bindings is not None:
+                activations.append((-rule.salience, idx, Activation(rule, bindings, self)))
+        activations.sort(key=lambda t: (t[0], t[1]))
+        return [a for _, _, a in activations]
+
+    # ------------------------------------------------------------------
+    # firing
+    # ------------------------------------------------------------------
+    def evaluate(self) -> List[str]:
+        """One engine invocation (the paper's periodic control tick).
+
+        The agenda is computed once against the current memory, then
+        every activation's action runs in priority order.  Returns the
+        names of the rules fired.
+        """
+        self._cycle += 1
+        fired: List[str] = []
+        for activation in self.agenda():
+            activation.rule.action(activation)
+            fired.append(activation.rule.name)
+            self.history.append(
+                FireRecord(self._cycle, activation.rule.name, tuple(activation.bindings))
+            )
+        return fired
+
+    def fire_until_quiescent(self, max_cycles: int = 100) -> List[str]:
+        """Classic chaining: re-evaluate until no rule fires.
+
+        A (rule, memory-version) refraction would require full fact
+        identity tracking; instead each cycle recomputes the agenda and
+        the loop stops when it is empty, with ``max_cycles`` as a guard
+        against non-converging rule sets.
+        """
+        all_fired: List[str] = []
+        for _ in range(max_cycles):
+            fired = self.evaluate()
+            if not fired:
+                return all_fired
+            all_fired.extend(fired)
+        raise RuleEngineError(
+            f"rules did not quiesce within {max_cycles} cycles: "
+            f"last fired {all_fired[-5:]}"
+        )
+
+    def fired_names(self) -> List[str]:
+        """Every rule name ever fired, in order (audit trail)."""
+        return [rec.rule_name for rec in self.history]

@@ -1,0 +1,25 @@
+"""Live (wall-clock, thread-based) runtime: the ProActive analog.
+
+Active objects (:mod:`~.active_object`), a real thread farm with the
+same monitoring/actuator surface as the simulated one
+(:mod:`~.farm_runtime`), a thread pipeline (:mod:`~.pipeline_runtime`),
+and a controller that runs the *same* Figure 5 rule set against the live
+farm (:mod:`~.controller`) — mechanism/policy separation made concrete.
+"""
+
+from .active_object import ActiveObject, ActiveObjectError, FutureResult
+from .controller import ThreadFarmController
+from .farm_runtime import RuntimeFarmSnapshot, ThreadFarm, ThreadWorker
+from .pipeline_runtime import ThreadPipeline, ThreadStage
+
+__all__ = [
+    "ActiveObject",
+    "ActiveObjectError",
+    "FutureResult",
+    "ThreadFarm",
+    "ThreadWorker",
+    "RuntimeFarmSnapshot",
+    "ThreadFarmController",
+    "ThreadPipeline",
+    "ThreadStage",
+]

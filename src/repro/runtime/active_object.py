@@ -1,0 +1,149 @@
+"""Active objects: the ProActive-style concurrency primitive.
+
+"the ProActive Active Objects used to implement managers and workers use
+asynchronous communication primitives" (§4.2, footnote 10).  An active
+object owns one thread and one mailbox; method invocations are messages
+that return :class:`FutureResult`s immediately and are served one at a
+time in FIFO order — so an active object's internal state needs no
+locking.
+
+This is the live (wall-clock, real ``threading``) counterpart of the
+simulated processes in :mod:`repro.sim.engine`; the thread-based farm
+and pipeline runtimes build on it.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Optional
+
+__all__ = ["FutureResult", "ActiveObject", "ActiveObjectError"]
+
+
+class ActiveObjectError(RuntimeError):
+    """Raised for invalid active-object usage."""
+
+
+class FutureResult:
+    """A promise for the result of an asynchronous invocation."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+
+    def _resolve(self, value: Any) -> None:
+        self._value = value
+        self._event.set()
+
+    def _reject(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    @property
+    def ready(self) -> bool:
+        """True once the invocation has completed (or failed)."""
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        """Block until the result is available; re-raises failures.
+
+        This is ProActive's *wait-by-necessity*, made explicit.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError("future not resolved within timeout")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class _Stop:
+    """Mailbox sentinel ending the service thread."""
+
+
+class ActiveObject:
+    """A single-threaded service object with an asynchronous interface.
+
+    Subclasses define ordinary methods; callers use :meth:`invoke` (or
+    :meth:`oneway` for fire-and-forget) to run them on the object's own
+    thread.  Direct attribute access from other threads is unsafe by
+    design — all interaction goes through the mailbox.
+    """
+
+    def __init__(self, name: str = "active-object") -> None:
+        self.name = name
+        self._mailbox: "queue.Queue[Any]" = queue.Queue()
+        self._thread = threading.Thread(target=self._serve, name=name, daemon=True)
+        self._started = False
+        self._stopped = False
+        self.served = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ActiveObject":
+        if self._started:
+            return self
+        self._started = True
+        self._thread.start()
+        return self
+
+    def stop(self, *, drain: bool = True, timeout: float = 5.0) -> None:
+        """Stop the service thread.
+
+        With ``drain=True`` pending requests are served first; otherwise
+        the stop request jumps the queue as much as the mailbox allows.
+        """
+        if not self._started or self._stopped:
+            self._stopped = True
+            return
+        self._stopped = True
+        self._mailbox.put(_Stop())
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise ActiveObjectError(f"{self.name}: service thread did not stop")
+
+    @property
+    def alive(self) -> bool:
+        return self._started and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # invocation
+    # ------------------------------------------------------------------
+    def invoke(self, method: str, *args: Any, **kwargs: Any) -> FutureResult:
+        """Queue a method call; returns its future immediately."""
+        if self._stopped:
+            raise ActiveObjectError(f"{self.name} is stopped")
+        if not self._started:
+            raise ActiveObjectError(f"{self.name} not started")
+        fn = getattr(self, method, None)
+        if fn is None or not callable(fn):
+            raise ActiveObjectError(f"{self.name} has no method {method!r}")
+        future = FutureResult()
+        self._mailbox.put((fn, args, kwargs, future))
+        return future
+
+    def oneway(self, method: str, *args: Any, **kwargs: Any) -> None:
+        """Fire-and-forget invocation (result discarded)."""
+        self.invoke(method, *args, **kwargs)
+
+    def call(self, method: str, *args: Any, timeout: float = 30.0, **kwargs: Any) -> Any:
+        """Synchronous convenience: invoke then wait."""
+        return self.invoke(method, *args, **kwargs).wait(timeout)
+
+    # ------------------------------------------------------------------
+    # service loop
+    # ------------------------------------------------------------------
+    def _serve(self) -> None:
+        while True:
+            item = self._mailbox.get()
+            if isinstance(item, _Stop):
+                return
+            fn, args, kwargs, future = item
+            try:
+                future._resolve(fn(*args, **kwargs))
+            except BaseException as exc:  # noqa: BLE001 - forwarded to caller
+                future._reject(exc)
+            finally:
+                self.served += 1

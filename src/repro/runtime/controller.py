@@ -1,0 +1,153 @@
+"""Live autonomic control of a thread farm: same rules, real clock.
+
+The policies are exactly the Figure 5 rule set built by
+:func:`repro.core.policies.farm_rules` — the same objects that drive the
+simulated farm manager — evaluated here by a wall-clock control loop
+thread against the live farm's monitor snapshot.  This demonstrates the
+paper's separation of mechanism and policy: the rules do not know (or
+care) whether the beans underneath them come from a discrete-event
+simulation or from ``threading`` queues.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, List, Mapping, Optional, Tuple
+
+from ..core.contracts import (
+    BestEffortContract,
+    CompositeContract,
+    Contract,
+    MaxLatencyContract,
+    MinThroughputContract,
+    ThroughputRangeContract,
+)
+from ..core.events import ViolationKind
+from ..core.policies import ManagersConstants, farm_rules, latency_rule
+from ..rules.beans import (
+    ArrivalRateBean,
+    DepartureRateBean,
+    LatencyBean,
+    ManagerOperation,
+    NumWorkerBean,
+    QueueVarianceBean,
+)
+from ..rules.engine import RuleEngine
+from .farm_runtime import ThreadFarm
+
+__all__ = ["ThreadFarmController"]
+
+
+class ThreadFarmController:
+    """A wall-clock MAPE loop enforcing a contract on a :class:`ThreadFarm`."""
+
+    def __init__(
+        self,
+        farm: ThreadFarm,
+        contract: Contract,
+        *,
+        control_period: float = 0.5,
+        constants: Optional[ManagersConstants] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if control_period <= 0:
+            raise ValueError("control_period must be positive")
+        self.farm = farm
+        self.control_period = control_period
+        self.constants = constants or ManagersConstants()
+        if max_workers is not None:
+            self.constants.FARM_MAX_NUM_WORKERS = max_workers
+        self.engine = RuleEngine(farm_rules(self.constants))
+        self.engine.add_rule(latency_rule(self.constants))
+        self.violations: List[Tuple[float, str]] = []
+        self.actions: List[Tuple[float, str]] = []
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.assign_contract(contract)
+
+    # ------------------------------------------------------------------
+    # contract
+    # ------------------------------------------------------------------
+    def assign_contract(self, contract: Contract) -> None:
+        self.contract = contract
+        parts = contract.parts if isinstance(contract, CompositeContract) else [contract]
+        for part in parts:
+            if isinstance(part, ThroughputRangeContract):
+                self.constants.FARM_LOW_PERF_LEVEL = part.low
+                self.constants.FARM_HIGH_PERF_LEVEL = part.high
+            elif isinstance(part, MinThroughputContract):
+                self.constants.FARM_LOW_PERF_LEVEL = part.target
+                self.constants.FARM_HIGH_PERF_LEVEL = float("inf")
+            elif isinstance(part, MaxLatencyContract):
+                self.constants.FARM_MAX_LATENCY = part.limit
+            elif isinstance(part, BestEffortContract):
+                self.constants.FARM_LOW_PERF_LEVEL = 0.0
+                self.constants.FARM_HIGH_PERF_LEVEL = float("inf")
+            else:
+                raise ValueError(f"unsupported contract {type(part).__name__}")
+
+    # ------------------------------------------------------------------
+    # loop lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ThreadFarmController":
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="farm-controller", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.control_period):
+            self.control_step()
+
+    # ------------------------------------------------------------------
+    # one MAPE tick (public so tests can drive it deterministically)
+    # ------------------------------------------------------------------
+    def control_step(self) -> List[str]:
+        snap = self.farm.snapshot()
+        mem = self.engine.memory
+        mem.replace(ArrivalRateBean(snap.arrival_rate).bind_sink(self._sink))
+        mem.replace(DepartureRateBean(snap.departure_rate).bind_sink(self._sink))
+        mem.replace(NumWorkerBean(snap.num_workers).bind_sink(self._sink))
+        mem.replace(QueueVarianceBean(snap.queue_variance).bind_sink(self._sink))
+        mem.replace(LatencyBean(snap.mean_latency).bind_sink(self._sink))
+        return self.engine.evaluate()
+
+    def _sink(self, op: ManagerOperation, data: Any) -> None:
+        now = self.farm.now()
+        if op is ManagerOperation.RAISE_VIOLATION:
+            self.violations.append((now, str(data)))
+            return
+        if op is ManagerOperation.ADD_EXECUTOR:
+            count = int(data.get("count", 1)) if isinstance(data, Mapping) else 1
+            added = 0
+            for _ in range(count):
+                try:
+                    self.farm.add_worker()
+                    added += 1
+                except RuntimeError:
+                    break
+            if added:
+                self.actions.append((now, f"addWorker x{added}"))
+            else:
+                self.violations.append((now, ViolationKind.NO_LOCAL_PLAN))
+            return
+        if op is ManagerOperation.REMOVE_EXECUTOR:
+            if self.farm.remove_worker() is not None:
+                self.actions.append((now, "removeWorker"))
+            return
+        if op is ManagerOperation.BALANCE_LOAD:
+            moved = self.farm.balance_load()
+            if moved:
+                self.actions.append((now, f"rebalance x{moved}"))
+            return
+        raise ValueError(f"controller cannot execute {op}")

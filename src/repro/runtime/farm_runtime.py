@@ -1,0 +1,294 @@
+"""Thread-based task farm: live execution of the farm behavioural skeleton.
+
+This is the wall-clock counterpart of :class:`repro.sim.farm.SimFarm`:
+real worker threads executing a real Python callable over a stream of
+tasks, with the same monitoring surface (arrival/departure rates, queue
+lengths) and the same actuators (add/remove worker, rebalance, secure).
+Python's GIL limits the parallel speed-up for CPU-bound functions
+(repro-band note), so the quantitative experiments use the simulator;
+this runtime exists to show that the identical manager/rule machinery
+drives genuine concurrent execution — see
+:class:`~repro.runtime.controller.ThreadFarmController`.
+
+Secured channels are real here: task payloads (pickled) are encrypted by
+the emitter and decrypted by the worker with the toy cipher from
+:mod:`repro.security.crypto`, so securing a worker has an actual,
+measurable cost.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from ..security.crypto import decrypt, encrypt
+from ..sim.metrics import WindowRateEstimator, queue_length_stats
+
+__all__ = ["ThreadFarm", "ThreadWorker", "RuntimeFarmSnapshot"]
+
+_SECRET = b"repro-channel-key"
+
+
+@dataclass(frozen=True)
+class RuntimeFarmSnapshot:
+    """One monitoring sample of the live farm (mirrors FarmSnapshot)."""
+
+    time: float
+    arrival_rate: float
+    departure_rate: float
+    num_workers: int
+    queue_lengths: tuple
+    queue_variance: float
+    completed: int
+    pending: int
+    #: mean completion latency over the monitoring window (0 if none)
+    mean_latency: float = 0.0
+
+
+class _Poison:
+    """Queue sentinel stopping one worker."""
+
+
+class ThreadWorker:
+    """One worker thread with a private task queue."""
+
+    def __init__(
+        self,
+        farm: "ThreadFarm",
+        worker_id: int,
+        *,
+        secured: bool = False,
+    ) -> None:
+        self.farm = farm
+        self.worker_id = worker_id
+        self.secured = secured
+        self.queue: "queue.Queue[Any]" = queue.Queue()
+        self.completed = 0
+        self.active = True
+        self._thread = threading.Thread(
+            target=self._run, name=f"{farm.name}-w{worker_id}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self.active = False
+        self.queue.put(_Poison())
+
+    def join(self, timeout: float = 10.0) -> None:
+        self._thread.join(timeout)
+
+    def _run(self) -> None:
+        while True:
+            item = self.queue.get()
+            if isinstance(item, _Poison):
+                return
+            payload, enc, submitted_at = item
+            if enc:
+                payload = pickle.loads(decrypt(_SECRET, payload))
+            try:
+                result = self.farm.fn(payload)
+            except Exception as exc:  # noqa: BLE001 - surfaced via results
+                result = exc
+            self.completed += 1
+            self.farm._deliver(result, secured=self.secured, submitted_at=submitted_at)
+
+
+class ThreadFarm:
+    """A live task farm executing ``fn`` over submitted tasks."""
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        *,
+        initial_workers: int = 2,
+        name: str = "tfarm",
+        rate_window: float = 5.0,
+        max_workers: int = 64,
+    ) -> None:
+        if initial_workers < 1:
+            raise ValueError("need at least one worker")
+        self.fn = fn
+        self.name = name
+        self.max_workers = max_workers
+        self.results: "queue.Queue[Any]" = queue.Queue()
+        self._lock = threading.Lock()
+        self.workers: List[ThreadWorker] = []
+        self._next_id = 0
+        self._rr = 0
+        self._t0 = time.monotonic()
+        self.arrival_est = WindowRateEstimator(rate_window, start_time=0.0)
+        self.departure_est = WindowRateEstimator(rate_window, start_time=0.0)
+        self.rate_window = rate_window
+        self._latencies: "deque" = deque()  # (completion_time, latency)
+        self.submitted = 0
+        self.completed = 0
+        self.end_of_stream = False
+        for _ in range(initial_workers):
+            self.add_worker()
+
+    # ------------------------------------------------------------------
+    # time base
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        return time.monotonic() - self._t0
+
+    # ------------------------------------------------------------------
+    # stream
+    # ------------------------------------------------------------------
+    def submit(self, payload: Any) -> None:
+        """Dispatch one task to a worker (round robin)."""
+        with self._lock:
+            self.arrival_est.mark(self.now())
+            self.submitted += 1
+            live = [w for w in self.workers if w.active]
+            if not live:
+                raise RuntimeError("farm has no active workers")
+            self._rr = (self._rr + 1) % len(live)
+            worker = live[self._rr]
+            now = self.now()
+            if worker.secured:
+                worker.queue.put((encrypt(_SECRET, pickle.dumps(payload)), True, now))
+            else:
+                worker.queue.put((payload, False, now))
+
+    def _deliver(self, result: Any, *, secured: bool, submitted_at: float = 0.0) -> None:
+        with self._lock:
+            now = max(self.now(), self.departure_est._last_mark or 0.0)
+            self.departure_est.mark(now)
+            self.completed += 1
+            self._latencies.append((now, now - submitted_at))
+        self.results.put(result)
+
+    def drain_results(self, count: int, timeout: float = 30.0) -> List[Any]:
+        """Collect ``count`` results (order of completion)."""
+        out = []
+        deadline = time.monotonic() + timeout
+        for _ in range(count):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"collected {len(out)}/{count} results")
+            try:
+                out.append(self.results.get(timeout=remaining))
+            except queue.Empty:
+                raise TimeoutError(f"collected {len(out)}/{count} results") from None
+        return out
+
+    # ------------------------------------------------------------------
+    # monitoring
+    # ------------------------------------------------------------------
+    def snapshot(self) -> RuntimeFarmSnapshot:
+        with self._lock:
+            now = self.now()
+            live = [w for w in self.workers if w.active]
+            lengths = tuple(w.queue.qsize() for w in live)
+            _, var, _, _ = queue_length_stats(lengths)
+            cutoff = now - self.rate_window
+            while self._latencies and self._latencies[0][0] <= cutoff:
+                self._latencies.popleft()
+            mean_lat = (
+                sum(l for _, l in self._latencies) / len(self._latencies)
+                if self._latencies
+                else 0.0
+            )
+            return RuntimeFarmSnapshot(
+                time=now,
+                arrival_rate=self.arrival_est.rate(now),
+                departure_rate=self.departure_est.rate(now),
+                num_workers=len(live),
+                queue_lengths=lengths,
+                queue_variance=var,
+                completed=self.completed,
+                pending=self.submitted - self.completed,
+                mean_latency=mean_lat,
+            )
+
+    @property
+    def num_workers(self) -> int:
+        return sum(1 for w in self.workers if w.active)
+
+    # ------------------------------------------------------------------
+    # actuators
+    # ------------------------------------------------------------------
+    def add_worker(self, *, secured: bool = False) -> ThreadWorker:
+        with self._lock:
+            if self.num_workers >= self.max_workers:
+                raise RuntimeError(f"worker limit {self.max_workers} reached")
+            w = ThreadWorker(self, self._next_id, secured=secured)
+            self._next_id += 1
+            self.workers.append(w)
+            return w
+
+    def remove_worker(self) -> Optional[ThreadWorker]:
+        """Retire the newest worker; its queued tasks are re-dispatched."""
+        with self._lock:
+            live = [w for w in self.workers if w.active]
+            if len(live) <= 1:
+                return None
+            victim = live[-1]
+            victim.active = False
+        # drain outside the lock: submit() re-acquires it
+        leftovers = []
+        while True:
+            try:
+                item = victim.queue.get_nowait()
+            except queue.Empty:
+                break
+            if not isinstance(item, _Poison):
+                leftovers.append(item)
+        victim.queue.put(_Poison())
+        survivors = [w for w in self.workers if w.active]
+        for i, item in enumerate(leftovers):
+            survivors[i % len(survivors)].queue.put(item)
+        return victim
+
+    def balance_load(self) -> int:
+        """Crude rebalance: move tasks from longest to shortest queues.
+
+        Queue sizes are approximate under concurrency; this mirrors the
+        best a real runtime can do and is sufficient for the actuator
+        contract.
+        """
+        moved = 0
+        with self._lock:
+            live = [w for w in self.workers if w.active]
+            if len(live) < 2:
+                return 0
+            for _ in range(1000):
+                live.sort(key=lambda w: w.queue.qsize())
+                shortest, longest = live[0], live[-1]
+                if longest.queue.qsize() - shortest.queue.qsize() <= 1:
+                    break
+                try:
+                    item = longest.queue.get_nowait()
+                except queue.Empty:
+                    break
+                if isinstance(item, _Poison):
+                    longest.queue.put(item)
+                    break
+                shortest.queue.put(item)
+                moved += 1
+        return moved
+
+    def secure_all(self) -> None:
+        with self._lock:
+            for w in self.workers:
+                w.secured = True
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop every worker (pending tasks are abandoned)."""
+        with self._lock:
+            workers = list(self.workers)
+            for w in workers:
+                w.active = False
+        for w in workers:
+            w.queue.put(_Poison())
+        for w in workers:
+            w.join(timeout)

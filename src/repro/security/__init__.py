@@ -1,0 +1,25 @@
+"""The security concern: trust metadata, toy crypto, AM_sec.
+
+Implements §3.2's second non-functional concern: a boolean SLA ("all
+communications crossing untrusted domains are secured") enforced both
+reactively (the manager's own control loop) and proactively (intent
+review inside the two-phase protocol).
+"""
+
+from .crypto import CryptoCostModel, CryptoError, decrypt, encrypt, keystream_xor
+from .domains import SecurityPolicy, TrustRegistry
+from .manager import ExposureBean, LeakBean, SecurityABC, SecurityManager
+
+__all__ = [
+    "CryptoCostModel",
+    "CryptoError",
+    "encrypt",
+    "decrypt",
+    "keystream_xor",
+    "SecurityPolicy",
+    "TrustRegistry",
+    "SecurityABC",
+    "SecurityManager",
+    "ExposureBean",
+    "LeakBean",
+]

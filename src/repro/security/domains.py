@@ -1,0 +1,74 @@
+"""Security metadata: trust registry and channel policy.
+
+The paper's security management relies on "meta-information describing
+the security of the network interconnections used" ([20], recalled in
+the conclusions): given that metadata, the manager can determine *in an
+autonomic way* whether code staging and data communications must use a
+secure protocol — securing only when strictly needed, "thus avoiding
+the introduction of unnecessary overheads".
+
+:class:`SecurityPolicy` is that decision procedure: a channel needs
+securing iff it crosses a non-private segment (either endpoint in an
+untrusted domain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Set
+
+from ..sim.resources import Domain, Node
+
+__all__ = ["TrustRegistry", "SecurityPolicy"]
+
+
+class TrustRegistry:
+    """Mutable registry of domain trust metadata.
+
+    The registry *overrides* the static ``Domain.trusted`` flag, letting
+    an administrator revoke trust at run time (a domain found to be
+    compromised mid-run) — the security manager picks the change up at
+    its next control tick.
+    """
+
+    def __init__(self) -> None:
+        self._overrides: Dict[str, bool] = {}
+
+    def set_trust(self, domain_name: str, trusted: bool) -> None:
+        """Override a domain's trust level."""
+        self._overrides[domain_name] = trusted
+
+    def clear(self, domain_name: str) -> None:
+        """Remove the override (fall back to the domain's own flag)."""
+        self._overrides.pop(domain_name, None)
+
+    def is_trusted(self, domain: Domain) -> bool:
+        """Effective trust of a domain under current overrides."""
+        return self._overrides.get(domain.name, domain.trusted)
+
+    def untrusted_names(self, domains: Iterable[Domain]) -> Set[str]:
+        return {d.name for d in domains if not self.is_trusted(d)}
+
+
+@dataclass
+class SecurityPolicy:
+    """Decides which channels require the secure protocol."""
+
+    registry: TrustRegistry = field(default_factory=TrustRegistry)
+
+    def node_trusted(self, node: Node) -> bool:
+        return self.registry.is_trusted(node.domain)
+
+    def needs_secure(self, src: Node, dst: Node) -> bool:
+        """True iff plaintext traffic src→dst would cross untrusted ground.
+
+        Co-located components communicate through memory and never need
+        securing; otherwise either untrusted endpoint taints the path.
+        """
+        if src.name == dst.name:
+            return False
+        return not (self.node_trusted(src) and self.node_trusted(dst))
+
+    def worker_exposed(self, emitter: Node, worker_node: Node, secured: bool) -> bool:
+        """True iff a farm worker's channel violates the security concern."""
+        return self.needs_secure(emitter, worker_node) and not secured

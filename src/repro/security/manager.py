@@ -1,0 +1,171 @@
+"""The security autonomic manager (AM_sec) and its ABC.
+
+Section 3.2's second concern hierarchy: a manager whose goal is that no
+plaintext data crosses untrusted network segments.  It participates in
+multi-concern coordination in two ways:
+
+* **reactively** — its own MAPE loop scans the managed farms for
+  *exposed* workers (unsecured bindings to untrusted nodes) and for
+  recorded leaks, and fires ``SECURE_CHANNEL`` to close the hole.  This
+  is the only defence available in *naive* coordination mode and is
+  inherently late: messages sent between the worker's instantiation and
+  the next security tick leak (the window the paper warns about).
+* **proactively** — :meth:`SecurityManager.review_intent` implements
+  phase two of the two-phase intent protocol: when AM_perf proposes new
+  workers, any reserved node in an untrusted domain gets its plan entry
+  amended to ``secure`` *before* instantiation, so not a single message
+  leaks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional
+
+from ..gcm.abc_controller import (
+    AutonomicBehaviourController,
+    FarmABC,
+    PlannedReconfiguration,
+)
+from ..rules.beans import Bean, ManagerOperation
+from ..rules.dsl import rule, value_gt
+from ..sim.engine import Simulator
+from ..sim.network import Network
+from ..core.contracts import Contract, SecurityContract
+from ..core.events import Events
+from ..core.manager import AutonomicManager
+from ..core.multiconcern import ConcernReview
+from .domains import SecurityPolicy
+
+__all__ = ["SecurityABC", "SecurityManager", "ExposureBean", "LeakBean"]
+
+
+class ExposureBean(Bean):
+    """Number of exposed workers (unsecured channels to untrusted nodes)."""
+
+
+class LeakBean(Bean):
+    """Number of plaintext messages that have crossed untrusted links."""
+
+
+class SecurityABC(AutonomicBehaviourController):
+    """Monitoring + actuators for the security concern.
+
+    Oversees one or more farm ABCs plus the network audit log.
+    """
+
+    _OPS = frozenset({ManagerOperation.SECURE_CHANNEL})
+
+    def __init__(
+        self,
+        farm_abcs: List[FarmABC],
+        network: Optional[Network],
+        policy: SecurityPolicy,
+    ) -> None:
+        self.farm_abcs = list(farm_abcs)
+        self.network = network
+        self.policy = policy
+        self.secured_actions = 0
+
+    # -- monitoring ------------------------------------------------------
+    def exposed_workers(self) -> List[Any]:
+        """All farm workers whose channel violates the policy right now."""
+        exposed = []
+        for fabc in self.farm_abcs:
+            farm = fabc.farm
+            for w in farm.workers:
+                if w._stopped:
+                    continue
+                if self.policy.worker_exposed(farm.emitter_node, w.node, w.secured):
+                    exposed.append(w)
+        return exposed
+
+    def monitor(self) -> Optional[Dict[str, Any]]:
+        return {
+            "insecure_untrusted_workers": len(self.exposed_workers()),
+            "leak_count": self.network.leak_count if self.network else 0,
+            "secured_actions": self.secured_actions,
+        }
+
+    # -- actuators ---------------------------------------------------------
+    def supported_operations(self) -> FrozenSet[ManagerOperation]:
+        return self._OPS
+
+    def execute(self, op: ManagerOperation, data: Any = None) -> bool:
+        if op is ManagerOperation.SECURE_CHANNEL:
+            exposed = self.exposed_workers()
+            for fabc in self.farm_abcs:
+                for w in exposed:
+                    if w.farm is fabc.farm:
+                        fabc.farm.secure_worker(w)
+                        self.secured_actions += 1
+            return True
+        raise ValueError(f"SecurityABC does not implement {op}")
+
+
+class SecurityManager(AutonomicManager, ConcernReview):
+    """AM_sec: keeps every channel crossing untrusted ground secured."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        abc: SecurityABC,
+        **kwargs: Any,
+    ) -> None:
+        kwargs.setdefault("concern", "security")
+        super().__init__(name, sim, abc=abc, **kwargs)
+        self.security_abc = abc
+        self.engine.add_rules(self._rules())
+
+    def _rules(self):
+        def secure_exposed(act):
+            act["exposure"].fire_operation(ManagerOperation.SECURE_CHANNEL)
+
+        return [
+            rule("SecureExposedWorkers")
+            .doc("close any unsecured channel to an untrusted node")
+            .salience(50)
+            .when(ExposureBean, value_gt(0), bind="exposure")
+            .then(secure_exposed),
+        ]
+
+    # -- MAPE hooks --------------------------------------------------------
+    def on_contract(self, contract: Contract) -> None:
+        if not isinstance(contract, SecurityContract):
+            raise ValueError(
+                f"{self.name}: security manager needs a SecurityContract, "
+                f"got {type(contract).__name__}"
+            )
+
+    def observe(self, data: Mapping[str, Any]) -> None:
+        mem = self.engine.memory
+        mem.replace(self.make_bean(ExposureBean(data["insecure_untrusted_workers"])))
+        mem.replace(self.make_bean(LeakBean(data["leak_count"])))
+        now = self.sim.now
+        self.trace.sample(f"{self.name}.exposed", now, data["insecure_untrusted_workers"])
+        self.trace.sample(f"{self.name}.leaks", now, data["leak_count"])
+
+    def on_operation(self, op: ManagerOperation, data: Any) -> None:
+        if op is ManagerOperation.SECURE_CHANNEL:
+            n_before = len(self.security_abc.exposed_workers())
+            self.security_abc.execute(op, data)
+            self.trace.mark(
+                self.sim.now, self.name, Events.SECURE_WORKER, count=n_before
+            )
+            return
+        super().on_operation(op, data)
+
+    # -- two-phase protocol (phase 2) ---------------------------------------
+    def review_intent(
+        self, originator: AutonomicManager, plan: PlannedReconfiguration
+    ) -> bool:
+        """Amend the plan: any untrusted reserved node must run secured.
+
+        Never vetoes — security is always *achievable* by securing the
+        channel; it just costs throughput (the perf/sec trade-off the
+        paper leaves to the GM's contract arithmetic).
+        """
+        for node in plan.nodes:
+            if not self.security_abc.policy.node_trusted(node):
+                plan.require_secure(node)
+        return True

@@ -1,0 +1,189 @@
+"""Simulated pipeline stages and stage plumbing.
+
+Figure 4's application is ``pipeline(seq, farm(seq), seq)``: a Producer,
+a task-farm Filter and a Consumer.  The farm mechanism lives in
+:mod:`repro.sim.farm`; this module supplies the sequential stage
+mechanism and the inter-stage plumbing:
+
+* :class:`SeqStage` — one process serving tasks from an input store to
+  an output store with per-task service time determined by its node.
+  Its monitoring surface matches the farm's (arrival/departure rates),
+  so the same manager machinery attaches to both.
+* :class:`Forwarder` — zero-work connector moving items between stores,
+  used to wire heterogeneous stage mechanisms into one pipeline.
+* :class:`SimPipeline` — convenience container keeping stage order and
+  offering aggregate measures (end-to-end throughput).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from .engine import Interrupt, Process, Simulator
+from .metrics import UtilizationMeter, WindowRateEstimator
+from .network import Message, Network
+from .queues import Store
+from .resources import Node
+from .workload import Task
+
+__all__ = ["StageSnapshot", "SeqStage", "Forwarder", "SimPipeline"]
+
+
+@dataclass(frozen=True)
+class StageSnapshot:
+    """One monitoring sample of a sequential stage."""
+
+    time: float
+    arrival_rate: float
+    departure_rate: float
+    utilization: float
+    completed: int
+    queue_length: int
+
+
+class SeqStage:
+    """A single sequential worker between two stores.
+
+    ``service_work`` is the per-task work in seconds-at-unit-speed; the
+    effective service time also reflects the node's external load, so a
+    load spike on the consumer's core slows the whole pipeline — the
+    §4.2 adaptation scenario for stages.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        name: str,
+        node: Node,
+        input_store: Store,
+        output_store: Optional[Store],
+        service_work: float,
+        network: Optional[Network] = None,
+        downstream_node: Optional[Node] = None,
+        rate_window: float = 10.0,
+        on_done: Optional[Callable[[Task], None]] = None,
+    ) -> None:
+        if service_work < 0:
+            raise ValueError("service_work must be >= 0")
+        self.sim = sim
+        self.name = name
+        self.node = node
+        self.input = input_store
+        self.output = output_store
+        self.service_work = service_work
+        self.network = network
+        self.downstream_node = downstream_node
+        self.on_done = on_done
+        self.arrival_est = WindowRateEstimator(rate_window, start_time=sim.now)
+        self.departure_est = WindowRateEstimator(rate_window, start_time=sim.now)
+        self.util = UtilizationMeter(start_time=sim.now)
+        self.completed = 0
+        self.active = True
+        self.secured = False
+        self._proc: Process = sim.process(self._run(), name=name)
+
+    def stop(self) -> None:
+        self.active = False
+        if self._proc.alive:
+            self._proc.interrupt("stop")
+
+    def _run(self) -> Iterator[Any]:
+        while self.active:
+            try:
+                task = yield self.input.get()
+            except Interrupt:
+                break
+            self.arrival_est.mark(self.sim.now)
+            self.util.set_busy(self.sim.now)
+            if self.service_work > 0:
+                yield self.sim.timeout(self.node.service_time(self.service_work, self.sim.now))
+            self.util.set_idle(self.sim.now)
+            self.completed += 1
+            self.departure_est.mark(self.sim.now)
+            delay = 0.0
+            if self.network is not None and self.downstream_node is not None:
+                rec = self.network.record_transfer(
+                    self.sim.now,
+                    self.node,
+                    self.downstream_node,
+                    Message(16.0, "stage", task.task_id),
+                    secured=self.secured,
+                )
+                delay = rec.duration
+            if self.output is not None:
+                if delay > 0:
+                    self.sim.schedule(delay, self.output.put_nowait, task)
+                else:
+                    self.output.put_nowait(task)
+            if self.on_done is not None:
+                self.on_done(task)
+
+    def snapshot(self) -> StageSnapshot:
+        """Monitoring sample for this stage."""
+        return StageSnapshot(
+            time=self.sim.now,
+            arrival_rate=self.arrival_est.rate(self.sim.now),
+            departure_rate=self.departure_est.rate(self.sim.now),
+            utilization=self.util.utilization(self.sim.now),
+            completed=self.completed,
+            queue_length=len(self.input),
+        )
+
+
+class Forwarder:
+    """Moves every item from ``src`` to ``dst`` as soon as it appears."""
+
+    def __init__(self, sim: Simulator, src: Store, dst: Store, name: str = "fwd") -> None:
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.moved = 0
+        self._proc = sim.process(self._run(), name=name)
+
+    def _run(self) -> Iterator[Any]:
+        while True:
+            item = yield self.src.get()
+            self.moved += 1
+            if self.dst.capacity is None:
+                self.dst.put_nowait(item)
+            else:
+                yield self.dst.put(item)
+
+
+class SimPipeline:
+    """Ordered collection of stage mechanisms forming one pipeline.
+
+    Stages are heterogeneous objects (SeqStage, SimFarm, TaskSource);
+    the pipeline records the ordering and exposes end-to-end measures.
+    Construction wiring (who reads whose store) is the caller's job —
+    see :mod:`repro.experiments.fig4` for the canonical three-stage
+    build.
+    """
+
+    def __init__(self, sim: Simulator, stages: Sequence[Any], name: str = "pipeline") -> None:
+        if not stages:
+            raise ValueError("pipeline needs at least one stage")
+        self.sim = sim
+        self.name = name
+        self.stages = list(stages)
+        self.sink = Store(sim, name=f"{name}.sink")
+        self.delivered = 0
+        self.departure_est = WindowRateEstimator(10.0, start_time=sim.now)
+
+    def record_delivery(self, task: Task) -> None:
+        """Call when a task leaves the last stage (end-to-end accounting)."""
+        self.delivered += 1
+        self.departure_est.mark(self.sim.now)
+        self.sink.put_nowait(task)
+
+    def throughput(self) -> float:
+        """End-to-end delivery rate (tasks/second, windowed)."""
+        return self.departure_est.rate(self.sim.now)
+
+    def stage(self, index: int) -> Any:
+        return self.stages[index]
+
+    def __len__(self) -> int:
+        return len(self.stages)

@@ -1,0 +1,266 @@
+"""Blocking FIFO stores for inter-process communication in the DES.
+
+Workers, emitters, collectors and pipeline stages exchange tasks through
+:class:`Store` objects.  A store behaves like a bounded (or unbounded)
+FIFO channel:
+
+* ``yield store.get()`` suspends the calling process until an item is
+  available;
+* ``yield store.put(item)`` suspends until there is capacity (no-op wait
+  for unbounded stores).
+
+Both requests complete in strict FIFO order, which keeps farm scheduling
+deterministic.  Deliveries are routed through the event queue and are
+*cancellation-safe*: if a process is interrupted after an item was
+earmarked for it but before delivery, the item returns to the front of
+the queue — the task-conservation invariant the property tests check.
+
+The module also provides :func:`drain` / :func:`transfer` /
+:func:`rebalance` helpers used by the load-balancing actuator: the
+autonomic manager's ``BALANCE_LOAD`` action literally moves queued tasks
+between worker stores (paper §4.2, the ``rebalance`` events in Fig. 4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Iterable, List, Optional
+
+from .engine import Process, SimulationError, Simulator
+
+__all__ = ["Store", "StoreGet", "StorePut", "drain", "transfer", "rebalance"]
+
+
+class StoreGet:
+    """Pending get request; yielded by processes, completed by the store."""
+
+    __slots__ = ("store", "proc", "cancelled")
+
+    def __init__(self, store: "Store") -> None:
+        self.store = store
+        self.proc: Optional[Process] = None
+        self.cancelled = False
+
+    def __sim_wait__(self, proc: Process) -> None:
+        self.proc = proc
+        self.store._enqueue_get(self)
+
+    def __sim_cancel__(self, proc: Process) -> None:
+        self.cancelled = True
+        self.store._discard_get(self)
+
+
+class StorePut:
+    """Pending put request; yielded by processes, completed by the store."""
+
+    __slots__ = ("store", "item", "proc", "cancelled")
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        self.store = store
+        self.item = item
+        self.proc: Optional[Process] = None
+        self.cancelled = False
+
+    def __sim_wait__(self, proc: Process) -> None:
+        self.proc = proc
+        self.store._enqueue_put(self)
+
+    def __sim_cancel__(self, proc: Process) -> None:
+        self.cancelled = True
+        self.store._discard_put(self)
+
+
+class Store:
+    """FIFO channel with optional capacity.
+
+    Statistics (`total_put`, `total_got`) support the conservation
+    invariant checked by property tests: ``total_put == total_got +
+    len(items)`` whenever the store is quiescent.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: Optional[int] = None,
+        name: str = "store",
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise SimulationError(f"store capacity must be positive, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[StoreGet] = deque()
+        self._putters: Deque[StorePut] = deque()
+        self.total_put = 0
+        self.total_got = 0
+        # Observer for *new* items (blocking or non-blocking puts).  Bulk
+        # moves via drain/transfer/rebalance do not fire it: they shuffle
+        # existing work, they don't create arrivals.
+        self.on_put: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def get(self) -> StoreGet:
+        """Waitable get request (FIFO among getters)."""
+        return StoreGet(self)
+
+    def put(self, item: Any) -> StorePut:
+        """Waitable put request (FIFO among putters)."""
+        return StorePut(self, item)
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False if the store is full."""
+        if self.is_full:
+            return False
+        self.items.append(item)
+        self.total_put += 1
+        if self.on_put is not None:
+            self.on_put(item)
+        self._service()
+        return True
+
+    def put_nowait(self, item: Any) -> None:
+        """Non-blocking put that raises if the store is full."""
+        if not self.try_put(item):
+            raise SimulationError(f"store {self.name!r} full (capacity={self.capacity})")
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; returns (ok, item)."""
+        if not self.items:
+            return False, None
+        item = self.items.popleft()
+        self.total_got += 1
+        self._service()
+        return True, item
+
+    def peek_items(self) -> List[Any]:
+        """Snapshot of queued items (used by rebalancing and monitors)."""
+        return list(self.items)
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+    def _enqueue_get(self, req: StoreGet) -> None:
+        self._getters.append(req)
+        self._service()
+
+    def _enqueue_put(self, req: StorePut) -> None:
+        self._putters.append(req)
+        self._service()
+
+    def _discard_get(self, req: StoreGet) -> None:
+        try:
+            self._getters.remove(req)
+        except ValueError:
+            pass
+
+    def _discard_put(self, req: StorePut) -> None:
+        try:
+            self._putters.remove(req)
+        except ValueError:
+            pass
+
+    def _service(self) -> None:
+        """Match waiting putters to capacity and waiting getters to items."""
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._putters and not self.is_full:
+                req = self._putters.popleft()
+                if req.cancelled:
+                    continue
+                self.items.append(req.item)
+                self.total_put += 1
+                if self.on_put is not None:
+                    self.on_put(req.item)
+                assert req.proc is not None
+                self.sim.schedule(0.0, self._complete_put, req)
+                progressed = True
+            while self._getters and self.items:
+                req = self._getters.popleft()
+                if req.cancelled:
+                    continue
+                item = self.items.popleft()
+                self.total_got += 1
+                assert req.proc is not None
+                self.sim.schedule(0.0, self._complete_get, req, item)
+                progressed = True
+
+    def _complete_get(self, req: StoreGet, item: Any) -> None:
+        if req.cancelled or req.proc is None or not req.proc.alive:
+            # The getter went away after the item was earmarked: return the
+            # item to the front so no task is ever lost.
+            self.items.appendleft(item)
+            self.total_got -= 1
+            self._service()
+            return
+        req.proc._deliver(item)
+
+    def _complete_put(self, req: StorePut) -> None:
+        if req.cancelled or req.proc is None or not req.proc.alive:
+            # Item is already in the store (put succeeded); only the wake-up
+            # is skipped.
+            return
+        req.proc._deliver(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return f"<Store {self.name!r} {len(self.items)}/{cap}>"
+
+
+def drain(store: Store, count: Optional[int] = None) -> List[Any]:
+    """Remove up to ``count`` items (all if None) from ``store``.
+
+    Bypasses waiting getters deliberately: rebalancing moves *queued*
+    work, never work already promised to a worker.
+    """
+    out: List[Any] = []
+    n = len(store.items) if count is None else min(count, len(store.items))
+    for _ in range(n):
+        item = store.items.popleft()
+        store.total_got += 1
+        out.append(item)
+    store._service()
+    return out
+
+
+def transfer(src: Store, dst: Store, count: int) -> int:
+    """Move up to ``count`` queued items from ``src`` to ``dst``.
+
+    Returns the number actually moved.  Items are re-queued in order so a
+    rebalance never reorders the tasks of a single queue.
+    """
+    moved = drain(src, count)
+    for item in moved:
+        dst.items.append(item)
+        dst.total_put += 1
+    dst._service()
+    return len(moved)
+
+
+def rebalance(stores: Iterable[Store]) -> int:
+    """Equalise queue lengths across ``stores``; returns items moved.
+
+    Implements the ``BALANCE_LOAD`` actuator: repeatedly move one item
+    from the longest to the shortest queue until the spread is ≤ 1.
+    """
+    pool = list(stores)
+    if len(pool) < 2:
+        return 0
+    moved = 0
+    while True:
+        pool.sort(key=lambda s: len(s.items))
+        shortest, longest = pool[0], pool[-1]
+        if len(longest.items) - len(shortest.items) <= 1:
+            return moved
+        transfer(longest, shortest, 1)
+        moved += 1

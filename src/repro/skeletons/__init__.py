@@ -1,0 +1,49 @@
+"""Algorithmic skeletons: the functional structure of applications.
+
+Skeleton trees (:mod:`~.ast`), their analytical performance models
+(:mod:`~.cost` — the basis of the paper's P_spl contract-splitting
+heuristics) and tree rewrites (:mod:`~.visitors`).
+"""
+
+from .ast import Farm, Pipe, Seq, Skeleton, SkeletonError, parse
+from .cost import (
+    bottleneck_stage,
+    describe,
+    optimal_degree,
+    resource_count,
+    scalability_limit,
+    service_time,
+    stage_weights,
+    throughput,
+)
+from .visitors import (
+    count_type,
+    farm_out_stage,
+    normalize,
+    replace_node,
+    scale_farms,
+    transform,
+)
+
+__all__ = [
+    "Skeleton",
+    "Seq",
+    "Farm",
+    "Pipe",
+    "parse",
+    "SkeletonError",
+    "service_time",
+    "throughput",
+    "optimal_degree",
+    "resource_count",
+    "stage_weights",
+    "bottleneck_stage",
+    "scalability_limit",
+    "describe",
+    "transform",
+    "scale_farms",
+    "farm_out_stage",
+    "normalize",
+    "replace_node",
+    "count_type",
+]

@@ -1,0 +1,261 @@
+"""Algorithmic-skeleton trees: the application's functional structure.
+
+The paper treats "the *kind* of parallel patterns exploited to implement
+the application" as a functional concern (§2) expressed as a tree of
+skeletons — e.g. ``farm(pipeline(seq, farm(seq), seq))`` (§3.1).  This
+module defines that tree:
+
+* :class:`Seq` — a leaf: sequential code with a per-task ``work``
+  requirement (seconds at unit speed).
+* :class:`Farm` — functional replication over an inner skeleton with a
+  parallelism degree; dispatch/collect policies name the paper's
+  scatter/unicast/multicast/broadcast and gather/reduce variants.
+* :class:`Pipe` — a pipeline of stages.
+
+Trees are immutable value objects (safe to share between managers), and
+:func:`parse` reads the paper's textual notation back into a tree.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = ["Skeleton", "Seq", "Farm", "Pipe", "parse", "SkeletonError"]
+
+
+class SkeletonError(ValueError):
+    """Raised for malformed skeleton trees or expressions."""
+
+
+class Skeleton:
+    """Base class for skeleton tree nodes (immutable)."""
+
+    name: str
+
+    @property
+    def children(self) -> Tuple["Skeleton", ...]:
+        """Direct sub-skeletons (empty for leaves)."""
+        return ()
+
+    def leaves(self) -> List["Seq"]:
+        """All Seq leaves, left-to-right."""
+        if isinstance(self, Seq):
+            return [self]
+        out: List[Seq] = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return out
+
+    def walk(self) -> Iterator["Skeleton"]:
+        """Pre-order traversal of the tree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    @property
+    def depth(self) -> int:
+        """Tree height (a lone Seq has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(c.depth for c in self.children)
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes in the tree."""
+        return 1 + sum(c.node_count for c in self.children)
+
+    def to_expr(self) -> str:
+        """Paper-style textual form, e.g. ``farm(pipe(seq,farm(seq),seq))``."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.to_expr()
+
+
+@dataclass(frozen=True)
+class Seq(Skeleton):
+    """Sequential leaf: domain code with per-task ``work``."""
+
+    work: float = 1.0
+    label: str = "seq"
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise SkeletonError(f"Seq work must be >= 0, got {self.work}")
+
+    @property
+    def name(self) -> str:
+        return self.label
+
+    def to_expr(self) -> str:
+        if self.work == 1.0:
+            return "seq"
+        return f"seq({self.work:g})"
+
+
+class FarmPolicies:
+    """Names for the functional-replication dispatch/collect variants.
+
+    "By varying the way input tasks are distributed to the available
+    concurrent computations, the way the results are gathered […]
+    several distinct parallel patterns can be modeled" (§3).
+    """
+
+    DISPATCH = ("unicast", "scatter", "multicast", "broadcast")
+    COLLECT = ("gather", "reduce")
+
+
+@dataclass(frozen=True)
+class Farm(Skeleton):
+    """Functional replication of ``worker`` with parallelism ``degree``."""
+
+    worker: Skeleton = field(default_factory=Seq)
+    degree: int = 1
+    dispatch: str = "unicast"
+    collect: str = "gather"
+    label: str = "farm"
+
+    def __post_init__(self) -> None:
+        if self.degree < 1:
+            raise SkeletonError(f"Farm degree must be >= 1, got {self.degree}")
+        if not isinstance(self.worker, Skeleton):
+            raise SkeletonError(f"Farm worker must be a Skeleton, got {self.worker!r}")
+        if self.dispatch not in FarmPolicies.DISPATCH:
+            raise SkeletonError(f"unknown dispatch policy {self.dispatch!r}")
+        if self.collect not in FarmPolicies.COLLECT:
+            raise SkeletonError(f"unknown collect policy {self.collect!r}")
+
+    @property
+    def name(self) -> str:
+        return self.label
+
+    @property
+    def children(self) -> Tuple[Skeleton, ...]:
+        return (self.worker,)
+
+    def with_degree(self, degree: int) -> "Farm":
+        """A copy of this farm at a different parallelism degree."""
+        return Farm(self.worker, degree, self.dispatch, self.collect, self.label)
+
+    def to_expr(self) -> str:
+        if self.degree == 1:
+            return f"farm({self.worker.to_expr()})"
+        return f"farm({self.worker.to_expr()}, n={self.degree})"
+
+
+@dataclass(frozen=True)
+class Pipe(Skeleton):
+    """Pipeline of two or more stages."""
+
+    stages: Tuple[Skeleton, ...] = ()
+    label: str = "pipe"
+
+    def __init__(self, *stages: Skeleton, label: str = "pipe") -> None:
+        # frozen dataclass with *args construction
+        if len(stages) == 1 and isinstance(stages[0], (tuple, list)):
+            stages = tuple(stages[0])
+        if len(stages) < 2:
+            raise SkeletonError(f"Pipe needs >= 2 stages, got {len(stages)}")
+        for s in stages:
+            if not isinstance(s, Skeleton):
+                raise SkeletonError(f"Pipe stages must be Skeletons, got {s!r}")
+        object.__setattr__(self, "stages", tuple(stages))
+        object.__setattr__(self, "label", label)
+
+    @property
+    def name(self) -> str:
+        return self.label
+
+    @property
+    def children(self) -> Tuple[Skeleton, ...]:
+        return self.stages
+
+    def to_expr(self) -> str:
+        return f"pipe({', '.join(s.to_expr() for s in self.stages)})"
+
+
+# ----------------------------------------------------------------------
+# expression parser
+# ----------------------------------------------------------------------
+
+_TOKEN = re.compile(r"\s*([a-zA-Z_]+|\d+\.?\d*|[(),=])")
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens: List[str] = []
+    text = text.strip()
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if not m:
+            raise SkeletonError(f"bad skeleton expression at position {pos}: {text[pos:]!r}")
+        tokens.append(m.group(1))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise SkeletonError("unexpected end of skeleton expression")
+        self.pos += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.next()
+        if got != tok:
+            raise SkeletonError(f"expected {tok!r}, got {got!r}")
+
+    def parse_skeleton(self) -> Skeleton:
+        head = self.next()
+        if head == "seq":
+            work = 1.0
+            if self.peek() == "(":
+                self.next()
+                work = float(self.next())
+                self.expect(")")
+            return Seq(work)
+        if head in ("farm",):
+            self.expect("(")
+            worker = self.parse_skeleton()
+            degree = 1
+            if self.peek() == ",":
+                self.next()
+                self.expect("n")
+                self.expect("=")
+                degree = int(float(self.next()))
+            self.expect(")")
+            return Farm(worker, degree)
+        if head in ("pipe", "pipeline"):
+            self.expect("(")
+            stages = [self.parse_skeleton()]
+            while self.peek() == ",":
+                self.next()
+                stages.append(self.parse_skeleton())
+            self.expect(")")
+            return Pipe(*stages)
+        raise SkeletonError(f"unknown skeleton {head!r}")
+
+
+def parse(text: str) -> Skeleton:
+    """Parse the paper's textual notation into a skeleton tree.
+
+    Accepts ``seq``, ``seq(<work>)``, ``farm(<skeleton>[, n=<k>])``,
+    ``pipe(...)`` / ``pipeline(...)``.  Round-trips with
+    :meth:`Skeleton.to_expr`.
+    """
+    parser = _Parser(_tokenize(text))
+    skel = parser.parse_skeleton()
+    if parser.peek() is not None:
+        raise SkeletonError(f"trailing tokens after skeleton: {parser.tokens[parser.pos:]}")
+    return skel

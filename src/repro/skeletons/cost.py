@@ -1,0 +1,135 @@
+"""Performance models for skeleton trees (the analytical backbone of P_spl).
+
+The paper's contract-splitting heuristics "exploit the well-known
+performance model of a pipeline, in which the pipeline performance is
+bounded by the performance of the slowest stage" and split parallelism
+degrees "proportionally … depending on the relative computational
+weight of the stages" (§3.1).  These are the models:
+
+* service time  ``T(seq)   = work``
+* service time  ``T(farm)  = T(worker) / degree``    (steady state)
+* service time  ``T(pipe)  = max_i T(stage_i)``      (slowest stage)
+* throughput    ``ρ(s)     = 1 / T(s)``
+
+From them we derive the quantities managers need: the *optimal initial
+parallelism degree* for a throughput contract (§3, "the parallelism
+degree of computations implemented using a functional replication BS
+can be initially set to some 'optimal' value"), resource counts, and
+stage weights for proportional splitting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from .ast import Farm, Pipe, Seq, Skeleton, SkeletonError
+
+__all__ = [
+    "service_time",
+    "throughput",
+    "optimal_degree",
+    "resource_count",
+    "stage_weights",
+    "bottleneck_stage",
+    "scalability_limit",
+]
+
+
+def service_time(skel: Skeleton) -> float:
+    """Steady-state time between consecutive results (1/throughput).
+
+    A farm divides its worker's service time by the parallelism degree;
+    a pipeline is bounded by its slowest stage.
+    """
+    if isinstance(skel, Seq):
+        return skel.work
+    if isinstance(skel, Farm):
+        return service_time(skel.worker) / skel.degree
+    if isinstance(skel, Pipe):
+        return max(service_time(s) for s in skel.stages)
+    raise SkeletonError(f"no cost model for {type(skel).__name__}")
+
+
+def throughput(skel: Skeleton) -> float:
+    """Steady-state results per second under the analytical model."""
+    t = service_time(skel)
+    if t <= 0:
+        return math.inf
+    return 1.0 / t
+
+
+def optimal_degree(worker: Skeleton, target_throughput: float) -> int:
+    """Minimum farm degree achieving ``target_throughput``.
+
+    ``ceil(T(worker) * ρ_target)``, at least 1.  This is the "optimal
+    initial parallelism degree" computation a farm manager performs when
+    it receives its first contract.
+    """
+    if target_throughput <= 0:
+        raise SkeletonError(f"target throughput must be positive, got {target_throughput}")
+    t_worker = service_time(worker)
+    if t_worker == 0:
+        return 1
+    return max(1, math.ceil(t_worker * target_throughput - 1e-9))
+
+
+def resource_count(skel: Skeleton, *, farm_overhead: int = 0) -> int:
+    """Processing elements the tree needs.
+
+    Leaves take one PE each; a farm multiplies its worker's need by the
+    degree, plus ``farm_overhead`` PEs for emitter/collector if they are
+    mapped to dedicated resources (0 by default — the paper's runs
+    co-locate them).
+    """
+    if isinstance(skel, Seq):
+        return 1
+    if isinstance(skel, Farm):
+        return skel.degree * resource_count(skel.worker, farm_overhead=farm_overhead) + farm_overhead
+    if isinstance(skel, Pipe):
+        return sum(resource_count(s, farm_overhead=farm_overhead) for s in skel.stages)
+    raise SkeletonError(f"no resource model for {type(skel).__name__}")
+
+
+def stage_weights(pipe: Pipe) -> List[float]:
+    """Relative computational weight of each pipeline stage.
+
+    Normalised service times — the proportionality factors for
+    splitting a parallelism-degree SLA across stages (§3.1 footnote:
+    "depending on the relative computational weight of the stages").
+    """
+    times = [service_time(s) for s in pipe.stages]
+    total = sum(times)
+    if total == 0:
+        return [1.0 / len(times)] * len(times)
+    return [t / total for t in times]
+
+
+def bottleneck_stage(pipe: Pipe) -> int:
+    """Index of the slowest stage (the pipeline's throughput bound)."""
+    times = [service_time(s) for s in pipe.stages]
+    return max(range(len(times)), key=lambda i: times[i])
+
+
+def scalability_limit(farm: Farm, dispatch_overhead: float) -> int:
+    """Degree beyond which the emitter bounds farm throughput.
+
+    With a per-task dispatch cost ``o``, the emitter can sustain at most
+    ``1/o`` tasks/s, so degrees beyond ``T(worker)/o`` add no throughput.
+    Returns that saturation degree (at least 1).
+    """
+    if dispatch_overhead <= 0:
+        raise SkeletonError("dispatch_overhead must be positive")
+    t_worker = service_time(farm.worker)
+    return max(1, math.floor(t_worker / dispatch_overhead))
+
+
+def describe(skel: Skeleton) -> Dict[str, float]:
+    """Summary of the model's predictions for a tree (for reports)."""
+    return {
+        "service_time": service_time(skel),
+        "throughput": throughput(skel),
+        "resources": float(resource_count(skel)),
+        "depth": float(skel.depth),
+        "nodes": float(skel.node_count),
+    }

@@ -1,0 +1,135 @@
+"""Visitors and rewriting over skeleton trees.
+
+Besides the usual structural queries, this module implements the
+pattern rewrites the paper relies on:
+
+* :func:`scale_farms` — adjust every farm's degree (the global analogue
+  of the ``ADD_EXECUTOR`` actuator applied to the static tree).
+* :func:`farm_out_stage` — "transform the pipeline stage into a farm
+  with the workers behaving as instances of the original stage" (§4.2,
+  the adaptation the authors say they are investigating for overloaded
+  sequential stages).
+* :func:`normalize` — flatten nested pipes (``pipe(a, pipe(b, c))`` ≡
+  ``pipe(a, b, c)``) and collapse degree-1 farms of farms, giving a
+  canonical form under which the cost model is invariant (property
+  tested).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from .ast import Farm, Pipe, Seq, Skeleton, SkeletonError
+
+__all__ = [
+    "transform",
+    "scale_farms",
+    "farm_out_stage",
+    "normalize",
+    "replace_node",
+    "count_type",
+]
+
+
+def transform(skel: Skeleton, fn: Callable[[Skeleton], Skeleton]) -> Skeleton:
+    """Bottom-up rewrite: rebuild the tree applying ``fn`` at each node.
+
+    ``fn`` receives a node whose children have already been rewritten
+    and returns its replacement (possibly itself).
+    """
+    if isinstance(skel, Seq):
+        return fn(skel)
+    if isinstance(skel, Farm):
+        new_worker = transform(skel.worker, fn)
+        rebuilt = (
+            skel
+            if new_worker is skel.worker
+            else Farm(new_worker, skel.degree, skel.dispatch, skel.collect, skel.label)
+        )
+        return fn(rebuilt)
+    if isinstance(skel, Pipe):
+        new_stages = [transform(s, fn) for s in skel.stages]
+        rebuilt = (
+            skel
+            if all(a is b for a, b in zip(new_stages, skel.stages))
+            else Pipe(*new_stages, label=skel.label)
+        )
+        return fn(rebuilt)
+    raise SkeletonError(f"cannot transform {type(skel).__name__}")
+
+
+def scale_farms(skel: Skeleton, factor: float) -> Skeleton:
+    """Multiply every farm's degree by ``factor`` (rounded, min 1)."""
+    if factor <= 0:
+        raise SkeletonError("scale factor must be positive")
+
+    def fn(node: Skeleton) -> Skeleton:
+        if isinstance(node, Farm):
+            return node.with_degree(max(1, round(node.degree * factor)))
+        return node
+
+    return transform(skel, fn)
+
+
+def farm_out_stage(pipe: Pipe, stage_index: int, degree: int) -> Pipe:
+    """Replace one pipeline stage with a farm of that stage.
+
+    This is the §4.2 rewrite for a sequential stage that cannot keep up
+    even on an unloaded node: parallelise the stage itself.
+    """
+    if not 0 <= stage_index < len(pipe.stages):
+        raise SkeletonError(f"stage index {stage_index} out of range")
+    if degree < 1:
+        raise SkeletonError("farm degree must be >= 1")
+    stages: List[Skeleton] = list(pipe.stages)
+    stages[stage_index] = Farm(stages[stage_index], degree)
+    return Pipe(*stages, label=pipe.label)
+
+
+def normalize(skel: Skeleton) -> Skeleton:
+    """Canonical form: flatten nested pipes, merge farm-of-farm.
+
+    * ``pipe(a, pipe(b, c), d)``      → ``pipe(a, b, c, d)``
+    * ``farm(farm(w, n=k), n=m)``     → ``farm(w, n=m*k)``
+
+    Both rewrites preserve the cost model's service time (see the
+    property test in ``tests/skeletons/test_visitors.py``).
+    """
+
+    def fn(node: Skeleton) -> Skeleton:
+        if isinstance(node, Pipe):
+            flat: List[Skeleton] = []
+            for s in node.stages:
+                if isinstance(s, Pipe):
+                    flat.extend(s.stages)
+                else:
+                    flat.append(s)
+            if len(flat) != len(node.stages):
+                return Pipe(*flat, label=node.label)
+            return node
+        if isinstance(node, Farm) and isinstance(node.worker, Farm):
+            inner = node.worker
+            return Farm(
+                inner.worker,
+                node.degree * inner.degree,
+                node.dispatch,
+                node.collect,
+                node.label,
+            )
+        return node
+
+    return transform(skel, fn)
+
+
+def replace_node(skel: Skeleton, old: Skeleton, new: Skeleton) -> Skeleton:
+    """Replace (by identity) every occurrence of ``old`` with ``new``."""
+
+    def fn(node: Skeleton) -> Skeleton:
+        return new if node is old else node
+
+    return transform(skel, fn)
+
+
+def count_type(skel: Skeleton, kind: type) -> int:
+    """Number of nodes of ``kind`` in the tree."""
+    return sum(1 for node in skel.walk() if isinstance(node, kind))

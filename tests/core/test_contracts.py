@@ -1,0 +1,233 @@
+"""Tests for contracts and the P_spl splitting heuristics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contracts import (
+    BestEffortContract,
+    CompositeContract,
+    ContractError,
+    MinThroughputContract,
+    ParallelismDegreeContract,
+    RateContract,
+    SecurityContract,
+    ThroughputRangeContract,
+    split_contract,
+)
+from repro.skeletons.ast import Farm, Pipe, Seq
+from repro.skeletons.cost import service_time, throughput
+
+
+class TestThroughputRange:
+    def test_validation(self):
+        with pytest.raises(ContractError):
+            ThroughputRangeContract(0.0, 0.5)
+        with pytest.raises(ContractError):
+            ThroughputRangeContract(0.7, 0.3)
+
+    def test_check(self):
+        c = ThroughputRangeContract(0.3, 0.7)
+        assert c.check({"departure_rate": 0.5}) is True
+        assert c.check({"departure_rate": 0.2}) is False
+        assert c.check({"departure_rate": 0.8}) is False
+        assert c.check({"other": 1}) is None
+
+    def test_boundaries_inclusive(self):
+        c = ThroughputRangeContract(0.3, 0.7)
+        assert c.check({"departure_rate": 0.3}) is True
+        assert c.check({"departure_rate": 0.7}) is True
+
+    def test_midpoint_and_describe(self):
+        c = ThroughputRangeContract(0.3, 0.7)
+        assert c.midpoint == pytest.approx(0.5)
+        assert "0.3" in c.describe() and "0.7" in c.describe()
+
+
+class TestMinThroughput:
+    def test_validation(self):
+        with pytest.raises(ContractError):
+            MinThroughputContract(0.0)
+
+    def test_check(self):
+        c = MinThroughputContract(0.6)
+        assert c.check({"departure_rate": 0.61}) is True
+        assert c.check({"departure_rate": 0.59}) is False
+        assert c.check({}) is None
+
+
+class TestBestEffort:
+    def test_always_satisfied(self):
+        c = BestEffortContract()
+        assert c.check({}) is True
+        assert c.check({"departure_rate": 0.0}) is True
+        assert c.concern == "performance"
+
+
+class TestRateContract:
+    def test_validation(self):
+        with pytest.raises(ContractError):
+            RateContract(0.0)
+
+    def test_check_against_configured_rate(self):
+        c = RateContract(0.5)
+        assert c.check({"rate": 0.5}) is True
+        assert c.check({"rate": 0.4}) is False
+        assert c.check({}) is None
+
+
+class TestParallelismDegree:
+    def test_validation(self):
+        with pytest.raises(ContractError):
+            ParallelismDegreeContract(min_degree=0)
+        with pytest.raises(ContractError):
+            ParallelismDegreeContract(min_degree=5, max_degree=2)
+
+    def test_check(self):
+        c = ParallelismDegreeContract(2, 8)
+        assert c.check({"num_workers": 4}) is True
+        assert c.check({"num_workers": 1}) is False
+        assert c.check({"num_workers": 9}) is False
+        assert c.check({}) is None
+
+
+class TestSecurityContract:
+    def test_concern_is_security(self):
+        assert SecurityContract().concern == "security"
+
+    def test_check(self):
+        c = SecurityContract()
+        assert c.check({"leak_count": 0, "insecure_untrusted_workers": 0}) is True
+        assert c.check({"leak_count": 1, "insecure_untrusted_workers": 0}) is False
+        assert c.check({"leak_count": 0, "insecure_untrusted_workers": 2}) is False
+        assert c.check({"departure_rate": 0.5}) is None
+
+
+class TestComposite:
+    def test_needs_parts(self):
+        with pytest.raises(ContractError):
+            CompositeContract([])
+
+    def test_conjunction(self):
+        c = CompositeContract(
+            [MinThroughputContract(0.5), SecurityContract()]
+        )
+        ok = {"departure_rate": 0.6, "leak_count": 0, "insecure_untrusted_workers": 0}
+        assert c.check(ok) is True
+        assert c.check({**ok, "departure_rate": 0.4}) is False
+        assert c.check({**ok, "leak_count": 3}) is False
+        # partial data: can't fully judge
+        assert c.check({"departure_rate": 0.6}) is None
+
+    def test_of_concern(self):
+        perf = MinThroughputContract(0.5)
+        sec = SecurityContract()
+        c = CompositeContract([perf, sec])
+        assert c.of_concern("security") == [sec]
+        assert c.of_concern("performance") == [perf]
+
+    def test_describe_joins(self):
+        c = CompositeContract([MinThroughputContract(0.5), SecurityContract()])
+        assert " AND " in c.describe()
+
+
+class TestSplitting:
+    def test_seq_has_no_children(self):
+        assert split_contract(MinThroughputContract(0.5), Seq()) == []
+
+    def test_pipeline_throughput_forwarded_identically(self):
+        """§3.1: 'a throughput SLA for the pipeline may be split into
+        identical SLAs for the pipeline stage AMs'."""
+        pipe = Pipe(Seq(1.0), Seq(2.0), Seq(3.0))
+        c = ThroughputRangeContract(0.3, 0.7)
+        subs = split_contract(c, pipe)
+        assert subs == [c, c, c]
+
+    def test_farm_gives_best_effort(self):
+        """§4.2: worker managers receive c_bestEffort."""
+        farm = Farm(Seq(5.0), degree=4)
+        subs = split_contract(MinThroughputContract(0.6), farm)
+        assert subs == [BestEffortContract()]
+
+    def test_security_forwarded_everywhere(self):
+        pipe = Pipe(Seq(), Farm(Seq()), Seq())
+        sec = SecurityContract()
+        assert split_contract(sec, pipe) == [sec, sec, sec]
+        assert split_contract(sec, Farm(Seq())) == [sec]
+
+    def test_degree_split_proportional(self):
+        """§3.1 footnote: proportional to stage computational weight."""
+        pipe = Pipe(Seq(1.0), Seq(3.0))
+        c = ParallelismDegreeContract(min_degree=1, max_degree=8)
+        subs = split_contract(c, pipe)
+        maxima = [s.max_degree for s in subs]
+        assert sum(maxima) == 8
+        assert maxima == [2, 6]  # 25% / 75%
+
+    def test_degree_split_budget_too_small(self):
+        pipe = Pipe(Seq(), Seq(), Seq())
+        with pytest.raises(ContractError):
+            split_contract(ParallelismDegreeContract(max_degree=2), pipe)
+
+    def test_composite_split_recombines_per_child(self):
+        pipe = Pipe(Seq(1.0), Seq(1.0))
+        c = CompositeContract([ThroughputRangeContract(0.3, 0.7), SecurityContract()])
+        subs = split_contract(c, pipe)
+        assert len(subs) == 2
+        for sub in subs:
+            assert isinstance(sub, CompositeContract)
+            assert len(sub.parts) == 2
+
+    def test_farm_converts_any_perf_contract_to_best_effort(self):
+        assert split_contract(RateContract(1.0), Farm(Seq())) == [BestEffortContract()]
+
+    def test_rate_contract_forwarded_over_pipe(self):
+        assert len(split_contract(RateContract(1.0), Pipe(Seq(), Seq()))) == 2
+
+    def test_unknown_combination_rejected(self):
+        class OddContract(MinThroughputContract.__mro__[1]):  # bare Contract
+            concern = "performance"
+
+            def check(self, monitor):
+                return True
+
+            def describe(self):
+                return "odd"
+
+        with pytest.raises(ContractError):
+            split_contract(OddContract(), Pipe(Seq(), Seq()))
+
+    @given(
+        st.lists(st.floats(min_value=0.2, max_value=10.0), min_size=2, max_size=6),
+        st.integers(6, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_degree_split_sums_to_budget_and_covers_stages(self, works, budget):
+        pipe = Pipe(*[Seq(w) for w in works])
+        c = ParallelismDegreeContract(min_degree=1, max_degree=budget)
+        subs = split_contract(c, pipe)
+        maxima = [s.max_degree for s in subs]
+        assert len(maxima) == len(works)
+        assert all(m >= 1 for m in maxima)
+        assert sum(maxima) >= budget  # floors keep >=1 even on tiny weights
+        # never exceeds budget by more than the +1-per-stage floor slack
+        assert sum(maxima) <= budget + len(works)
+
+    @given(
+        st.lists(st.floats(min_value=0.2, max_value=10.0), min_size=2, max_size=5),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_throughput_split_soundness(self, works, target):
+        """If every stage (farmed up as needed) meets the forwarded SLA,
+        the pipeline meets the parent SLA — the P_spl guarantee."""
+        pipe = Pipe(*[Seq(w) for w in works])
+        subs = split_contract(MinThroughputContract(target), pipe)
+        stages = []
+        for sub, w in zip(subs, works):
+            degree = 1
+            while throughput(Farm(Seq(w), degree=degree)) < sub.target:
+                degree += 1
+            stages.append(Farm(Seq(w), degree=degree))
+        farmed = Pipe(*stages)
+        assert throughput(farmed) >= target - 1e-9

@@ -1,0 +1,93 @@
+"""Tests for the GM's super-contract derivation and combined monitoring."""
+
+import pytest
+
+from repro.core.contracts import (
+    MinThroughputContract,
+    SecurityContract,
+    WeightedCompositeContract,
+)
+from repro.core.manager import AutonomicManager, ManagerError
+from repro.core.multiconcern import GeneralManager
+from repro.sim.engine import Simulator
+
+
+def make_gm():
+    sim = Simulator()
+    gm = GeneralManager()
+    perf = AutonomicManager("AM_perf", sim, concern="performance", autostart=False)
+    sec = AutonomicManager("AM_sec", sim, concern="security", autostart=False)
+    gm.register(sec)
+    gm.register(perf, priority=0)
+    return sim, gm, perf, sec
+
+
+class TestSuperContractDerivation:
+    def test_requires_contracts(self):
+        _, gm, perf, sec = make_gm()
+        with pytest.raises(ManagerError):
+            gm.super_contract()
+
+    def test_assembles_all_held_contracts(self):
+        _, gm, perf, sec = make_gm()
+        perf.assign_contract(MinThroughputContract(0.6))
+        sec.assign_contract(SecurityContract())
+        sc = gm.super_contract()
+        assert isinstance(sc, WeightedCompositeContract)
+        assert len(sc.parts) == 2
+
+    def test_partial_contracts_ok(self):
+        _, gm, perf, sec = make_gm()
+        perf.assign_contract(MinThroughputContract(0.6))
+        sc = gm.super_contract()
+        assert len(sc.parts) == 1
+
+    def test_custom_weights(self):
+        _, gm, perf, sec = make_gm()
+        perf.assign_contract(MinThroughputContract(0.6))
+        sec.assign_contract(SecurityContract())
+        sc = gm.super_contract(weights=[1.0, 3.0])
+        assert sc.weights == pytest.approx([0.25, 0.75])
+
+
+class TestCombinedMonitor:
+    def test_merges_samples(self):
+        _, gm, perf, sec = make_gm()
+        sec.last_monitor = {"leak_count": 0, "insecure_untrusted_workers": 0}
+        perf.last_monitor = {"departure_rate": 0.8}
+        merged = gm.combined_monitor()
+        assert merged["departure_rate"] == 0.8
+        assert merged["leak_count"] == 0
+
+    def test_priority_wins_key_collisions(self):
+        _, gm, perf, sec = make_gm()
+        sec.last_monitor = {"shared": "from-sec"}
+        perf.last_monitor = {"shared": "from-perf"}
+        assert gm.combined_monitor()["shared"] == "from-sec"
+
+    def test_empty_until_monitored(self):
+        _, gm, perf, sec = make_gm()
+        assert gm.combined_monitor() == {}
+
+
+class TestSuperContractScore:
+    def _scored_gm(self, rate, leaks):
+        _, gm, perf, sec = make_gm()
+        perf.assign_contract(MinThroughputContract(0.6))
+        sec.assign_contract(SecurityContract())
+        perf.last_monitor = {"departure_rate": rate}
+        sec.last_monitor = {"leak_count": leaks, "insecure_untrusted_workers": 0}
+        return gm
+
+    def test_all_good_scores_one(self):
+        gm = self._scored_gm(rate=0.8, leaks=0)
+        assert gm.super_contract_score() == pytest.approx(1.0)
+
+    def test_security_breach_zeroes(self):
+        gm = self._scored_gm(rate=0.8, leaks=3)
+        assert gm.super_contract_score() == 0.0
+
+    def test_perf_degradation_scales_linearly(self):
+        gm = self._scored_gm(rate=0.3, leaks=0)
+        # sec part satisfied (weight 0.5) + perf at 0.5 satisfaction
+        assert gm.super_contract_score() == pytest.approx(0.75)

@@ -1,0 +1,142 @@
+"""Tests for the Figure 5 rule transliteration and the AM_A policy set."""
+
+import pytest
+
+from repro.core.events import ViolationKind
+from repro.core.policies import ManagersConstants, farm_rules
+from repro.rules.beans import (
+    ArrivalRateBean,
+    DepartureRateBean,
+    ManagerOperation,
+    NumWorkerBean,
+    QueueVarianceBean,
+    RecordingSink,
+)
+from repro.rules.engine import RuleEngine
+
+
+def make_engine(consts=None):
+    consts = consts or ManagersConstants(low=0.3, high=0.7, max_workers=10)
+    sink = RecordingSink()
+    eng = RuleEngine(farm_rules(consts))
+    return eng, sink, consts
+
+
+def tick(eng, sink, *, arrival, departure, workers=3, variance=0.0):
+    eng.memory.replace(ArrivalRateBean(arrival).bind_sink(sink))
+    eng.memory.replace(DepartureRateBean(departure).bind_sink(sink))
+    eng.memory.replace(NumWorkerBean(workers).bind_sink(sink))
+    eng.memory.replace(QueueVarianceBean(variance).bind_sink(sink))
+    return eng.evaluate()
+
+
+class TestFig5Rules:
+    """The five rules of Figure 5, precondition for precondition."""
+
+    def test_rule_names_match_paper(self):
+        eng, _, _ = make_engine()
+        names = [r.name for r in eng.rules]
+        assert names == [
+            "CheckInterArrivalRateLow",
+            "CheckInterArrivalRateHigh",
+            "CheckRateLow",
+            "CheckRateHigh",
+            "CheckLoadBalance",
+        ]
+
+    def test_check_inter_arrival_rate_low(self):
+        """arrival < LOW -> setData(notEnoughTasks); RAISE_VIOLATION."""
+        eng, sink, _ = make_engine()
+        fired = tick(eng, sink, arrival=0.1, departure=0.1)
+        assert "CheckInterArrivalRateLow" in fired
+        assert (
+            ManagerOperation.RAISE_VIOLATION,
+            ViolationKind.NOT_ENOUGH_TASKS,
+        ) in sink.fired
+
+    def test_check_inter_arrival_rate_high(self):
+        """arrival > HIGH -> setData(tooMuchTasks); RAISE_VIOLATION."""
+        eng, sink, _ = make_engine()
+        fired = tick(eng, sink, arrival=0.9, departure=0.5)
+        assert "CheckInterArrivalRateHigh" in fired
+        assert (
+            ManagerOperation.RAISE_VIOLATION,
+            ViolationKind.TOO_MUCH_TASKS,
+        ) in sink.fired
+
+    def test_check_rate_low_fires_add_and_balance(self):
+        """departure < LOW, arrival >= LOW, workers <= MAX ->
+        ADD_EXECUTOR then BALANCE_LOAD (in that order, as in the file)."""
+        eng, sink, consts = make_engine()
+        fired = tick(eng, sink, arrival=0.5, departure=0.1, workers=3)
+        assert "CheckRateLow" in fired
+        ops = sink.ops()
+        add_idx = ops.index(ManagerOperation.ADD_EXECUTOR)
+        bal_idx = ops.index(ManagerOperation.BALANCE_LOAD)
+        assert add_idx < bal_idx
+        # the setData payload carries the worker batch size
+        add_data = sink.fired[add_idx][1]
+        assert add_data == {"count": consts.FARM_ADD_WORKERS}
+
+    def test_check_rate_low_blocked_by_starvation(self):
+        """arrival < LOW blocks CheckRateLow (no point adding workers)."""
+        eng, sink, _ = make_engine()
+        fired = tick(eng, sink, arrival=0.1, departure=0.1, workers=3)
+        assert "CheckRateLow" not in fired
+        assert ManagerOperation.ADD_EXECUTOR not in sink.ops()
+
+    def test_check_rate_low_blocked_by_max_workers(self):
+        eng, sink, _ = make_engine()
+        fired = tick(eng, sink, arrival=0.5, departure=0.1, workers=11)
+        assert "CheckRateLow" not in fired
+
+    def test_check_rate_high_fires_remove_and_balance(self):
+        eng, sink, _ = make_engine()
+        fired = tick(eng, sink, arrival=0.5, departure=0.9, workers=4)
+        assert "CheckRateHigh" in fired
+        assert ManagerOperation.REMOVE_EXECUTOR in sink.ops()
+        assert ManagerOperation.BALANCE_LOAD in sink.ops()
+
+    def test_check_rate_high_blocked_at_min_workers(self):
+        eng, sink, _ = make_engine()
+        fired = tick(eng, sink, arrival=0.5, departure=0.9, workers=1)
+        assert "CheckRateHigh" not in fired
+
+    def test_check_load_balance(self):
+        eng, sink, _ = make_engine()
+        fired = tick(eng, sink, arrival=0.5, departure=0.5, variance=10.0)
+        assert fired == ["CheckLoadBalance"]
+        assert sink.ops() == [ManagerOperation.BALANCE_LOAD]
+
+    def test_in_contract_band_no_rule_fires(self):
+        eng, sink, _ = make_engine()
+        fired = tick(eng, sink, arrival=0.5, departure=0.5, variance=1.0)
+        assert fired == []
+        assert sink.fired == []
+
+    def test_violations_prioritised_over_reconfiguration(self):
+        """Salience: arrival checks (20) fire before rate checks (10)."""
+        eng, sink, _ = make_engine()
+        fired = tick(eng, sink, arrival=0.9, departure=0.1, workers=3)
+        assert fired.index("CheckInterArrivalRateHigh") < fired.index("CheckRateLow")
+
+    def test_thresholds_update_live(self):
+        """Mutating the constants re-tunes rules without rebuilding."""
+        eng, sink, consts = make_engine()
+        assert tick(eng, sink, arrival=0.5, departure=0.5) == []
+        consts.FARM_LOW_PERF_LEVEL = 0.6  # contract tightened
+        fired = tick(eng, sink, arrival=0.65, departure=0.5)
+        assert "CheckRateLow" in fired
+
+
+class TestManagersConstants:
+    def test_defaults(self):
+        c = ManagersConstants()
+        assert c.FARM_MIN_NUM_WORKERS == 1
+        assert c.FARM_ADD_WORKERS == 2
+        assert c.FARM_LOW_PERF_LEVEL == 0.0
+        assert c.FARM_HIGH_PERF_LEVEL == float("inf")
+
+    def test_violation_payload_names(self):
+        assert ManagersConstants.notEnoughTasks_VIOL == ViolationKind.NOT_ENOUGH_TASKS
+        assert ManagersConstants.tooMuchTasks_VIOL == ViolationKind.TOO_MUCH_TASKS

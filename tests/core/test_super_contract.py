@@ -1,0 +1,121 @@
+"""Tests for the §3.2 linear-combination super-contract (c̄)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contracts import (
+    BestEffortContract,
+    ContractError,
+    MinThroughputContract,
+    SecurityContract,
+    ThroughputRangeContract,
+    WeightedCompositeContract,
+    derive_super_contract,
+)
+
+PERF = MinThroughputContract(0.6)
+SEC = SecurityContract()
+
+GOOD = {"departure_rate": 0.8, "leak_count": 0, "insecure_untrusted_workers": 0}
+SLOW = {"departure_rate": 0.3, "leak_count": 0, "insecure_untrusted_workers": 0}
+LEAKY = {"departure_rate": 0.8, "leak_count": 2, "insecure_untrusted_workers": 0}
+
+
+class TestSatisfactionDegrees:
+    def test_min_throughput_smooth(self):
+        c = MinThroughputContract(0.6)
+        assert c.satisfaction({"departure_rate": 0.6}) == pytest.approx(1.0)
+        assert c.satisfaction({"departure_rate": 0.3}) == pytest.approx(0.5)
+        assert c.satisfaction({"departure_rate": 1.2}) == pytest.approx(1.0)
+        assert c.satisfaction({"departure_rate": 0.0}) == 0.0
+        assert c.satisfaction({}) is None
+
+    def test_range_smooth(self):
+        c = ThroughputRangeContract(0.4, 0.8)
+        assert c.satisfaction({"departure_rate": 0.6}) == pytest.approx(1.0)
+        assert c.satisfaction({"departure_rate": 0.2}) == pytest.approx(0.5)
+        assert c.satisfaction({"departure_rate": 1.6}) == pytest.approx(0.5)
+
+    def test_boolean_contracts_are_step_functions(self):
+        assert SEC.satisfaction(GOOD) == 1.0
+        assert SEC.satisfaction(LEAKY) == 0.0
+        assert BestEffortContract().satisfaction({}) == 1.0
+
+    @given(st.floats(min_value=0.0, max_value=5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_satisfaction_in_unit_interval(self, rate):
+        for c in (MinThroughputContract(0.6), ThroughputRangeContract(0.3, 0.7)):
+            s = c.satisfaction({"departure_rate": rate})
+            assert 0.0 <= s <= 1.0
+            # satisfaction 1.0 <=> check True
+            assert (s == 1.0) == c.check({"departure_rate": rate})
+
+
+class TestWeightedComposite:
+    def test_validation(self):
+        with pytest.raises(ContractError):
+            WeightedCompositeContract([PERF], weights=[1.0, 2.0])
+        with pytest.raises(ContractError):
+            WeightedCompositeContract([PERF], weights=[-1.0])
+        with pytest.raises(ContractError):
+            WeightedCompositeContract([PERF], threshold=0.0)
+
+    def test_weights_normalised(self):
+        c = WeightedCompositeContract([PERF, SEC], weights=[3.0, 1.0])
+        assert sum(c.weights) == pytest.approx(1.0)
+        assert c.weights[0] == pytest.approx(0.75)
+
+    def test_all_satisfied_scores_one(self):
+        c = derive_super_contract([PERF, SEC])
+        assert c.score(GOOD) == pytest.approx(1.0)
+        assert c.check(GOOD) is True
+
+    def test_boolean_violation_zeroes_score(self):
+        """'c_sec must have priority over c_perf' (§3.2): a security
+        breach cannot be compensated by great performance."""
+        c = derive_super_contract([PERF, SEC])
+        assert c.score(LEAKY) == 0.0
+        assert c.check(LEAKY) is False
+
+    def test_quantitative_degradation_is_linear(self):
+        c = WeightedCompositeContract([PERF, SEC], weights=[1.0, 1.0])
+        # perf at 50% satisfaction, security fine: 0.5*0.5 + 0.5*1.0
+        assert c.score(SLOW) == pytest.approx(0.75)
+        assert c.check(SLOW) is False
+
+    def test_unjudgeable_sample(self):
+        c = derive_super_contract([PERF, SEC])
+        assert c.score({}) is None
+        assert c.check({}) is None
+
+    def test_partial_sample_uses_available_parts(self):
+        c = WeightedCompositeContract([PERF, SEC], weights=[1.0, 1.0])
+        # only performance judgeable: security contributes nothing
+        assert c.score({"departure_rate": 1.0}) == pytest.approx(0.5)
+
+    def test_describe(self):
+        c = derive_super_contract([PERF, SEC])
+        text = c.describe()
+        assert "linear[" in text
+        assert "0.50" in text
+
+    def test_threshold_controls_check(self):
+        strict = WeightedCompositeContract([PERF, SEC], threshold=0.99)
+        lax = WeightedCompositeContract([PERF, SEC], threshold=0.7)
+        assert strict.check(SLOW) is False
+        assert lax.check(SLOW) is True
+
+    @given(
+        st.floats(min_value=0.0, max_value=3.0),
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_score_bounded_and_monotone_in_rate(self, rate, w_perf, w_sec):
+        c = WeightedCompositeContract([PERF, SEC], weights=[w_perf, w_sec])
+        sample = dict(GOOD, departure_rate=rate)
+        s = c.score(sample)
+        assert 0.0 <= s <= 1.0
+        better = c.score(dict(sample, departure_rate=rate + 0.1))
+        assert better >= s - 1e-12

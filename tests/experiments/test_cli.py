@@ -1,0 +1,30 @@
+"""Tests for the ``python -m repro.experiments`` runner."""
+
+import pytest
+
+from repro.experiments.__main__ import DEFAULT_ORDER, RUNNERS, main
+
+
+class TestCLI:
+    def test_every_default_key_has_a_runner(self):
+        assert set(DEFAULT_ORDER) <= set(RUNNERS)
+
+    def test_unknown_key_is_an_error(self, capsys):
+        assert main(["definitely-not-an-experiment"]) == 2
+        out = capsys.readouterr().out
+        assert "unknown experiment" in out
+
+    def test_single_experiment_runs(self, capsys):
+        assert main(["patterns"]) == 0
+        out = capsys.readouterr().out
+        assert "PATTERNS" in out
+
+    def test_alias_mc(self, capsys):
+        assert main(["mc"]) == 0
+        out = capsys.readouterr().out
+        assert "MC-2PC" in out
+
+    def test_subset_order_preserved(self, capsys):
+        assert main(["split", "patterns"]) == 0
+        out = capsys.readouterr().out
+        assert out.index("SPLIT") < out.index("PATTERNS")

@@ -1,0 +1,112 @@
+"""End-to-end property: the farm manager meets every feasible contract.
+
+For random (target, pool, worker-speed) configurations, after enough
+simulated time one of exactly two outcomes must hold:
+
+* the pool could sustain the target → the measured throughput satisfies
+  the contract (within the windowed estimator's tolerance), or
+* it could not → the manager has raised a ``noLocalPlan`` violation
+  (reported to the user, §3.1's unrecoverable case).
+
+This is the paper's core promise quantified over the configuration
+space rather than at the two published operating points.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MinThroughputContract, ViolationKind, build_farm_bs
+from repro.sim import ResourceManager, Simulator, make_cluster
+from repro.sim.workload import ConstantWork, TaskSource
+
+
+@given(
+    target=st.floats(min_value=0.2, max_value=1.2),
+    pool_size=st.integers(min_value=2, max_value=12),
+    worker_rate=st.sampled_from([0.1, 0.2, 0.25, 0.5]),
+)
+@settings(max_examples=20, deadline=None)
+def test_contract_met_or_exhaustion_reported(target, pool_size, worker_rate):
+    sim = Simulator()
+    rm = ResourceManager(make_cluster(pool_size))
+    worker_work = 1.0 / worker_rate
+    bs = build_farm_bs(
+        sim,
+        rm,
+        worker_work=worker_work,
+        initial_degree=1,
+        control_period=10.0,
+        worker_setup_time=5.0,
+        rate_window=20.0,
+        constants_kwargs={"add_burst": 1, "max_workers": pool_size},
+        spawn_worker_managers=False,
+    )
+    # input pressure always exceeds the target so starvation never masks
+    # the capacity question
+    TaskSource(
+        sim, bs.farm.input, rate=target * 1.3, work_model=ConstantWork(worker_work)
+    )
+    bs.assign_contract(MinThroughputContract(target))
+    sim.run(until=600.0)
+
+    capacity = pool_size * worker_rate
+    snap = bs.farm.force_snapshot()
+    kinds = {v.kind for v in bs.manager.violations_raised}
+
+    if capacity >= target * 1.05:
+        # feasible: the manager must have got there
+        assert snap.departure_rate >= target * 0.85, (
+            f"feasible target {target} (capacity {capacity}) not met: "
+            f"{snap.departure_rate} with {snap.num_workers} workers"
+        )
+    else:
+        # infeasible: the manager must have told the user
+        assert ViolationKind.NO_LOCAL_PLAN in kinds, (
+            f"infeasible target {target} (capacity {capacity}) raised no "
+            f"noLocalPlan; got {kinds}"
+        )
+
+
+@given(
+    low=st.floats(min_value=0.2, max_value=0.5),
+    width=st.floats(min_value=0.3, max_value=0.8),
+)
+@settings(max_examples=10, deadline=None)
+def test_range_contract_settles_inside_stripe(low, width):
+    """With ample resources, a range contract settles inside the stripe
+    and stops reconfiguring."""
+    high = low + width
+    sim = Simulator()
+    rm = ResourceManager(make_cluster(24))
+    bs = build_farm_bs(
+        sim,
+        rm,
+        worker_work=5.0,
+        initial_degree=1,
+        control_period=10.0,
+        worker_setup_time=5.0,
+        rate_window=20.0,
+        constants_kwargs={"add_burst": 1, "max_workers": 24},
+        spawn_worker_managers=False,
+    )
+    from repro.core import ThroughputRangeContract
+
+    # pressure inside the stripe so the contract is exactly satisfiable
+    TaskSource(
+        sim, bs.farm.input, rate=(low + high) / 2, work_model=ConstantWork(5.0)
+    )
+    bs.assign_contract(ThroughputRangeContract(low, high))
+    sim.run(until=500.0)
+
+    snap = bs.farm.force_snapshot()
+    assert low * 0.8 <= snap.departure_rate <= high * 1.2
+    # quiescence: no reconfiguration in the final stretch
+    late_actions = [
+        e
+        for e in bs.trace.events
+        if e.time > 400.0 and e.name in ("addWorker", "removeWorker")
+    ]
+    assert late_actions == []

@@ -1,0 +1,50 @@
+"""Integration tests: EXT-LOAD (external load adaptation, §4.2)."""
+
+import pytest
+
+from repro.experiments.loadspike import LoadSpikeConfig, run_loadspike
+from repro.experiments.report import render_loadspike
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_loadspike()
+
+
+class TestLoadSpike:
+    def test_dip_visible_after_spike(self, result):
+        assert result.dip_visible
+        assert result.throughput_dip < result.throughput_before
+
+    def test_manager_adds_workers(self, result):
+        assert result.workers_after > result.workers_before
+
+    def test_contract_recovered(self, result):
+        assert result.adapted
+        assert result.throughput_after >= result.config.target_throughput * 0.9
+
+    def test_add_events_after_spike_time(self, result):
+        adds = [
+            e.time
+            for e in result.trace.events_of(name="addWorker")
+            if e.time > result.config.spike_time
+        ]
+        assert adds
+
+    def test_spiked_nodes_recorded(self, result):
+        assert len(result.spiked_nodes) >= 1
+
+    def test_render(self, result):
+        text = render_loadspike(result)
+        assert "EXT-LOAD" in text
+        assert "adapted" in text
+
+    def test_no_spike_no_adaptation(self):
+        """Control: with zero load the farm never grows past warm-up."""
+        r = run_loadspike(LoadSpikeConfig(spike_load=0.0, duration=400.0))
+        post_spike_adds = [
+            e.time
+            for e in r.trace.events_of(name="addWorker")
+            if e.time > r.config.spike_time + 50.0
+        ]
+        assert post_spike_adds == []

@@ -1,0 +1,128 @@
+"""Integration tests: MIGRATE (migration vs growth recovery, §3)."""
+
+import pytest
+
+from repro.experiments.migration import MigrationConfig, run_migration
+from repro.experiments.report import render_migration
+from repro.gcm.abc_controller import FarmABC
+from repro.rules.beans import ManagerOperation
+from repro.sim.engine import Simulator
+from repro.sim.farm import SimFarm
+from repro.sim.resources import Node, ResourceManager, make_cluster
+from repro.sim.workload import ConstantWork, finite_stream
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_migration()
+
+
+class TestMigrationExperiment:
+    def test_both_policies_recover(self, result):
+        assert result.both_recover
+
+    def test_migration_first_actually_migrates(self, result):
+        assert result.migration_first.migrations > 0
+
+    def test_standard_never_migrates(self, result):
+        assert result.standard.migrations == 0
+        assert result.standard.additions > 0
+
+    def test_migration_uses_fewer_nodes(self, result):
+        assert result.migration_uses_fewer_nodes
+
+    def test_migration_keeps_degree_lower(self, result):
+        assert result.migration_first.final_workers <= result.standard.final_workers
+
+    def test_render(self, result):
+        text = render_migration(result)
+        assert "MIGRATE" in text
+        assert "migration-first" in text
+
+
+class TestMigrateMechanism:
+    def _farm(self, setup=0.0):
+        sim = Simulator()
+        farm = SimFarm(sim, emitter_node=Node("e"), worker_setup_time=setup)
+        return sim, farm
+
+    def test_migrate_moves_queue_and_retires_victim(self):
+        sim, farm = self._farm()
+        slow = Node("slow", speed=0.5)
+        fast = Node("fast", speed=2.0)
+        victim = farm.add_worker(slow)
+        for t in finite_stream(6, ConstantWork(100.0)):
+            victim.queue.put_nowait(t)
+        replacement = farm.migrate_worker(victim, fast)
+        assert len(replacement.queue) == 6
+        assert victim._stopped
+        assert replacement.node is fast
+        assert farm.num_workers == 1
+
+    def test_migrate_with_setup_delay_hands_over_later(self):
+        sim, farm = self._farm(setup=5.0)
+        victim = farm.add_worker(Node("old"))
+        sim.run(until=6.0)  # victim active
+        for t in finite_stream(4, ConstantWork(100.0)):
+            victim.queue.put_nowait(t)
+        replacement = farm.migrate_worker(victim, Node("new"))
+        assert not victim.active          # no new dispatches
+        assert len(replacement.queue) == 0  # handover not yet
+        sim.run(until=12.0)
+        assert len(replacement.queue) + (1 if replacement.current_task else 0) >= 3
+
+    def test_migrate_inactive_worker_rejected(self):
+        sim, farm = self._farm()
+        w = farm.add_worker(Node("n"))
+        farm.fail_worker(w)
+        with pytest.raises(ValueError):
+            farm.migrate_worker(w, Node("other"))
+
+    def test_tasks_survive_migration(self):
+        sim, farm = self._farm()
+        victim = farm.add_worker(Node("slow", speed=0.2))
+        for t in finite_stream(5, ConstantWork(1.0)):
+            farm.submit(t)
+        sim.run(until=2.0)
+        farm.migrate_worker(victim, Node("fast", speed=5.0))
+        sim.run(until=100.0)
+        assert farm.completed == 5
+
+
+class TestMigrateActuator:
+    def _setup(self):
+        sim = Simulator()
+        slow = Node("slow", speed=1.0)
+        slow.load_schedule.set_load(0.0, 0.8)  # effective 0.2
+        fresh = Node("fresh", speed=1.0)
+        rm = ResourceManager([slow, fresh])
+        farm = SimFarm(sim, emitter_node=Node("e"), worker_setup_time=0.0)
+        abc = FarmABC(farm, rm)
+        return sim, farm, rm, abc, slow, fresh
+
+    def test_migrates_slowest_to_fastest(self):
+        sim, farm, rm, abc, slow, fresh = self._setup()
+        rm.recruit(1, lambda n: n is slow)
+        farm.add_worker(slow)
+        abc._worker_nodes[farm.workers[0].worker_id] = [slow]
+        assert abc.execute(ManagerOperation.MIGRATE)
+        live = [w for w in farm.workers if not w._stopped]
+        assert [w.node.name for w in live] == ["fresh"]
+        assert not slow.allocated  # victim node released
+        assert fresh.allocated
+
+    def test_no_faster_node_returns_false(self):
+        sim = Simulator()
+        n1, n2 = Node("a"), Node("b")  # identical speeds
+        rm = ResourceManager([n1, n2])
+        farm = SimFarm(sim, emitter_node=Node("e"), worker_setup_time=0.0)
+        abc = FarmABC(farm, rm)
+        abc.bootstrap(1)
+        assert not abc.execute(ManagerOperation.MIGRATE)
+
+    def test_no_workers_returns_false(self):
+        sim = Simulator()
+        rm = ResourceManager(make_cluster(2))
+        farm = SimFarm(sim, emitter_node=Node("e"), worker_setup_time=0.0)
+        abc = FarmABC(farm, rm)
+        assert not abc.execute(ManagerOperation.MIGRATE)

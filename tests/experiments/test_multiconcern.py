@@ -1,0 +1,68 @@
+"""Integration tests: MC-2PC (§3.2 two-phase vs naive coordination)."""
+
+import pytest
+
+from repro.experiments.multiconcern import MultiConcernConfig, run_multiconcern
+from repro.experiments.report import render_multiconcern
+
+
+@pytest.fixture(scope="module")
+def naive():
+    return run_multiconcern(MultiConcernConfig(mode="naive"))
+
+
+@pytest.fixture(scope="module")
+def two_phase():
+    return run_multiconcern(MultiConcernConfig(mode="two-phase"))
+
+
+class TestNaiveMode:
+    def test_leaks_plaintext(self, naive):
+        """The §3.2 warning: committing before AM_sec reacts leaks data."""
+        assert naive.leaks > 0
+
+    def test_eventually_secured_reactively(self, naive):
+        assert naive.exposed_at_end == 0
+        assert naive.reactive_secure_actions > 0
+
+    def test_perf_contract_still_met(self, naive):
+        assert naive.perf_contract_met
+
+    def test_growth_landed_on_untrusted_nodes(self, naive):
+        assert naive.untrusted_workers > 0
+
+
+class TestTwoPhaseMode:
+    def test_zero_leaks(self, two_phase):
+        """The protocol's whole point: not a single plaintext message."""
+        assert two_phase.leaks == 0
+        assert two_phase.leak_free
+
+    def test_intents_amended_before_commit(self, two_phase):
+        assert two_phase.amended_intents > 0
+
+    def test_no_reactive_securing_needed(self, two_phase):
+        assert two_phase.reactive_secure_actions == 0
+
+    def test_perf_contract_met(self, two_phase):
+        assert two_phase.perf_contract_met
+
+    def test_all_untrusted_workers_secured(self, two_phase):
+        assert two_phase.untrusted_workers > 0
+        assert two_phase.secured_workers >= two_phase.untrusted_workers
+
+    def test_security_contract_met(self, two_phase):
+        assert two_phase.security_contract_met_at_end
+
+
+class TestComparison:
+    def test_both_modes_reach_same_capacity(self, naive, two_phase):
+        assert naive.final_workers == two_phase.final_workers
+
+    def test_only_naive_leaks(self, naive, two_phase):
+        assert naive.leaks > two_phase.leaks == 0
+
+    def test_render(self, naive, two_phase):
+        text = render_multiconcern(naive, two_phase)
+        assert "MC-2PC" in text
+        assert "naive" in text and "two-phase" in text

@@ -1,0 +1,56 @@
+"""Tests for the PATTERNS experiment (farm vs map trade-off)."""
+
+import pytest
+
+from repro.experiments.patterns import run_patterns
+from repro.experiments.report import render_patterns
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_patterns(degrees=(2, 4, 8), task_work=8.0, n_tasks=60)
+
+
+class TestPatternsTradeoff:
+    def test_all_cells_present(self, result):
+        assert len(result.points) == 6
+        assert result.degrees() == [2, 4, 8]
+
+    def test_all_tasks_complete(self, result):
+        assert all(p.completed == 60 for p in result.points)
+
+    def test_farm_wins_or_ties_throughput_everywhere(self, result):
+        for d in result.degrees():
+            assert result.farm_wins_throughput(d)
+
+    def test_map_wins_latency_everywhere_at_these_overheads(self, result):
+        """work/degree + 0.1 < work for every degree >= 2."""
+        for d in result.degrees():
+            assert result.map_wins_latency(d)
+
+    def test_map_latency_tracks_model(self, result):
+        """Unloaded map latency ~ work/degree + scatter + gather."""
+        for d in result.degrees():
+            p = result.point("map", d)
+            assert p.mean_latency == pytest.approx(8.0 / d + 0.1, rel=0.05)
+
+    def test_farm_latency_is_service_time(self, result):
+        for d in result.degrees():
+            p = result.point("farm", d)
+            assert p.mean_latency == pytest.approx(8.0, rel=0.05)
+
+    def test_throughput_scales_with_degree(self, result):
+        for pattern in ("farm", "map"):
+            thr = [result.point(pattern, d).throughput for d in result.degrees()]
+            assert thr == sorted(thr)
+            assert thr[-1] > 2.5 * thr[0]
+
+    def test_point_lookup_error(self, result):
+        with pytest.raises(KeyError):
+            result.point("farm", 999)
+
+    def test_render(self, result):
+        text = render_patterns(result)
+        assert "PATTERNS" in text
+        assert "latency winner" in text
+        assert "map" in text

@@ -1,0 +1,103 @@
+"""Tests for the SPLIT and ABL-RULES experiment drivers."""
+
+import pytest
+
+from repro.experiments.ablation import sweep_control_period, sweep_hysteresis
+from repro.experiments.fig3 import Fig3Config
+from repro.experiments.report import render_ablation, render_split, table
+from repro.experiments.split import (
+    allocation_throughput,
+    optimal_allocation,
+    run_split,
+    verify_throughput_split_soundness,
+)
+
+
+class TestSplitExperiment:
+    def test_throughput_split_always_sound(self):
+        checked, held = verify_throughput_split_soundness(n_cases=60)
+        assert held == checked
+
+    def test_proportional_close_to_optimal(self):
+        r = run_split(n_cases=40)
+        assert r.mean_efficiency >= 0.9
+        assert r.min_efficiency >= 0.6
+
+    def test_proportional_dominates_uniform_mostly(self):
+        r = run_split(n_cases=40)
+        assert r.beats_or_ties_uniform_fraction >= 0.8
+
+    def test_optimal_allocation_is_water_filling(self):
+        # works [4, 1]: budget 5 -> slow stage deserves 4 of 5
+        assert optimal_allocation([4.0, 1.0], 5) == (4, 1)
+
+    def test_optimal_never_worse_than_proportional(self):
+        r = run_split(n_cases=30)
+        for c in r.cases:
+            assert c.thr_optimal >= c.thr_proportional - 1e-9
+
+    def test_allocation_throughput(self):
+        # stages 2s and 4s with degrees 1 and 2 -> both 2s -> 0.5 t/s
+        assert allocation_throughput([2.0, 4.0], [1, 2]) == pytest.approx(0.5)
+
+    def test_deterministic(self):
+        a = run_split(n_cases=10, seed=3)
+        b = run_split(n_cases=10, seed=3)
+        assert [c.works for c in a.cases] == [c.works for c in b.cases]
+
+    def test_render(self):
+        r = run_split(n_cases=5)
+        text = render_split(r, verify_throughput_split_soundness(n_cases=10))
+        assert "SPLIT" in text
+        assert "efficiency" in text
+
+
+class TestAblation:
+    def test_control_period_sweep_runs(self):
+        rows = sweep_control_period(
+            periods=(5.0, 20.0), base=Fig3Config(duration=300.0)
+        )
+        assert len(rows) == 2
+        assert all(r.knob == "control_period" for r in rows)
+        # both configurations still reach the contract
+        assert all(r.time_to_contract is not None for r in rows)
+
+    def test_slower_loop_is_no_faster(self):
+        rows = sweep_control_period(
+            periods=(5.0, 40.0), base=Fig3Config(duration=400.0)
+        )
+        fast, slow = rows
+        assert slow.time_to_contract >= fast.time_to_contract
+
+    def test_hysteresis_sweep_runs(self):
+        rows = sweep_hysteresis(widths=(0.0, 0.4), duration=300.0)
+        assert len(rows) == 2
+
+    def test_degenerate_stripe_oscillates_more(self):
+        rows = sweep_hysteresis(widths=(0.0, 0.6), duration=500.0)
+        degenerate, wide = rows
+        assert degenerate.reconfigurations >= wide.reconfigurations
+
+    def test_render(self):
+        rows = sweep_control_period(periods=(10.0,), base=Fig3Config(duration=200.0))
+        text = render_ablation(rows, "control period sweep")
+        assert "ABL-RULES" in text
+
+
+class TestTableHelper:
+    def test_alignment(self):
+        text = table(["a", "long-header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("-")
+
+
+class TestInitialDeploymentComparison:
+    def test_model_initial_is_faster(self):
+        from repro.experiments.ablation import compare_initial_deployment
+        from repro.experiments.fig3 import Fig3Config
+
+        ramp, model = compare_initial_deployment(Fig3Config(duration=300.0))
+        assert model.time_to_contract < ramp.time_to_contract
+        assert ramp.knob == "ramp-from-1"
+        assert model.knob == "model-initial"

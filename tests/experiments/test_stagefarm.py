@@ -1,0 +1,133 @@
+"""Integration tests: STAGE-FARM (§4.2 stage-to-farm transformation)."""
+
+import pytest
+
+from repro.core.adaptation import promote_stage_to_farm
+from repro.core.events import Events
+from repro.experiments.report import render_stagefarm
+from repro.experiments.stagefarm import StageFarmConfig, run_stagefarm
+from repro.sim.engine import Simulator
+from repro.sim.pipeline import SeqStage
+from repro.sim.queues import Store
+from repro.sim.resources import Node, ResourceManager, make_cluster
+from repro.sim.workload import ConstantWork, finite_stream
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_stagefarm()
+
+
+class TestStageFarmExperiment:
+    def test_dip_below_contract(self, result):
+        assert result.dip_visible
+
+    def test_stage_reports_unsatisfiable(self, result):
+        viols = [
+            e
+            for e in result.trace.events_of("AM_C", Events.RAISE_VIOL)
+            if e.detail.get("kind") == "contractUnsatisfiable"
+        ]
+        assert viols
+
+    def test_promotion_fires(self, result):
+        assert result.promoted
+        assert result.promotion_time > result.config.spike_time
+
+    def test_farm_stage_event_names_replacement(self, result):
+        ev = result.trace.first(Events.FARM_STAGE, actor="AM_A")
+        assert ev.detail["stage"] == "AM_C"
+        assert "farm" in ev.detail["replacement"]
+
+    def test_contract_recovered(self, result):
+        assert result.recovered
+        assert result.throughput_after >= result.config.contract_low * 0.95
+
+    def test_replacement_manager_in_hierarchy(self, result):
+        names = [c.name for c in result.app.am_a.children]
+        assert "AM_C" not in names
+        assert any("AM_C.farm" in n for n in names)
+
+    def test_promoter_is_one_shot(self, result):
+        assert result.app.am_a.stage_promoters == {}
+
+    def test_render(self, result):
+        text = render_stagefarm(result)
+        assert "STAGE-FARM" in text
+        assert "promoted" in text
+
+    def test_no_spike_no_promotion(self):
+        r = run_stagefarm(StageFarmConfig(consumer_load=0.0, duration=400.0))
+        assert not r.promoted
+
+
+class TestPromoteMechanism:
+    def _stage(self, sim, work=2.0):
+        inp = Store(sim, name="in")
+        done = []
+        stage = SeqStage(
+            sim,
+            name="stage",
+            node=Node("snode"),
+            input_store=inp,
+            output_store=None,
+            service_work=work,
+            on_done=lambda t: done.append(t.task_id),
+        )
+        return stage, inp, done
+
+    def test_farm_takes_over_stores_and_callback(self):
+        sim = Simulator()
+        stage, inp, done = self._stage(sim)
+        rm = ResourceManager(make_cluster(4))
+        for t in finite_stream(6, ConstantWork(1.0)):
+            inp.put_nowait(t)
+        farm, abc = promote_stage_to_farm(
+            sim, stage, rm, degree=3, worker_setup_time=0.0
+        )
+        sim.run(until=60.0)
+        assert sorted(done) == [0, 1, 2, 3, 4, 5]
+        assert farm.completed == 6
+        assert farm.input is inp
+
+    def test_workers_apply_stage_work_not_task_work(self):
+        """The farmed stage's service time is the stage's, as §4.2 asks."""
+        sim = Simulator()
+        stage, inp, done = self._stage(sim, work=2.0)
+        rm = ResourceManager(make_cluster(2))
+        # the task's own work is huge; the stage override must win
+        task = finite_stream(1, ConstantWork(1000.0))[0]
+        inp.put_nowait(task)
+        farm, abc = promote_stage_to_farm(
+            sim, stage, rm, degree=1, worker_setup_time=0.0
+        )
+        sim.run(until=30.0)
+        assert done == [0]
+        assert task.completed_at < 10.0  # served in ~2s, not 1000s
+
+    def test_promotion_scales_throughput(self):
+        sim = Simulator()
+        stage, inp, done = self._stage(sim, work=4.0)
+        rm = ResourceManager(make_cluster(8))
+        tasks = finite_stream(16, ConstantWork(1.0))
+        for t in tasks:
+            inp.put_nowait(t)
+        promote_stage_to_farm(sim, stage, rm, degree=4, worker_setup_time=0.0)
+        sim.run(until=60.0)
+        # 16 tasks x 4s over 4 workers ~ 16s; sequential would be 64s
+        assert len(done) == 16
+        assert max(t.completed_at for t in tasks) <= 25.0
+
+    def test_zero_work_stage_rejected(self):
+        sim = Simulator()
+        stage, inp, done = self._stage(sim, work=0.0)
+        rm = ResourceManager(make_cluster(2))
+        with pytest.raises(ValueError):
+            promote_stage_to_farm(sim, stage, rm, degree=1)
+
+    def test_bad_degree_rejected(self):
+        sim = Simulator()
+        stage, inp, done = self._stage(sim)
+        rm = ResourceManager(make_cluster(2))
+        with pytest.raises(ValueError):
+            promote_stage_to_farm(sim, stage, rm, degree=0)

@@ -1,0 +1,262 @@
+"""Tests for components, interfaces and standard controllers."""
+
+import pytest
+
+from repro.gcm.component import (
+    Component,
+    ComponentError,
+    CompositeComponent,
+    LifecycleState,
+)
+from repro.gcm.controllers import (
+    BindingController,
+    ContentController,
+    LifecycleController,
+    install_standard_controllers,
+)
+from repro.gcm.interfaces import Binding, Interface, InterfaceError, Role
+
+
+class TestInterfaces:
+    def test_server_needs_implementation(self):
+        with pytest.raises(InterfaceError):
+            Interface("svc", Role.SERVER)
+
+    def test_needs_name(self):
+        with pytest.raises(InterfaceError):
+            Interface("", Role.CLIENT)
+
+    def test_invoke_server(self):
+        itf = Interface("double", Role.SERVER, implementation=lambda x: 2 * x)
+        assert itf.invoke(21) == 42
+
+    def test_invoke_client_rejected(self):
+        itf = Interface("need", Role.CLIENT)
+        with pytest.raises(InterfaceError):
+            itf.invoke()
+
+    def test_binding_role_validation(self):
+        client = Interface("c", Role.CLIENT)
+        server = Interface("s", Role.SERVER, implementation=lambda: "ok")
+        Binding(client, server)  # fine
+        with pytest.raises(InterfaceError):
+            Binding(server, server)
+        with pytest.raises(InterfaceError):
+            Binding(client, client)
+
+    def test_binding_call_and_secure(self):
+        client = Interface("c", Role.CLIENT)
+        server = Interface("s", Role.SERVER, implementation=lambda: "ok")
+        b = Binding(client, server)
+        assert b.call() == "ok"
+        assert not b.secured
+        b.secure()
+        assert b.secured
+
+
+class TestComponent:
+    def test_needs_name(self):
+        with pytest.raises(ComponentError):
+            Component("")
+
+    def test_add_and_get_interface(self):
+        c = Component("c")
+        c.add_server_interface("svc", lambda: 1)
+        c.add_client_interface("need")
+        assert c.interface("svc").role is Role.SERVER
+        assert c.interface("need").role is Role.CLIENT
+        with pytest.raises(ComponentError):
+            c.interface("missing")
+
+    def test_duplicate_interface_rejected(self):
+        c = Component("c")
+        c.add_client_interface("x")
+        with pytest.raises(ComponentError):
+            c.add_client_interface("x")
+
+    def test_interface_filters(self):
+        c = Component("c")
+        c.add_server_interface("svc", lambda: 1)
+        c.add_client_interface("need")
+        c.add_server_interface("ctl", lambda: 2, functional=False)
+        assert len(c.interfaces(role=Role.SERVER)) == 2
+        assert len(c.interfaces(functional=True)) == 2
+        assert len(c.interfaces(role=Role.SERVER, functional=False)) == 1
+
+    def test_controllers(self):
+        c = Component("c")
+        ctl = object()
+        c.add_controller("x", ctl)
+        assert c.controller("x") is ctl
+        assert c.has_controller("x")
+        with pytest.raises(ComponentError):
+            c.add_controller("x", object())
+        with pytest.raises(ComponentError):
+            c.controller("missing")
+
+
+class TestLifecycle:
+    def test_start_stop(self):
+        c = install_standard_controllers(Component("c"))
+        lc = c.controller(LifecycleController.NAME)
+        assert c.state is LifecycleState.STOPPED
+        lc.start()
+        assert c.started
+        lc.stop()
+        assert not c.started
+
+    def test_start_is_idempotent(self):
+        events = []
+
+        class Spy(Component):
+            def on_start(self):
+                events.append("start")
+
+        c = install_standard_controllers(Spy("c"))
+        lc = c.controller(LifecycleController.NAME)
+        lc.start()
+        lc.start()
+        assert events == ["start"]
+
+    def test_recursive_start_children_first(self):
+        order = []
+
+        class Spy(Component):
+            def on_start(self):
+                order.append(self.name)
+
+        class SpyComposite(CompositeComponent):
+            def on_start(self):
+                order.append(self.name)
+
+        parent = install_standard_controllers(SpyComposite("parent"))
+        child = Spy("child")
+        parent.controller(ContentController.NAME).add(child)
+        parent.controller(LifecycleController.NAME).start()
+        assert order == ["child", "parent"]
+
+    def test_recursive_stop_parent_first(self):
+        order = []
+
+        class Spy(Component):
+            def on_stop(self):
+                order.append(self.name)
+
+        class SpyComposite(CompositeComponent):
+            def on_stop(self):
+                order.append(self.name)
+
+        parent = install_standard_controllers(SpyComposite("parent"))
+        child = Spy("child")
+        parent.controller(ContentController.NAME).add(child)
+        lc = parent.controller(LifecycleController.NAME)
+        lc.start()
+        lc.stop()
+        assert order == ["parent", "child"]
+
+
+class TestContentController:
+    def _composite(self):
+        comp = install_standard_controllers(CompositeComponent("comp"))
+        return comp, comp.controller(ContentController.NAME)
+
+    def test_requires_composite(self):
+        with pytest.raises(ComponentError):
+            ContentController(Component("c"))  # type: ignore[arg-type]
+
+    def test_add_and_child_lookup(self):
+        comp, cc = self._composite()
+        child = Component("child")
+        cc.add(child)
+        assert comp.child("child") is child
+        assert child.parent is comp
+
+    def test_duplicate_child_rejected(self):
+        comp, cc = self._composite()
+        cc.add(Component("child"))
+        with pytest.raises(ComponentError):
+            cc.add(Component("child"))
+
+    def test_child_cannot_have_two_parents(self):
+        _, cc1 = self._composite()
+        comp2 = install_standard_controllers(CompositeComponent("other"))
+        cc2 = comp2.controller(ContentController.NAME)
+        child = Component("child")
+        cc1.add(child)
+        with pytest.raises(ComponentError):
+            cc2.add(child)
+
+    def test_content_frozen_while_started_unless_live(self):
+        comp, cc = self._composite()
+        comp.controller(LifecycleController.NAME).start()
+        with pytest.raises(ComponentError):
+            cc.add(Component("late"))
+        late = cc.add(Component("late"), live=True)
+        assert late.started  # live-added child is started automatically
+
+    def test_remove(self):
+        comp, cc = self._composite()
+        child = cc.add(Component("child"))
+        cc.remove(child)
+        assert child.parent is None
+        with pytest.raises(ComponentError):
+            comp.child("child")
+
+    def test_remove_started_child_requires_live(self):
+        comp, cc = self._composite()
+        child = cc.add(Component("child"))
+        comp.controller(LifecycleController.NAME).start()
+        with pytest.raises(ComponentError):
+            cc.remove(child)
+        cc.remove(child, live=True)
+        assert not child.started
+
+    def test_remove_child_with_bindings_rejected(self):
+        comp, cc = self._composite()
+        a = cc.add(Component("a"))
+        b = cc.add(Component("b"))
+        need = a.add_client_interface("need")
+        svc = b.add_server_interface("svc", lambda: 1)
+        bc = comp.controller(BindingController.NAME)
+        bc.bind(need, svc)
+        with pytest.raises(ComponentError, match="binding"):
+            cc.remove(b)
+
+
+class TestBindingController:
+    def _setup(self):
+        comp = install_standard_controllers(CompositeComponent("comp"))
+        cc = comp.controller(ContentController.NAME)
+        a = cc.add(Component("a"))
+        b = cc.add(Component("b"))
+        need = a.add_client_interface("need")
+        svc = b.add_server_interface("svc", lambda: "pong")
+        return comp, comp.controller(BindingController.NAME), need, svc
+
+    def test_bind_and_call(self):
+        comp, bc, need, svc = self._setup()
+        binding = bc.bind(need, svc)
+        assert binding.call() == "pong"
+        assert comp.binding_of(need) is binding
+
+    def test_client_single_binding(self):
+        comp, bc, need, svc = self._setup()
+        bc.bind(need, svc)
+        with pytest.raises(ComponentError):
+            bc.bind(need, svc)
+
+    def test_unbind(self):
+        comp, bc, need, svc = self._setup()
+        binding = bc.bind(need, svc)
+        bc.unbind(binding)
+        assert comp.binding_of(need) is None
+        with pytest.raises(ComponentError):
+            bc.unbind(binding)
+
+    def test_secure_all_and_unsecured(self):
+        comp, bc, need, svc = self._setup()
+        binding = bc.bind(need, svc)
+        assert bc.unsecured() == [binding]
+        assert bc.secure_all() == 1
+        assert bc.unsecured() == []
+        assert bc.secure_all() == 0

@@ -1,0 +1,84 @@
+"""Tests for working-memory beans and operation dispatch."""
+
+import pytest
+
+from repro.rules.beans import (
+    ArrivalRateBean,
+    Bean,
+    ContractBean,
+    DepartureRateBean,
+    EndOfStreamBean,
+    ManagerOperation,
+    NumWorkerBean,
+    QueueVarianceBean,
+    RecordingSink,
+    UtilizationBean,
+    ViolationBean,
+)
+
+
+class TestBean:
+    def test_value_stored(self):
+        assert ArrivalRateBean(0.5).value == 0.5
+
+    def test_fire_without_sink_raises(self):
+        with pytest.raises(RuntimeError, match="no operation sink"):
+            Bean(1.0).fire_operation(ManagerOperation.NOOP)
+
+    def test_fire_dispatches_with_data(self):
+        sink = RecordingSink()
+        bean = ArrivalRateBean(0.2).bind_sink(sink)
+        bean.set_data("notEnoughTasks")
+        bean.fire_operation(ManagerOperation.RAISE_VIOLATION)
+        assert sink.fired == [(ManagerOperation.RAISE_VIOLATION, "notEnoughTasks")]
+
+    def test_data_cleared_after_fire(self):
+        sink = RecordingSink()
+        bean = Bean(1.0).bind_sink(sink)
+        bean.set_data("x")
+        bean.fire_operation(ManagerOperation.NOOP)
+        bean.fire_operation(ManagerOperation.NOOP)
+        assert sink.fired == [
+            (ManagerOperation.NOOP, "x"),
+            (ManagerOperation.NOOP, None),
+        ]
+
+    def test_multiple_operations_in_one_action(self):
+        """Figure 5's CheckRateLow fires ADD_EXECUTOR then BALANCE_LOAD."""
+        sink = RecordingSink()
+        bean = DepartureRateBean(0.1).bind_sink(sink)
+        bean.set_data("FARM_ADD_WORKERS")
+        bean.fire_operation(ManagerOperation.ADD_EXECUTOR)
+        bean.fire_operation(ManagerOperation.BALANCE_LOAD)
+        assert sink.ops() == [
+            ManagerOperation.ADD_EXECUTOR,
+            ManagerOperation.BALANCE_LOAD,
+        ]
+
+    def test_repr_mentions_type_and_value(self):
+        r = repr(NumWorkerBean(4))
+        assert "NumWorkerBean" in r and "4" in r
+
+    def test_bean_taxonomy(self):
+        """All paper bean types are distinct Bean subclasses."""
+        kinds = [
+            ArrivalRateBean,
+            DepartureRateBean,
+            NumWorkerBean,
+            QueueVarianceBean,
+            UtilizationBean,
+            ContractBean,
+            ViolationBean,
+            EndOfStreamBean,
+        ]
+        for k in kinds:
+            assert issubclass(k, Bean)
+        assert len(set(kinds)) == len(kinds)
+
+
+class TestRecordingSink:
+    def test_clear(self):
+        sink = RecordingSink()
+        Bean(1).bind_sink(sink).fire_operation(ManagerOperation.NOOP)
+        sink.clear()
+        assert sink.fired == []

@@ -1,0 +1,339 @@
+"""Tests for the rule engine: matching, agenda ordering, firing modes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rules.beans import ArrivalRateBean, DepartureRateBean, NumWorkerBean
+from repro.rules.dsl import rule, value_ge, value_lt
+from repro.rules.engine import (
+    Activation,
+    Condition,
+    NotExists,
+    Rule,
+    RuleEngine,
+    RuleEngineError,
+    WorkingMemory,
+)
+
+
+def noop(_activation):
+    pass
+
+
+class TestWorkingMemory:
+    def test_insert_and_facts(self):
+        wm = WorkingMemory()
+        b = wm.insert(ArrivalRateBean(1.0))
+        assert wm.facts() == [b]
+        assert wm.facts(ArrivalRateBean) == [b]
+        assert wm.facts(DepartureRateBean) == []
+
+    def test_retract(self):
+        wm = WorkingMemory()
+        b = wm.insert(ArrivalRateBean(1.0))
+        assert wm.retract(b)
+        assert not wm.retract(b)
+        assert len(wm) == 0
+
+    def test_retract_type(self):
+        wm = WorkingMemory()
+        wm.insert(ArrivalRateBean(1.0))
+        wm.insert(ArrivalRateBean(2.0))
+        wm.insert(DepartureRateBean(3.0))
+        assert wm.retract_type(ArrivalRateBean) == 2
+        assert len(wm) == 1
+
+    def test_replace_keeps_single_instance(self):
+        wm = WorkingMemory()
+        wm.insert(ArrivalRateBean(1.0))
+        newer = wm.replace(ArrivalRateBean(2.0))
+        assert wm.facts(ArrivalRateBean) == [newer]
+
+    def test_first(self):
+        wm = WorkingMemory()
+        assert wm.first(ArrivalRateBean) is None
+        a = wm.insert(ArrivalRateBean(1.0))
+        wm.insert(ArrivalRateBean(2.0))
+        assert wm.first(ArrivalRateBean) is a
+
+    def test_contains_and_clear(self):
+        wm = WorkingMemory()
+        b = wm.insert(ArrivalRateBean(1.0))
+        assert b in wm
+        wm.clear()
+        assert b not in wm
+
+
+class TestRuleValidation:
+    def test_needs_name(self):
+        with pytest.raises(RuleEngineError):
+            Rule("", [Condition(ArrivalRateBean)], noop)
+
+    def test_needs_conditions(self):
+        with pytest.raises(RuleEngineError):
+            Rule("r", [], noop)
+
+    def test_conditions_must_be_typed(self):
+        with pytest.raises(RuleEngineError):
+            Rule("r", ["not a condition"], noop)
+
+    def test_duplicate_rule_name_rejected(self):
+        eng = RuleEngine()
+        eng.add_rule(rule("r").when(ArrivalRateBean).then(noop))
+        with pytest.raises(RuleEngineError):
+            eng.add_rule(rule("r").when(ArrivalRateBean).then(noop))
+
+
+class TestMatching:
+    def test_simple_predicate_match(self):
+        eng = RuleEngine()
+        fired = []
+        eng.add_rule(
+            rule("low")
+            .when(ArrivalRateBean, value_lt(0.5), bind="a")
+            .then(lambda act: fired.append(act["a"].value))
+        )
+        eng.memory.insert(ArrivalRateBean(0.3))
+        assert eng.evaluate() == ["low"]
+        assert fired == [0.3]
+
+    def test_no_match_no_fire(self):
+        eng = RuleEngine()
+        eng.add_rule(rule("low").when(ArrivalRateBean, value_lt(0.5)).then(noop))
+        eng.memory.insert(ArrivalRateBean(0.9))
+        assert eng.evaluate() == []
+
+    def test_conjunction_requires_all_conditions(self):
+        eng = RuleEngine()
+        eng.add_rule(
+            rule("both")
+            .when(ArrivalRateBean, value_ge(0.5))
+            .when(DepartureRateBean, value_lt(0.5))
+            .then(noop)
+        )
+        eng.memory.insert(ArrivalRateBean(0.9))
+        assert eng.evaluate() == []
+        eng.memory.insert(DepartureRateBean(0.2))
+        assert eng.evaluate() == ["both"]
+
+    def test_binds_first_matching_fact(self):
+        eng = RuleEngine()
+        got = []
+        eng.add_rule(
+            rule("r")
+            .when(ArrivalRateBean, value_lt(1.0), bind="a")
+            .then(lambda act: got.append(act["a"]))
+        )
+        first = eng.memory.insert(ArrivalRateBean(0.1))
+        eng.memory.insert(ArrivalRateBean(0.2))
+        eng.evaluate()
+        assert got == [first]
+
+    def test_not_exists_blocks_when_present(self):
+        eng = RuleEngine()
+        eng.add_rule(
+            rule("quiet")
+            .when(ArrivalRateBean)
+            .when_not(DepartureRateBean, value_lt(0.1))
+            .then(noop)
+        )
+        eng.memory.insert(ArrivalRateBean(1.0))
+        assert eng.evaluate() == ["quiet"]
+        eng.memory.insert(DepartureRateBean(0.05))
+        assert eng.evaluate() == []
+
+    def test_condition_without_predicate_matches_any(self):
+        eng = RuleEngine()
+        eng.add_rule(rule("any").when(ArrivalRateBean).then(noop))
+        eng.memory.insert(ArrivalRateBean(123.0))
+        assert eng.evaluate() == ["any"]
+
+    def test_disabled_rule_does_not_fire(self):
+        eng = RuleEngine()
+        eng.add_rule(rule("r").when(ArrivalRateBean).then(noop))
+        eng.memory.insert(ArrivalRateBean(1.0))
+        eng.enable("r", False)
+        assert eng.evaluate() == []
+        eng.enable("r")
+        assert eng.evaluate() == ["r"]
+
+    def test_activation_contains_and_memory(self):
+        eng = RuleEngine()
+        seen = {}
+
+        def action(act: Activation):
+            seen["has_a"] = "a" in act
+            seen["has_b"] = "b" in act
+            seen["mem"] = act.memory is eng.memory
+
+        eng.add_rule(rule("r").when(ArrivalRateBean, bind="a").then(action))
+        eng.memory.insert(ArrivalRateBean(1.0))
+        eng.evaluate()
+        assert seen == {"has_a": True, "has_b": False, "mem": True}
+
+
+class TestAgendaOrdering:
+    def test_salience_orders_firing(self):
+        eng = RuleEngine()
+        order = []
+        eng.add_rule(
+            rule("low-prio").when(ArrivalRateBean).salience(1).then(lambda a: order.append("low"))
+        )
+        eng.add_rule(
+            rule("high-prio").when(ArrivalRateBean).salience(10).then(lambda a: order.append("high"))
+        )
+        eng.memory.insert(ArrivalRateBean(1.0))
+        eng.evaluate()
+        assert order == ["high", "low"]
+
+    def test_declaration_order_breaks_salience_ties(self):
+        eng = RuleEngine()
+        order = []
+        for name in ("first", "second", "third"):
+            eng.add_rule(
+                rule(name).when(ArrivalRateBean).then(lambda a, n=name: order.append(n))
+            )
+        eng.memory.insert(ArrivalRateBean(1.0))
+        eng.evaluate()
+        assert order == ["first", "second", "third"]
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_agenda_is_sorted_by_salience(self, saliences):
+        eng = RuleEngine()
+        for i, s in enumerate(saliences):
+            eng.add_rule(rule(f"r{i}").when(ArrivalRateBean).salience(s).then(noop))
+        eng.memory.insert(ArrivalRateBean(1.0))
+        agenda = eng.agenda()
+        got = [a.rule.salience for a in agenda]
+        assert got == sorted(saliences, reverse=True)
+
+
+class TestFiringModes:
+    def test_evaluate_is_single_pass(self):
+        """A rule whose action enables another match does NOT re-fire
+        within the same evaluate() call (periodic invocation model)."""
+        eng = RuleEngine()
+        fired = []
+
+        def action(act):
+            fired.append("a")
+            act.memory.insert(DepartureRateBean(0.1))
+
+        eng.add_rule(rule("a").when(ArrivalRateBean).then(action))
+        eng.add_rule(rule("b").when(DepartureRateBean).then(lambda a: fired.append("b")))
+        eng.memory.insert(ArrivalRateBean(1.0))
+        eng.evaluate()
+        assert fired == ["a"]
+        eng.evaluate()
+        assert fired == ["a", "a", "b"]
+
+    def test_fire_until_quiescent_chains(self):
+        eng = RuleEngine()
+        fired = []
+
+        def seed(act):
+            fired.append("seed")
+            act.memory.retract(act["a"])
+            act.memory.insert(DepartureRateBean(0.1))
+
+        def chained(act):
+            fired.append("chained")
+            act.memory.retract(act["d"])
+
+        eng.add_rule(rule("seed").when(ArrivalRateBean, bind="a").then(seed))
+        eng.add_rule(rule("chained").when(DepartureRateBean, bind="d").then(chained))
+        eng.memory.insert(ArrivalRateBean(1.0))
+        all_fired = eng.fire_until_quiescent()
+        assert all_fired == ["seed", "chained"]
+
+    def test_fire_until_quiescent_guards_against_livelock(self):
+        eng = RuleEngine()
+        eng.add_rule(rule("always").when(ArrivalRateBean).then(noop))
+        eng.memory.insert(ArrivalRateBean(1.0))
+        with pytest.raises(RuleEngineError, match="quiesce"):
+            eng.fire_until_quiescent(max_cycles=5)
+
+    def test_history_records_firings(self):
+        eng = RuleEngine()
+        eng.add_rule(rule("r").when(ArrivalRateBean, bind="x").then(noop))
+        eng.memory.insert(ArrivalRateBean(1.0))
+        eng.evaluate()
+        eng.evaluate()
+        assert eng.fired_names() == ["r", "r"]
+        assert eng.history[0].bound == ("x",)
+
+    def test_remove_rule(self):
+        eng = RuleEngine()
+        eng.add_rule(rule("r").when(ArrivalRateBean).then(noop))
+        assert eng.remove_rule("r")
+        assert not eng.remove_rule("r")
+        eng.memory.insert(ArrivalRateBean(1.0))
+        assert eng.evaluate() == []
+
+    def test_rule_lookup(self):
+        eng = RuleEngine()
+        r = rule("r").when(ArrivalRateBean).then(noop)
+        eng.add_rule(r)
+        assert eng.rule("r") is r
+        with pytest.raises(KeyError):
+            eng.rule("missing")
+
+
+class TestNumWorkerScenario:
+    """Mini integration: the CheckRateLow/High pair with hysteresis."""
+
+    def _engine(self, actions):
+        LOW, HIGH, MAXW, MINW = 0.3, 0.7, 10, 1
+        eng = RuleEngine()
+        eng.add_rule(
+            rule("CheckRateLow")
+            .when(DepartureRateBean, value_lt(LOW), bind="dep")
+            .when(ArrivalRateBean, value_ge(LOW), bind="arr")
+            .when(NumWorkerBean, lambda b: b.value <= MAXW, bind="par")
+            .then(lambda a: actions.append("add"))
+        )
+        eng.add_rule(
+            rule("CheckRateHigh")
+            .when(DepartureRateBean, lambda b: b.value > HIGH, bind="dep")
+            .when(NumWorkerBean, lambda b: b.value > MINW, bind="par")
+            .then(lambda a: actions.append("remove"))
+        )
+        return eng
+
+    def _tick(self, eng, arrival, departure, workers):
+        eng.memory.replace(ArrivalRateBean(arrival))
+        eng.memory.replace(DepartureRateBean(departure))
+        eng.memory.replace(NumWorkerBean(workers))
+        return eng.evaluate()
+
+    def test_underperformance_adds_worker(self):
+        actions = []
+        eng = self._engine(actions)
+        self._tick(eng, arrival=0.5, departure=0.2, workers=2)
+        assert actions == ["add"]
+
+    def test_low_input_pressure_does_not_add(self):
+        actions = []
+        eng = self._engine(actions)
+        self._tick(eng, arrival=0.1, departure=0.1, workers=2)
+        assert actions == []
+
+    def test_overperformance_removes_worker(self):
+        actions = []
+        eng = self._engine(actions)
+        self._tick(eng, arrival=1.0, departure=0.9, workers=3)
+        assert actions == ["remove"]
+
+    def test_in_contract_band_is_stable(self):
+        actions = []
+        eng = self._engine(actions)
+        self._tick(eng, arrival=0.5, departure=0.5, workers=3)
+        assert actions == []
+
+    def test_single_worker_never_removed(self):
+        actions = []
+        eng = self._engine(actions)
+        self._tick(eng, arrival=1.0, departure=0.9, workers=1)
+        assert actions == []

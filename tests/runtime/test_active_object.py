@@ -1,0 +1,140 @@
+"""Tests for active objects and futures (the ProActive analog)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.active_object import ActiveObject, ActiveObjectError, FutureResult
+
+
+class Counter(ActiveObject):
+    """Test service: unsynchronised state, safe because single-threaded."""
+
+    def __init__(self):
+        super().__init__("counter")
+        self.value = 0
+
+    def increment(self, by=1):
+        self.value += by
+        return self.value
+
+    def get(self):
+        return self.value
+
+    def boom(self):
+        raise ValueError("boom")
+
+    def slow(self, delay):
+        time.sleep(delay)
+        return "done"
+
+    def which_thread(self):
+        return threading.current_thread().name
+
+
+class TestFutureResult:
+    def test_wait_returns_value(self):
+        f = FutureResult()
+        f._resolve(42)
+        assert f.ready
+        assert f.wait(0.1) == 42
+
+    def test_wait_reraises_error(self):
+        f = FutureResult()
+        f._reject(ValueError("x"))
+        with pytest.raises(ValueError):
+            f.wait(0.1)
+
+    def test_wait_times_out(self):
+        f = FutureResult()
+        with pytest.raises(TimeoutError):
+            f.wait(0.01)
+
+
+class TestActiveObject:
+    def test_invoke_before_start_rejected(self):
+        c = Counter()
+        with pytest.raises(ActiveObjectError):
+            c.invoke("get")
+
+    def test_invoke_returns_future(self):
+        c = Counter().start()
+        try:
+            f = c.invoke("increment", 5)
+            assert f.wait(5.0) == 5
+        finally:
+            c.stop()
+
+    def test_requests_served_in_order(self):
+        c = Counter().start()
+        try:
+            futures = [c.invoke("increment") for _ in range(100)]
+            results = [f.wait(5.0) for f in futures]
+            assert results == list(range(1, 101))
+        finally:
+            c.stop()
+
+    def test_all_requests_on_service_thread(self):
+        c = Counter().start()
+        try:
+            names = {c.call("which_thread") for _ in range(5)}
+            assert names == {"counter"}
+        finally:
+            c.stop()
+
+    def test_exception_propagates_through_future(self):
+        c = Counter().start()
+        try:
+            with pytest.raises(ValueError, match="boom"):
+                c.call("boom")
+            # object survives the failure
+            assert c.call("increment") == 1
+        finally:
+            c.stop()
+
+    def test_unknown_method_rejected(self):
+        c = Counter().start()
+        try:
+            with pytest.raises(ActiveObjectError):
+                c.invoke("no_such_method")
+        finally:
+            c.stop()
+
+    def test_oneway_executes(self):
+        c = Counter().start()
+        try:
+            c.oneway("increment", 3)
+            assert c.call("get") == 3
+        finally:
+            c.stop()
+
+    def test_stop_drains_pending(self):
+        c = Counter().start()
+        futures = [c.invoke("increment") for _ in range(20)]
+        c.stop()
+        assert all(f.ready for f in futures)
+        assert futures[-1].wait(0.1) == 20
+
+    def test_invoke_after_stop_rejected(self):
+        c = Counter().start()
+        c.stop()
+        with pytest.raises(ActiveObjectError):
+            c.invoke("get")
+
+    def test_stop_is_idempotent(self):
+        c = Counter().start()
+        c.stop()
+        c.stop()
+
+    def test_asynchrony(self):
+        """invoke() returns before the method completes."""
+        c = Counter().start()
+        try:
+            t0 = time.monotonic()
+            f = c.invoke("slow", 0.2)
+            assert time.monotonic() - t0 < 0.1
+            assert not f.ready
+            assert f.wait(5.0) == "done"
+        finally:
+            c.stop()

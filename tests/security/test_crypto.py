@@ -1,0 +1,92 @@
+"""Tests for the toy cipher and its cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.security.crypto import (
+    CryptoCostModel,
+    CryptoError,
+    decrypt,
+    encrypt,
+    keystream_xor,
+)
+
+KEY = b"test-key"
+
+
+class TestKeystream:
+    def test_xor_is_involution(self):
+        data = b"hello world" * 10
+        once = keystream_xor(KEY, data)
+        assert keystream_xor(KEY, once) == data
+
+    def test_different_keys_differ(self):
+        data = b"payload"
+        assert keystream_xor(b"k1", data) != keystream_xor(b"k2", data)
+
+    def test_empty_data(self):
+        assert keystream_xor(KEY, b"") == b""
+
+    def test_ciphertext_differs_from_plaintext(self):
+        data = b"x" * 100
+        assert keystream_xor(KEY, data) != data
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self):
+        msg = b"the quick brown fox"
+        assert decrypt(KEY, encrypt(KEY, msg)) == msg
+
+    def test_tampering_detected(self):
+        blob = bytearray(encrypt(KEY, b"important"))
+        blob[0] ^= 0xFF
+        with pytest.raises(CryptoError, match="authentication"):
+            decrypt(KEY, bytes(blob))
+
+    def test_tag_tampering_detected(self):
+        blob = bytearray(encrypt(KEY, b"important"))
+        blob[-1] ^= 0xFF
+        with pytest.raises(CryptoError):
+            decrypt(KEY, bytes(blob))
+
+    def test_wrong_key_rejected(self):
+        blob = encrypt(KEY, b"secret")
+        with pytest.raises(CryptoError):
+            decrypt(b"other-key", blob)
+
+    def test_too_short_message(self):
+        with pytest.raises(CryptoError, match="short"):
+            decrypt(KEY, b"tiny")
+
+    @given(st.binary(min_size=0, max_size=2000))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, payload):
+        assert decrypt(KEY, encrypt(KEY, payload)) == payload
+
+    @given(st.binary(min_size=1, max_size=500))
+    @settings(max_examples=30, deadline=None)
+    def test_ciphertext_longer_by_tag(self, payload):
+        assert len(encrypt(KEY, payload)) == len(payload) + 16
+
+
+class TestCostModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CryptoCostModel(factor=0.9)
+        with pytest.raises(ValueError):
+            CryptoCostModel(handshake=-1.0)
+
+    def test_secured_time(self):
+        m = CryptoCostModel(factor=2.0, handshake=0.01)
+        assert m.secured_time(1.0) == pytest.approx(2.01)
+
+    def test_overhead_fraction(self):
+        m = CryptoCostModel(factor=1.3, handshake=0.0)
+        assert m.overhead_fraction(1.0) == pytest.approx(0.3)
+        assert m.overhead_fraction(0.0) == 0.0
+
+    def test_calibrate_produces_sane_factor(self):
+        m = CryptoCostModel.calibrate(payload_kb=16.0)
+        assert 1.05 <= m.factor <= 5.0
+        assert m.handshake >= 0.0

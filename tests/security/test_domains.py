@@ -1,0 +1,70 @@
+"""Tests for trust metadata and the channel-securing policy."""
+
+from repro.security.domains import SecurityPolicy, TrustRegistry
+from repro.sim.resources import Domain, Node
+
+LAN = Domain("lan", trusted=True)
+LAN2 = Domain("lan2", trusted=True)
+WAN = Domain("wan", trusted=False)
+
+
+class TestTrustRegistry:
+    def test_defaults_to_domain_flag(self):
+        reg = TrustRegistry()
+        assert reg.is_trusted(LAN)
+        assert not reg.is_trusted(WAN)
+
+    def test_override_revokes_trust(self):
+        reg = TrustRegistry()
+        reg.set_trust("lan", False)
+        assert not reg.is_trusted(LAN)
+
+    def test_override_grants_trust(self):
+        reg = TrustRegistry()
+        reg.set_trust("wan", True)
+        assert reg.is_trusted(WAN)
+
+    def test_clear_restores_default(self):
+        reg = TrustRegistry()
+        reg.set_trust("lan", False)
+        reg.clear("lan")
+        assert reg.is_trusted(LAN)
+        reg.clear("never-set")  # no-op
+
+    def test_untrusted_names(self):
+        reg = TrustRegistry()
+        assert reg.untrusted_names([LAN, WAN, LAN2]) == {"wan"}
+
+
+class TestSecurityPolicy:
+    def test_same_node_never_needs_secure(self):
+        p = SecurityPolicy()
+        u = Node("u", domain=WAN)
+        assert not p.needs_secure(u, u)
+
+    def test_trusted_to_trusted_plain_ok(self):
+        p = SecurityPolicy()
+        assert not p.needs_secure(Node("a", domain=LAN), Node("b", domain=LAN2))
+
+    def test_any_untrusted_endpoint_taints(self):
+        p = SecurityPolicy()
+        a = Node("a", domain=LAN)
+        u = Node("u", domain=WAN)
+        assert p.needs_secure(a, u)
+        assert p.needs_secure(u, a)
+
+    def test_registry_override_flows_through(self):
+        p = SecurityPolicy()
+        a = Node("a", domain=LAN)
+        b = Node("b", domain=LAN2)
+        assert not p.needs_secure(a, b)
+        p.registry.set_trust("lan2", False)
+        assert p.needs_secure(a, b)
+
+    def test_worker_exposed(self):
+        p = SecurityPolicy()
+        emitter = Node("e", domain=LAN)
+        worker = Node("w", domain=WAN)
+        assert p.worker_exposed(emitter, worker, secured=False)
+        assert not p.worker_exposed(emitter, worker, secured=True)
+        assert not p.worker_exposed(emitter, Node("t", domain=LAN), secured=False)

@@ -1,0 +1,215 @@
+"""Tests for the data-parallel map mechanism (scatter/reduce)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gcm.abc_controller import FarmABC
+from repro.rules.beans import ManagerOperation
+from repro.sim.engine import Simulator
+from repro.sim.map import SimMap
+from repro.sim.network import Network
+from repro.sim.resources import Domain, Node, ResourceManager, make_cluster
+from repro.sim.workload import ConstantWork, finite_stream
+from repro.skeletons.ast import Farm, Seq
+from repro.skeletons.cost import throughput as model_throughput
+
+
+def build_map(sim, n_workers=4, *, setup=0.0, scatter=0.0, gather=0.0, network=None):
+    nodes = make_cluster(n_workers + 1)
+    smap = SimMap(
+        sim,
+        name="map",
+        emitter_node=nodes[0],
+        network=network,
+        scatter_overhead=scatter,
+        gather_overhead=gather,
+        worker_setup_time=setup,
+    )
+    for n in nodes[1:]:
+        smap.add_worker(n)
+    return smap
+
+
+class TestBasicFlow:
+    def test_all_tasks_complete_in_order(self):
+        sim = Simulator()
+        smap = build_map(sim, n_workers=3)
+        for t in finite_stream(10, ConstantWork(3.0)):
+            smap.submit(t)
+        sim.run()
+        assert smap.completed == 10
+        out_ids = [t.task_id for t in smap.output.peek_items()]
+        assert out_ids == list(range(10))  # reduce preserves stream order
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            SimMap(sim, emitter_node=Node("e"), scatter_overhead=-1.0)
+
+    def test_service_time_divided_by_degree(self):
+        """One task of work W over n workers completes in ~W/n."""
+        sim = Simulator()
+        smap = build_map(sim, n_workers=4)
+        task = finite_stream(1, ConstantWork(8.0))[0]
+        smap.submit(task)
+        sim.run()
+        assert task.completed_at == pytest.approx(2.0)
+
+    def test_overheads_add_to_service_time(self):
+        sim = Simulator()
+        smap = build_map(sim, n_workers=2, scatter=0.5, gather=0.25)
+        task = finite_stream(1, ConstantWork(4.0))[0]
+        smap.submit(task)
+        sim.run()
+        assert task.completed_at == pytest.approx(0.5 + 2.0 + 0.25)
+
+    def test_slowest_worker_bounds_task(self):
+        """Heterogeneous nodes: the reduce waits for the slowest chunk."""
+        sim = Simulator()
+        fast = Node("fast", speed=4.0)
+        slow = Node("slow", speed=1.0)
+        smap = SimMap(
+            sim,
+            emitter_node=Node("e"),
+            worker_setup_time=0.0,
+            scatter_overhead=0.0,
+            gather_overhead=0.0,
+        )
+        smap.add_worker(fast)
+        smap.add_worker(slow)
+        task = finite_stream(1, ConstantWork(8.0))[0]
+        smap.submit(task)
+        sim.run()
+        # chunks of 4.0 each: fast takes 1s, slow takes 4s
+        assert task.completed_at == pytest.approx(4.0)
+
+    @given(st.integers(1, 6), st.integers(1, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_conservation(self, n_workers, n_tasks):
+        sim = Simulator()
+        smap = build_map(sim, n_workers=n_workers)
+        for t in finite_stream(n_tasks, ConstantWork(1.0)):
+            smap.submit(t)
+        sim.run()
+        assert smap.completed == n_tasks
+        assert smap.pending == 0
+
+
+class TestCostModelCorrespondence:
+    @given(st.integers(1, 8), st.integers(1, 10).map(float))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_farm_model_without_overheads(self, degree, work):
+        """Zero-overhead map throughput == the analytic Farm model."""
+        sim = Simulator()
+        smap = build_map(sim, n_workers=degree)
+        n_tasks = 20
+        for t in finite_stream(n_tasks, ConstantWork(work)):
+            smap.submit(t)
+        sim.run()
+        measured = n_tasks / sim.now
+        predicted = model_throughput(Farm(Seq(work), degree=degree))
+        assert measured == pytest.approx(predicted, rel=0.01)
+
+
+class TestActuators:
+    def test_add_worker_widens_future_scatters(self):
+        sim = Simulator()
+        smap = build_map(sim, n_workers=2)
+        t1 = finite_stream(1, ConstantWork(8.0))[0]
+        smap.submit(t1)
+        sim.run()
+        assert t1.completed_at == pytest.approx(4.0)
+        smap.add_worker(Node("extra1"))
+        smap.add_worker(Node("extra2"))
+        t2 = finite_stream(1, ConstantWork(8.0), created_at=sim.now)[0]
+        smap.submit(t2)
+        sim.run()
+        assert t2.completed_at - t1.completed_at == pytest.approx(2.0)
+
+    def test_setup_delay_and_blackout(self):
+        sim = Simulator()
+        nodes = make_cluster(2)
+        smap = SimMap(sim, emitter_node=nodes[0], worker_setup_time=5.0)
+        smap.add_worker(nodes[1])
+        assert smap.in_blackout
+        assert smap.snapshot() is None
+        sim.run(until=6.0)
+        assert smap.snapshot() is not None
+
+    def test_remove_worker_never_below_one(self):
+        sim = Simulator()
+        smap = build_map(sim, n_workers=1)
+        assert smap.remove_worker() is None
+
+    def test_remove_worker_narrows_future_scatters(self):
+        sim = Simulator()
+        smap = build_map(sim, n_workers=4)
+        smap.remove_worker()
+        sim.run(until=1.0)
+        task = finite_stream(1, ConstantWork(6.0), created_at=sim.now)[0]
+        smap.submit(task)
+        sim.run(until=100.0)
+        assert task.completed_at - task.started_at == pytest.approx(2.0)
+
+    def test_balance_load_is_noop(self):
+        sim = Simulator()
+        smap = build_map(sim, n_workers=2)
+        assert smap.balance_load() == 0
+
+    def test_fail_worker_rescatters_and_task_completes(self):
+        sim = Simulator()
+        smap = build_map(sim, n_workers=3)
+        task = finite_stream(1, ConstantWork(30.0))[0]
+        smap.submit(task)
+        sim.run(until=2.0)  # chunks of 10s each, all in service
+        victim = smap.workers[0]
+        recovered = smap.fail_worker(victim)
+        assert recovered == 1  # the in-service chunk
+        sim.run(until=100.0)
+        assert smap.completed == 1
+        assert smap.failures == 1
+
+    def test_secure_all(self):
+        sim = Simulator()
+        smap = build_map(sim, n_workers=2)
+        smap.secure_all()
+        assert all(w.secured for w in smap.workers)
+
+
+class TestFarmABCCompatibility:
+    """The same ABC/manager stack drives a map (duck-typed mechanism)."""
+
+    def _setup(self):
+        sim = Simulator()
+        rm = ResourceManager(make_cluster(8))
+        smap = SimMap(sim, emitter_node=Node("e"), worker_setup_time=0.0)
+        abc = FarmABC(smap, rm)  # type: ignore[arg-type]
+        return sim, smap, rm, abc
+
+    def test_bootstrap_and_monitor(self):
+        sim, smap, rm, abc = self._setup()
+        abc.bootstrap(3)
+        data = abc.monitor()
+        assert data["num_workers"] == 3
+
+    def test_add_and_remove_executor(self):
+        sim, smap, rm, abc = self._setup()
+        abc.bootstrap(2)
+        assert abc.execute(ManagerOperation.ADD_EXECUTOR)
+        assert smap.num_workers == 3
+        assert abc.execute(ManagerOperation.REMOVE_EXECUTOR)
+        assert smap.num_workers == 2
+        assert rm.allocated_count == 2
+
+    def test_network_leak_accounting(self):
+        sim = Simulator()
+        net = Network()
+        wan = Domain("wan", trusted=False)
+        smap = SimMap(
+            sim, emitter_node=Node("e"), network=net, worker_setup_time=0.0
+        )
+        smap.add_worker(Node("u", domain=wan), secured=False)
+        smap.submit(finite_stream(1, ConstantWork(1.0))[0])
+        sim.run()
+        assert net.leak_count == 1  # the scattered chunk

@@ -1,0 +1,214 @@
+"""Tests for monitoring probes (rate estimators, utilisation, queue stats)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.metrics import (
+    EwmaRateEstimator,
+    TimeWeightedMean,
+    UtilizationMeter,
+    WindowRateEstimator,
+    queue_length_stats,
+    queue_length_variance,
+    stddev,
+)
+
+
+class TestWindowRateEstimator:
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WindowRateEstimator(window=0.0)
+
+    def test_constant_rate_stream(self):
+        est = WindowRateEstimator(window=10.0)
+        for i in range(1, 101):
+            est.mark(i * 0.5)  # 2 events/sec
+        assert est.rate(50.0) == pytest.approx(2.0, rel=0.05)
+
+    def test_warmup_uses_elapsed_time(self):
+        est = WindowRateEstimator(window=10.0)
+        est.mark(1.0)
+        est.mark(2.0)
+        # only 2s elapsed: rate should be 2 events / 2 s = 1, not 2/10.
+        assert est.rate(2.0) == pytest.approx(1.0)
+
+    def test_rate_zero_before_any_time(self):
+        est = WindowRateEstimator(window=5.0)
+        assert est.rate(0.0) == 0.0
+
+    def test_events_expire_outside_window(self):
+        est = WindowRateEstimator(window=10.0)
+        for t in range(1, 11):
+            est.mark(float(t))
+        assert est.count_in_window(10.0) == 10
+        assert est.count_in_window(25.0) == 0
+        assert est.rate(25.0) == 0.0
+
+    def test_mark_count(self):
+        est = WindowRateEstimator(window=10.0)
+        est.mark(1.0, count=5)
+        assert est.total == 5
+        assert est.count_in_window(1.0) == 5
+
+    def test_non_monotone_marks_rejected(self):
+        est = WindowRateEstimator(window=10.0)
+        est.mark(5.0)
+        with pytest.raises(ValueError):
+            est.mark(4.0)
+
+    def test_reset(self):
+        est = WindowRateEstimator(window=10.0)
+        for t in range(1, 6):
+            est.mark(float(t))
+        est.reset(5.0)
+        assert est.rate(6.0) == 0.0
+        est.mark(5.5)
+        assert est.rate(6.0) == pytest.approx(1.0)
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.floats(min_value=0.05, max_value=5.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rate_matches_exact_count(self, n, gap):
+        """After warm-up, windowed rate == events-in-window / window."""
+        window = 10.0
+        est = WindowRateEstimator(window=window)
+        times = [gap * (i + 1) for i in range(n)]
+        for t in times:
+            est.mark(t)
+        now = times[-1]
+        in_window = sum(1 for t in times if now - window < t <= now)
+        effective = min(window, now)
+        assert est.rate(now) == pytest.approx(in_window / effective)
+
+
+class TestEwmaRateEstimator:
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            EwmaRateEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaRateEstimator(alpha=1.5)
+
+    def test_converges_to_constant_rate(self):
+        est = EwmaRateEstimator(alpha=0.5)
+        for i in range(1, 50):
+            est.mark(i * 0.25)  # 4 events/sec
+        assert est.rate(50 * 0.25) == pytest.approx(4.0, rel=0.05)
+
+    def test_zero_before_two_events(self):
+        est = EwmaRateEstimator()
+        assert est.rate(0.0) == 0.0
+        est.mark(1.0)
+        assert est.rate(1.0) == 0.0
+
+    def test_silence_decays_rate(self):
+        est = EwmaRateEstimator(alpha=0.5)
+        for i in range(1, 20):
+            est.mark(i * 1.0)
+        busy = est.rate(19.0)
+        quiet = est.rate(100.0)
+        assert quiet < busy
+
+    def test_non_monotone_rejected(self):
+        est = EwmaRateEstimator()
+        est.mark(2.0)
+        with pytest.raises(ValueError):
+            est.mark(1.0)
+
+
+class TestUtilizationMeter:
+    def test_fully_idle(self):
+        m = UtilizationMeter()
+        assert m.utilization(10.0) == 0.0
+
+    def test_fully_busy(self):
+        m = UtilizationMeter()
+        m.set_busy(0.0)
+        assert m.utilization(10.0) == pytest.approx(1.0)
+
+    def test_half_busy(self):
+        m = UtilizationMeter()
+        m.set_busy(0.0)
+        m.set_idle(5.0)
+        assert m.utilization(10.0) == pytest.approx(0.5)
+
+    def test_multiple_intervals(self):
+        m = UtilizationMeter()
+        m.set_busy(0.0)
+        m.set_idle(2.0)
+        m.set_busy(4.0)
+        m.set_idle(6.0)
+        assert m.utilization(8.0) == pytest.approx(0.5)
+
+    def test_double_set_busy_is_noop(self):
+        m = UtilizationMeter()
+        m.set_busy(0.0)
+        m.set_busy(3.0)
+        m.set_idle(4.0)
+        assert m.utilization(4.0) == pytest.approx(1.0)
+
+    def test_idle_without_busy_is_noop(self):
+        m = UtilizationMeter()
+        m.set_idle(5.0)
+        assert m.utilization(10.0) == 0.0
+
+
+class TestTimeWeightedMean:
+    def test_constant_signal(self):
+        twm = TimeWeightedMean(initial=3.0)
+        assert twm.mean(10.0) == pytest.approx(3.0)
+
+    def test_step_signal(self):
+        twm = TimeWeightedMean(initial=0.0)
+        twm.update(5.0, 10.0)
+        # 5s at 0 then 5s at 10 -> mean 5
+        assert twm.mean(10.0) == pytest.approx(5.0)
+
+    def test_current_value(self):
+        twm = TimeWeightedMean()
+        twm.update(1.0, 7.0)
+        assert twm.current == 7.0
+
+    def test_out_of_order_update_rejected(self):
+        twm = TimeWeightedMean()
+        twm.update(5.0, 1.0)
+        with pytest.raises(ValueError):
+            twm.update(4.0, 2.0)
+
+
+class TestQueueStats:
+    def test_empty(self):
+        assert queue_length_stats([]) == (0.0, 0.0, 0, 0)
+        assert queue_length_variance([]) == 0.0
+
+    def test_uniform_queues_zero_variance(self):
+        assert queue_length_variance([4, 4, 4]) == 0.0
+
+    def test_known_variance(self):
+        # lengths 0 and 10: mean 5, var 25
+        assert queue_length_variance([0, 10]) == pytest.approx(25.0)
+
+    def test_stats_min_max(self):
+        mean, var, lo, hi = queue_length_stats([1, 5, 3])
+        assert (lo, hi) == (1, 5)
+        assert mean == pytest.approx(3.0)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_variance_non_negative_and_zero_iff_constant(self, xs):
+        var = queue_length_variance(xs)
+        assert var >= 0.0
+        if len(set(xs)) == 1:
+            assert var == 0.0
+        if var == 0.0:
+            assert len(set(xs)) == 1
+
+    def test_stddev(self):
+        assert stddev([]) == 0.0
+        assert stddev([5.0]) == 0.0
+        assert stddev([2.0, 4.0]) == pytest.approx(1.0)
+        assert stddev([1.0, 1.0, 1.0]) == pytest.approx(0.0)

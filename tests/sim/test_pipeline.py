@@ -1,0 +1,184 @@
+"""Tests for sequential stages, forwarders and pipeline assembly."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.farm import SimFarm
+from repro.sim.pipeline import Forwarder, SeqStage, SimPipeline
+from repro.sim.queues import Store
+from repro.sim.resources import Node, make_cluster
+from repro.sim.workload import ConstantWork, TaskSource, finite_stream
+
+
+class TestSeqStage:
+    def _stage(self, sim, work=1.0, speed=1.0):
+        inp, out = Store(sim, name="in"), Store(sim, name="out")
+        stage = SeqStage(
+            sim,
+            name="s",
+            node=Node("n", speed=speed),
+            input_store=inp,
+            output_store=out,
+            service_work=work,
+        )
+        return stage, inp, out
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            SeqStage(
+                sim,
+                name="s",
+                node=Node("n"),
+                input_store=Store(sim),
+                output_store=None,
+                service_work=-1.0,
+            )
+
+    def test_processes_in_order(self):
+        sim = Simulator()
+        stage, inp, out = self._stage(sim, work=1.0)
+        for t in finite_stream(3, ConstantWork(1.0)):
+            inp.put_nowait(t)
+        sim.run()
+        assert [t.task_id for t in out.peek_items()] == [0, 1, 2]
+        assert stage.completed == 3
+        assert sim.now == pytest.approx(3.0)
+
+    def test_speed_scales_service(self):
+        sim = Simulator()
+        stage, inp, out = self._stage(sim, work=2.0, speed=2.0)
+        inp.put_nowait(finite_stream(1, ConstantWork(1.0))[0])
+        sim.run()
+        assert sim.now == pytest.approx(1.0)
+
+    def test_zero_work_stage_is_instant(self):
+        sim = Simulator()
+        stage, inp, out = self._stage(sim, work=0.0)
+        for t in finite_stream(5, ConstantWork(1.0)):
+            inp.put_nowait(t)
+        sim.run()
+        assert sim.now == pytest.approx(0.0)
+        assert stage.completed == 5
+
+    def test_stop_halts_processing(self):
+        sim = Simulator()
+        stage, inp, out = self._stage(sim, work=1.0)
+        for t in finite_stream(5, ConstantWork(1.0)):
+            inp.put_nowait(t)
+        sim.schedule(2.5, stage.stop)
+        sim.run()
+        assert stage.completed <= 3
+
+    def test_snapshot_rates(self):
+        sim = Simulator()
+        stage, inp, out = self._stage(sim, work=0.1)
+        TaskSource(sim, inp, rate=2.0, work_model=ConstantWork(1.0), total=40)
+        sim.run(until=19.0)
+        snap = stage.snapshot()
+        assert snap.arrival_rate == pytest.approx(2.0, rel=0.2)
+        assert snap.departure_rate == pytest.approx(2.0, rel=0.2)
+        # 2/s for 19s; the final task's 0.1s service may straddle the cutoff
+        assert snap.completed in (37, 38)
+
+    def test_on_done_callback(self):
+        sim = Simulator()
+        inp = Store(sim)
+        seen = []
+        SeqStage(
+            sim,
+            name="s",
+            node=Node("n"),
+            input_store=inp,
+            output_store=None,
+            service_work=0.5,
+            on_done=lambda t: seen.append(t.task_id),
+        )
+        for t in finite_stream(3, ConstantWork(1.0)):
+            inp.put_nowait(t)
+        sim.run()
+        assert seen == [0, 1, 2]
+
+    def test_external_load_slows_stage(self):
+        sim = Simulator()
+        node = Node("n", speed=1.0)
+        node.load_schedule.set_load(0.0, 0.5)
+        inp, out = Store(sim), Store(sim)
+        SeqStage(
+            sim, name="s", node=node, input_store=inp, output_store=out, service_work=1.0
+        )
+        inp.put_nowait(finite_stream(1, ConstantWork(1.0))[0])
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+
+
+class TestForwarder:
+    def test_moves_everything(self):
+        sim = Simulator()
+        a, b = Store(sim), Store(sim)
+        fwd = Forwarder(sim, a, b)
+        for i in range(5):
+            a.put_nowait(i)
+        sim.run()
+        assert b.peek_items() == [0, 1, 2, 3, 4]
+        assert fwd.moved == 5
+
+    def test_respects_destination_capacity(self):
+        sim = Simulator()
+        a, b = Store(sim), Store(sim, capacity=2)
+        Forwarder(sim, a, b)
+        for i in range(5):
+            a.put_nowait(i)
+        sim.run()
+        # forwarder blocked with dst full: 2 in dst, 1 "in hand", 2 still in src
+        assert len(b) == 2
+        ok, item = b.try_get()
+        assert ok and item == 0
+
+
+class TestSimPipeline:
+    def test_requires_stages(self):
+        with pytest.raises(ValueError):
+            SimPipeline(Simulator(), [])
+
+    def test_three_stage_end_to_end(self):
+        """producer -> seq -> farm -> seq -> sink, everything flows through."""
+        sim = Simulator()
+        nodes = make_cluster(6)
+        s1_in = Store(sim, name="s1in")
+        s1 = SeqStage(
+            sim, name="s1", node=nodes[0], input_store=s1_in,
+            output_store=None, service_work=0.1,
+        )
+        farm = SimFarm(sim, name="farm", emitter_node=nodes[1], worker_setup_time=0.0)
+        farm.add_worker(nodes[2])
+        farm.add_worker(nodes[3])
+        s1.output = farm.input
+        s3_in = Store(sim, name="s3in")
+        Forwarder(sim, farm.output, s3_in)
+        pipe = SimPipeline(sim, [s1, farm], name="p")
+        s3 = SeqStage(
+            sim, name="s3", node=nodes[4], input_store=s3_in,
+            output_store=None, service_work=0.05,
+            on_done=pipe.record_delivery,
+        )
+        pipe.stages.append(s3)
+        TaskSource(sim, s1_in, rate=1.0, work_model=ConstantWork(1.0), total=20)
+        sim.run()
+        assert pipe.delivered == 20
+        assert len(pipe.sink) == 20
+        assert len(pipe) == 3
+        assert pipe.stage(1) is farm
+
+    def test_throughput_measure(self):
+        sim = Simulator()
+        inp = Store(sim)
+        pipe = SimPipeline(sim, ["dummy"], name="p")
+        SeqStage(
+            sim, name="s", node=Node("n"), input_store=inp,
+            output_store=None, service_work=0.01,
+            on_done=pipe.record_delivery,
+        )
+        TaskSource(sim, inp, rate=2.0, work_model=ConstantWork(1.0), total=60)
+        sim.run(until=29.0)
+        assert pipe.throughput() == pytest.approx(2.0, rel=0.2)

@@ -1,0 +1,295 @@
+"""Tests for Store channels: FIFO semantics, capacity, conservation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.queues import Store, drain, rebalance, transfer
+
+
+class TestStoreBasics:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        store.put_nowait("a")
+        sim.process(consumer())
+        sim.run()
+        assert got == ["a"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        sim.process(consumer())
+        sim.schedule(5.0, store.put_nowait, "late")
+        sim.run()
+        assert got == [(5.0, "late")]
+
+    def test_fifo_order_of_items(self):
+        sim = Simulator()
+        store = Store(sim)
+        for i in range(5):
+            store.put_nowait(i)
+        got = []
+
+        def consumer():
+            while True:
+                item = yield store.get()
+                got.append(item)
+                if item == 4:
+                    return
+
+        sim.process(consumer())
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_fifo_order_of_getters(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(name):
+            item = yield store.get()
+            got.append((name, item))
+
+        sim.process(consumer("first"))
+        sim.process(consumer("second"))
+        sim.schedule(1.0, store.put_nowait, "x")
+        sim.schedule(2.0, store.put_nowait, "y")
+        sim.run()
+        assert got == [("first", "x"), ("second", "y")]
+
+    def test_try_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        ok, item = store.try_get()
+        assert not ok and item is None
+        store.put_nowait(7)
+        ok, item = store.try_get()
+        assert ok and item == 7
+
+    def test_len_and_peek(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put_nowait("a")
+        store.put_nowait("b")
+        assert len(store) == 2
+        assert store.peek_items() == ["a", "b"]
+        assert len(store) == 2  # peek is non-destructive
+
+
+class TestCapacity:
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Store(Simulator(), capacity=0)
+
+    def test_put_nowait_raises_when_full(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        store.put_nowait("a")
+        with pytest.raises(SimulationError):
+            store.put_nowait("b")
+
+    def test_try_put_respects_capacity(self):
+        sim = Simulator()
+        store = Store(sim, capacity=2)
+        assert store.try_put(1)
+        assert store.try_put(2)
+        assert not store.try_put(3)
+        assert store.is_full
+
+    def test_put_blocks_until_capacity_frees(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        store.put_nowait("a")
+        done = []
+
+        def producer():
+            yield store.put("b")
+            done.append(sim.now)
+
+        def consumer():
+            yield sim.timeout(3.0)
+            ok, item = store.try_get()
+            assert ok and item == "a"
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert done == [3.0]
+        assert store.peek_items() == ["b"]
+
+    def test_blocked_put_feeds_waiting_getter(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        store.put_nowait("a")
+        got = []
+
+        def producer():
+            yield store.put("b")
+
+        def consumer():
+            yield sim.timeout(1.0)
+            x = yield store.get()
+            got.append(x)
+            y = yield store.get()
+            got.append(y)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == ["a", "b"]
+
+
+class TestConservation:
+    @given(
+        st.lists(
+            st.tuples(st.floats(min_value=0.0, max_value=100.0), st.integers(0, 100)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_put_equals_got_plus_queued(self, schedule):
+        """total_put == total_got + len(items) at quiescence."""
+        sim = Simulator()
+        store = Store(sim)
+        n_consume = len(schedule) // 2
+
+        for t, val in schedule:
+            sim.schedule(t, store.put_nowait, val)
+
+        def consumer():
+            for _ in range(n_consume):
+                yield store.get()
+
+        sim.process(consumer())
+        sim.run()
+        assert store.total_put == len(schedule)
+        assert store.total_put == store.total_got + len(store.items)
+
+
+class TestDrainTransfer:
+    def _store_with(self, sim, items):
+        s = Store(sim)
+        for i in items:
+            s.put_nowait(i)
+        return s
+
+    def test_drain_all(self):
+        sim = Simulator()
+        s = self._store_with(sim, [1, 2, 3])
+        assert drain(s) == [1, 2, 3]
+        assert len(s) == 0
+        assert s.total_got == 3
+
+    def test_drain_count(self):
+        sim = Simulator()
+        s = self._store_with(sim, [1, 2, 3])
+        assert drain(s, 2) == [1, 2]
+        assert s.peek_items() == [3]
+
+    def test_drain_more_than_available(self):
+        sim = Simulator()
+        s = self._store_with(sim, [1])
+        assert drain(s, 10) == [1]
+
+    def test_transfer_preserves_order(self):
+        sim = Simulator()
+        a = self._store_with(sim, [1, 2, 3])
+        b = self._store_with(sim, [9])
+        moved = transfer(a, b, 2)
+        assert moved == 2
+        assert b.peek_items() == [9, 1, 2]
+        assert a.peek_items() == [3]
+
+    def test_rebalance_equalises(self):
+        sim = Simulator()
+        a = self._store_with(sim, list(range(10)))
+        b = self._store_with(sim, [])
+        c = self._store_with(sim, [])
+        moved = rebalance([a, b, c])
+        lengths = sorted(len(s) for s in (a, b, c))
+        assert max(lengths) - min(lengths) <= 1
+        assert sum(lengths) == 10
+        assert moved > 0
+
+    def test_rebalance_single_store_noop(self):
+        sim = Simulator()
+        a = self._store_with(sim, [1, 2])
+        assert rebalance([a]) == 0
+
+    @given(st.lists(st.integers(0, 30), min_size=2, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_rebalance_conserves_and_flattens(self, sizes):
+        sim = Simulator()
+        stores = []
+        counter = 0
+        for n in sizes:
+            s = Store(sim)
+            for _ in range(n):
+                s.put_nowait(counter)
+                counter += 1
+            stores.append(s)
+        total_before = sum(len(s) for s in stores)
+        rebalance(stores)
+        lengths = [len(s) for s in stores]
+        assert sum(lengths) == total_before
+        assert max(lengths) - min(lengths) <= 1
+        # no duplicates or losses
+        all_items = [i for s in stores for i in s.peek_items()]
+        assert sorted(all_items) == list(range(total_before))
+
+
+class TestOnPutObserver:
+    def test_fires_on_put_nowait(self):
+        sim = Simulator()
+        store = Store(sim)
+        seen = []
+        store.on_put = seen.append
+        store.put_nowait("a")
+        store.try_put("b")
+        assert seen == ["a", "b"]
+
+    def test_fires_on_blocking_put(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        seen = []
+        store.on_put = seen.append
+
+        def producer():
+            yield store.put("a")
+            yield store.put("b")
+
+        def consumer():
+            yield sim.timeout(1.0)
+            store.try_get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert seen == ["a", "b"]
+
+    def test_not_fired_by_bulk_moves(self):
+        """drain/transfer/rebalance shuffle work; they are not arrivals."""
+        sim = Simulator()
+        src, dst = Store(sim), Store(sim)
+        seen = []
+        dst.on_put = seen.append
+        for i in range(4):
+            src.put_nowait(i)
+        transfer(src, dst, 3)
+        assert seen == []
+        assert len(dst) == 3

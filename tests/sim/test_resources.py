@@ -1,0 +1,196 @@
+"""Tests for nodes, domains, load schedules and the resource manager."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.resources import (
+    Domain,
+    LoadSchedule,
+    Node,
+    NoResourceAvailable,
+    ResourceManager,
+    any_node,
+    make_cluster,
+    trusted_only,
+)
+
+
+class TestDomain:
+    def test_trusted_flag(self):
+        assert Domain("lan").trusted
+        assert not Domain("wan", trusted=False).trusted
+
+    def test_str(self):
+        assert "UNTRUSTED" in str(Domain("wan", trusted=False))
+        assert "trusted" in str(Domain("lan"))
+
+
+class TestLoadSchedule:
+    def test_default_zero(self):
+        assert LoadSchedule().load_at(100.0) == 0.0
+
+    def test_step(self):
+        ls = LoadSchedule()
+        ls.set_load(10.0, 0.5)
+        assert ls.load_at(5.0) == 0.0
+        assert ls.load_at(10.0) == 0.5
+        assert ls.load_at(50.0) == 0.5
+
+    def test_multiple_steps(self):
+        ls = LoadSchedule([(10.0, 0.5), (20.0, 0.1)])
+        assert ls.load_at(15.0) == 0.5
+        assert ls.load_at(25.0) == pytest.approx(0.1)
+
+    def test_replace_breakpoint(self):
+        ls = LoadSchedule()
+        ls.set_load(10.0, 0.5)
+        ls.set_load(10.0, 0.2)
+        assert ls.load_at(11.0) == pytest.approx(0.2)
+
+    def test_clipping(self):
+        ls = LoadSchedule()
+        ls.set_load(0.0, 5.0)
+        assert ls.load_at(1.0) == LoadSchedule.MAX_LOAD
+        ls.set_load(2.0, -1.0)
+        assert ls.load_at(3.0) == 0.0
+
+
+class TestNode:
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            Node("n", speed=0.0)
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            Node("n", cores=0)
+
+    def test_service_time_unit_speed(self):
+        n = Node("n", speed=1.0)
+        assert n.service_time(3.0, 0.0) == pytest.approx(3.0)
+
+    def test_service_time_scales_with_speed(self):
+        n = Node("n", speed=2.0)
+        assert n.service_time(3.0, 0.0) == pytest.approx(1.5)
+
+    def test_external_load_slows_node(self):
+        n = Node("n", speed=1.0)
+        n.load_schedule.set_load(10.0, 0.5)
+        assert n.service_time(1.0, 5.0) == pytest.approx(1.0)
+        assert n.service_time(1.0, 15.0) == pytest.approx(2.0)
+
+    def test_trusted_proxy(self):
+        n = Node("n", domain=Domain("wan", trusted=False))
+        assert not n.trusted
+
+    @given(
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=0.01, max_value=100.0),
+        st.floats(min_value=0.0, max_value=0.9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_service_time_formula(self, speed, work, load):
+        n = Node("n", speed=speed)
+        n.load_schedule.set_load(0.0, load)
+        expected = work / (speed * (1 - load))
+        assert n.service_time(work, 1.0) == pytest.approx(expected)
+
+
+class TestResourceManager:
+    def _rm(self):
+        trusted = Domain("lan", trusted=True)
+        untrusted = Domain("wan", trusted=False)
+        nodes = [
+            Node("t1", speed=1.0, domain=trusted),
+            Node("t2", speed=2.0, domain=trusted),
+            Node("u1", speed=3.0, domain=untrusted),
+        ]
+        return ResourceManager(nodes), nodes
+
+    def test_duplicate_name_rejected(self):
+        rm = ResourceManager([Node("a")])
+        with pytest.raises(ValueError):
+            rm.add_node(Node("a"))
+
+    def test_available_prefers_trusted_then_fast(self):
+        rm, _ = self._rm()
+        names = [n.name for n in rm.available()]
+        assert names == ["t2", "t1", "u1"]
+
+    def test_recruit_marks_allocated(self):
+        rm, _ = self._rm()
+        got = rm.recruit(2)
+        assert all(n.allocated for n in got)
+        assert rm.allocated_count == 2
+
+    def test_recruit_all_or_nothing(self):
+        rm, _ = self._rm()
+        with pytest.raises(NoResourceAvailable):
+            rm.recruit(5)
+        assert rm.allocated_count == 0
+
+    def test_recruit_with_predicate(self):
+        rm, _ = self._rm()
+        got = rm.recruit(2, trusted_only)
+        assert all(n.trusted for n in got)
+        with pytest.raises(NoResourceAvailable):
+            rm.recruit(1, trusted_only)
+        # untrusted node still available without the predicate
+        assert rm.recruit(1, any_node)[0].name == "u1"
+
+    def test_try_recruit_returns_empty(self):
+        rm, _ = self._rm()
+        assert rm.try_recruit(10) == []
+        assert len(rm.try_recruit(1)) == 1
+
+    def test_release_returns_node_to_pool(self):
+        rm, _ = self._rm()
+        node = rm.recruit(1)[0]
+        rm.release(node)
+        assert not node.allocated
+        assert node in rm.available()
+
+    def test_release_unknown_node_rejected(self):
+        rm, _ = self._rm()
+        with pytest.raises(ValueError):
+            rm.release(Node("stranger"))
+
+    def test_release_all(self):
+        rm, _ = self._rm()
+        nodes = rm.recruit(3)
+        rm.release_all(nodes)
+        assert rm.allocated_count == 0
+
+    def test_invalid_recruit_count(self):
+        rm, _ = self._rm()
+        with pytest.raises(ValueError):
+            rm.recruit(0)
+
+    def test_get_by_name(self):
+        rm, nodes = self._rm()
+        assert rm.get("t1") is nodes[0]
+
+    @given(st.integers(1, 20), st.integers(0, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_recruit_release_roundtrip(self, pool_size, want):
+        rm = ResourceManager(make_cluster(pool_size))
+        if want == 0 or want > pool_size:
+            if want > pool_size:
+                assert rm.try_recruit(want) == []
+            return
+        got = rm.recruit(want)
+        assert len(got) == want
+        assert rm.allocated_count == want
+        rm.release_all(got)
+        assert rm.allocated_count == 0
+
+
+class TestMakeCluster:
+    def test_names_and_count(self):
+        nodes = make_cluster(3, prefix="w")
+        assert [n.name for n in nodes] == ["w-0", "w-1", "w-2"]
+
+    def test_domain_and_speed(self):
+        d = Domain("x", trusted=False)
+        nodes = make_cluster(2, speed=2.5, domain=d)
+        assert all(n.speed == 2.5 and n.domain is d for n in nodes)

@@ -1,0 +1,180 @@
+"""Tests for task streams and the rate-controllable source."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.queues import Store
+from repro.sim.workload import (
+    ConstantWork,
+    HotSpotWork,
+    Task,
+    TaskSource,
+    UniformWork,
+    finite_stream,
+)
+
+
+class TestWorkModels:
+    def test_constant(self):
+        wm = ConstantWork(2.5)
+        assert wm.work_for(0) == 2.5
+        assert wm(99) == 2.5
+
+    def test_constant_validation(self):
+        with pytest.raises(ValueError):
+            ConstantWork(0.0)
+
+    def test_uniform_in_bounds_and_deterministic(self):
+        wm1 = UniformWork(1.0, 2.0, seed=7)
+        wm2 = UniformWork(1.0, 2.0, seed=7)
+        vals1 = [wm1.work_for(i) for i in range(20)]
+        vals2 = [wm2.work_for(i) for i in range(20)]
+        assert vals1 == vals2
+        assert all(1.0 <= v <= 2.0 for v in vals1)
+
+    def test_uniform_repeat_query_consistent(self):
+        wm = UniformWork(1.0, 2.0, seed=3)
+        a = wm.work_for(5)
+        _ = wm.work_for(10)
+        assert wm.work_for(5) == a
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            UniformWork(2.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformWork(0.0, 1.0)
+
+    def test_hotspot_applies_factor_in_range(self):
+        wm = HotSpotWork(ConstantWork(1.0), start=5, end=10, factor=3.0)
+        assert wm.work_for(4) == 1.0
+        assert wm.work_for(5) == 3.0
+        assert wm.work_for(9) == 3.0
+        assert wm.work_for(10) == 1.0
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ValueError):
+            HotSpotWork(ConstantWork(1.0), 5, 4, 2.0)
+        with pytest.raises(ValueError):
+            HotSpotWork(ConstantWork(1.0), 0, 1, 0.0)
+
+
+class TestTask:
+    def test_latency_none_until_complete(self):
+        t = Task(0, 1.0, created_at=2.0)
+        assert t.latency is None
+        t.completed_at = 7.0
+        assert t.latency == pytest.approx(5.0)
+
+
+class TestFiniteStream:
+    def test_count_and_ids(self):
+        tasks = finite_stream(5, ConstantWork(1.0))
+        assert [t.task_id for t in tasks] == [0, 1, 2, 3, 4]
+
+    def test_secure_flag(self):
+        tasks = finite_stream(2, ConstantWork(1.0), secure_required=True)
+        assert all(t.secure_required for t in tasks)
+
+
+class TestTaskSource:
+    def test_emits_at_rate(self):
+        sim = Simulator()
+        out = Store(sim)
+        src = TaskSource(sim, out, rate=2.0, work_model=ConstantWork(1.0), total=10)
+        sim.run()
+        assert src.emitted == 10
+        assert src.finished
+        # 10 tasks at 2/s -> last emission at t=5
+        assert sim.now == pytest.approx(5.0)
+        assert len(out) == 10
+
+    def test_rate_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            TaskSource(sim, Store(sim), rate=0.0, work_model=ConstantWork(1.0))
+
+    def test_set_rate_takes_effect_immediately(self):
+        sim = Simulator()
+        out = Store(sim)
+        src = TaskSource(sim, out, rate=0.1, work_model=ConstantWork(1.0), total=5)
+        # speed up at t=1: remaining tasks arrive at 1/s, not 10s gaps
+        sim.schedule(1.0, src.set_rate, 1.0)
+        sim.run()
+        assert src.emitted == 5
+        assert sim.now < 10.0
+
+    def test_set_rate_clamped_to_max(self):
+        sim = Simulator()
+        src = TaskSource(
+            sim, Store(sim), rate=1.0, work_model=ConstantWork(1.0), max_rate=2.0, total=1
+        )
+        applied = src.set_rate(100.0)
+        assert applied == 2.0
+        assert src.rate == 2.0
+
+    def test_scale_rate(self):
+        sim = Simulator()
+        src = TaskSource(sim, Store(sim), rate=1.0, work_model=ConstantWork(1.0), total=1)
+        assert src.scale_rate(1.5) == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            src.scale_rate(0.0)
+
+    def test_end_of_stream_callback(self):
+        sim = Simulator()
+        out = Store(sim)
+        fired = []
+        TaskSource(
+            sim,
+            out,
+            rate=1.0,
+            work_model=ConstantWork(1.0),
+            total=3,
+            on_end_of_stream=lambda: fired.append(sim.now),
+        )
+        sim.run()
+        assert fired == [pytest.approx(3.0)]
+
+    def test_on_emit_callback_sees_each_task(self):
+        sim = Simulator()
+        out = Store(sim)
+        seen = []
+        TaskSource(
+            sim,
+            out,
+            rate=1.0,
+            work_model=ConstantWork(1.0),
+            total=4,
+            on_emit=lambda t: seen.append(t.task_id),
+        )
+        sim.run()
+        assert seen == [0, 1, 2, 3]
+
+    def test_created_at_stamps(self):
+        sim = Simulator()
+        out = Store(sim)
+        TaskSource(sim, out, rate=2.0, work_model=ConstantWork(1.0), total=2)
+        sim.run()
+        tasks = out.peek_items()
+        assert tasks[0].created_at == pytest.approx(0.5)
+        assert tasks[1].created_at == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.2, max_value=10.0), st.integers(1, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_emission_times_match_rate(self, rate, total):
+        sim = Simulator()
+        out = Store(sim)
+        times = []
+        TaskSource(
+            sim,
+            out,
+            rate=rate,
+            work_model=ConstantWork(1.0),
+            total=total,
+            on_emit=lambda t: times.append(sim.now),
+        )
+        sim.run()
+        assert len(times) == total
+        for i, t in enumerate(times):
+            assert t == pytest.approx((i + 1) / rate, rel=1e-6)

@@ -1,0 +1,165 @@
+"""Tests for skeleton tree construction, traversal and parsing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.skeletons.ast import Farm, Pipe, Seq, SkeletonError, parse
+
+
+def skeleton_strategy(max_depth=4):
+    """Hypothesis strategy generating random well-formed skeleton trees."""
+    # work values with exact short decimal forms, so to_expr() round-trips
+    seqs = st.builds(Seq, work=st.integers(1, 100).map(lambda i: i / 10))
+    return st.recursive(
+        seqs,
+        lambda children: st.one_of(
+            st.builds(Farm, worker=children, degree=st.integers(1, 8)),
+            st.lists(children, min_size=2, max_size=4).map(lambda xs: Pipe(*xs)),
+        ),
+        max_leaves=8,
+    )
+
+
+class TestSeq:
+    def test_defaults(self):
+        s = Seq()
+        assert s.work == 1.0
+        assert s.name == "seq"
+        assert s.children == ()
+        assert s.depth == 1
+        assert s.node_count == 1
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(SkeletonError):
+            Seq(work=-1.0)
+
+    def test_zero_work_allowed(self):
+        assert Seq(work=0.0).work == 0.0
+
+    def test_expr(self):
+        assert Seq().to_expr() == "seq"
+        assert Seq(2.5).to_expr() == "seq(2.5)"
+
+    def test_equality(self):
+        assert Seq(1.0) == Seq(1.0)
+        assert Seq(1.0) != Seq(2.0)
+
+
+class TestFarm:
+    def test_defaults(self):
+        f = Farm(Seq(2.0), degree=4)
+        assert f.degree == 4
+        assert f.children == (Seq(2.0),)
+        assert f.depth == 2
+
+    def test_degree_validation(self):
+        with pytest.raises(SkeletonError):
+            Farm(Seq(), degree=0)
+
+    def test_worker_validation(self):
+        with pytest.raises(SkeletonError):
+            Farm("not a skeleton")  # type: ignore[arg-type]
+
+    def test_policy_validation(self):
+        with pytest.raises(SkeletonError):
+            Farm(Seq(), dispatch="teleport")
+        with pytest.raises(SkeletonError):
+            Farm(Seq(), collect="vanish")
+
+    def test_with_degree_is_copy(self):
+        f = Farm(Seq(), degree=2)
+        g = f.with_degree(5)
+        assert g.degree == 5
+        assert f.degree == 2
+        assert g.worker is f.worker
+
+    def test_expr(self):
+        assert Farm(Seq()).to_expr() == "farm(seq)"
+        assert Farm(Seq(), degree=3).to_expr() == "farm(seq, n=3)"
+
+
+class TestPipe:
+    def test_requires_two_stages(self):
+        with pytest.raises(SkeletonError):
+            Pipe(Seq())
+
+    def test_stage_type_validation(self):
+        with pytest.raises(SkeletonError):
+            Pipe(Seq(), "nope")  # type: ignore[arg-type]
+
+    def test_children(self):
+        p = Pipe(Seq(1.0), Seq(2.0), Seq(3.0))
+        assert len(p.children) == 3
+        assert p.depth == 2
+
+    def test_paper_tree(self):
+        """farm(pipeline(seq, farm(seq), seq)) from §3.1."""
+        tree = Farm(Pipe(Seq(), Farm(Seq()), Seq()))
+        assert tree.depth == 4
+        assert tree.node_count == 6
+        assert len(tree.leaves()) == 3
+
+    def test_expr(self):
+        p = Pipe(Seq(), Farm(Seq(), degree=2), Seq(0.5))
+        assert p.to_expr() == "pipe(seq, farm(seq, n=2), seq(0.5))"
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        inner = Farm(Seq(2.0))
+        tree = Pipe(Seq(1.0), inner)
+        nodes = list(tree.walk())
+        assert nodes[0] is tree
+        assert nodes[1] == Seq(1.0)
+        assert nodes[2] is inner
+
+    def test_leaves_left_to_right(self):
+        tree = Pipe(Seq(1.0), Farm(Seq(2.0)), Seq(3.0))
+        assert [l.work for l in tree.leaves()] == [1.0, 2.0, 3.0]
+
+    @given(skeleton_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_node_count_matches_walk(self, tree):
+        assert tree.node_count == len(list(tree.walk()))
+
+    @given(skeleton_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_leaves_are_seqs(self, tree):
+        leaves = tree.leaves()
+        assert leaves
+        assert all(isinstance(l, Seq) for l in leaves)
+
+
+class TestParser:
+    def test_seq(self):
+        assert parse("seq") == Seq()
+        assert parse("seq(2.5)") == Seq(2.5)
+
+    def test_farm(self):
+        assert parse("farm(seq)") == Farm(Seq())
+        assert parse("farm(seq, n=4)") == Farm(Seq(), degree=4)
+
+    def test_pipe_and_pipeline_alias(self):
+        expected = Pipe(Seq(), Seq(2.0))
+        assert parse("pipe(seq, seq(2))") == expected
+        assert parse("pipeline(seq, seq(2))") == expected
+
+    def test_paper_expression(self):
+        tree = parse("farm(pipeline(seq, farm(seq), seq))")
+        assert isinstance(tree, Farm)
+        assert isinstance(tree.worker, Pipe)
+        assert len(tree.worker.stages) == 3
+
+    def test_whitespace_tolerated(self):
+        assert parse("  farm( seq , n=2 )  ") == Farm(Seq(), degree=2)
+
+    def test_errors(self):
+        for bad in ("", "unknown", "farm(seq", "seq)", "farm(seq) extra", "pipe(seq)"):
+            with pytest.raises(SkeletonError):
+                parse(bad)
+
+    @given(skeleton_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, tree):
+        assert parse(tree.to_expr()) == tree

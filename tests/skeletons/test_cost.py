@@ -1,0 +1,147 @@
+"""Tests for the skeleton cost models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.skeletons.ast import Farm, Pipe, Seq, SkeletonError
+from repro.skeletons.cost import (
+    bottleneck_stage,
+    describe,
+    optimal_degree,
+    resource_count,
+    scalability_limit,
+    service_time,
+    stage_weights,
+    throughput,
+)
+
+
+class TestServiceTime:
+    def test_seq(self):
+        assert service_time(Seq(2.0)) == 2.0
+
+    def test_farm_divides_by_degree(self):
+        assert service_time(Farm(Seq(4.0), degree=4)) == pytest.approx(1.0)
+
+    def test_pipe_bounded_by_slowest(self):
+        p = Pipe(Seq(1.0), Seq(5.0), Seq(2.0))
+        assert service_time(p) == 5.0
+
+    def test_paper_tree(self):
+        """pipe(seq(1), farm(seq(5), n=5), seq(1)): farm stage matches others."""
+        p = Pipe(Seq(1.0), Farm(Seq(5.0), degree=5), Seq(1.0))
+        assert service_time(p) == pytest.approx(1.0)
+
+    def test_unknown_type_rejected(self):
+        class Odd(Seq.__mro__[1]):  # a bare Skeleton subclass
+            pass
+
+        with pytest.raises(SkeletonError):
+            service_time(Odd())
+
+
+class TestThroughput:
+    def test_inverse_of_service_time(self):
+        assert throughput(Seq(2.0)) == pytest.approx(0.5)
+
+    def test_zero_work_is_infinite(self):
+        assert throughput(Seq(0.0)) == math.inf
+
+    def test_farm_scales_linearly(self):
+        base = throughput(Farm(Seq(2.0), degree=1))
+        assert throughput(Farm(Seq(2.0), degree=3)) == pytest.approx(3 * base)
+
+
+class TestOptimalDegree:
+    def test_exact_fit(self):
+        # worker takes 5s; 0.6 t/s needs ceil(3.0) = 3 workers
+        assert optimal_degree(Seq(5.0), 0.6) == 3
+
+    def test_rounds_up(self):
+        assert optimal_degree(Seq(5.0), 0.61) == 4
+
+    def test_minimum_one(self):
+        assert optimal_degree(Seq(0.1), 0.5) == 1
+
+    def test_zero_work_worker(self):
+        assert optimal_degree(Seq(0.0), 100.0) == 1
+
+    def test_invalid_target(self):
+        with pytest.raises(SkeletonError):
+            optimal_degree(Seq(1.0), 0.0)
+
+    @given(
+        st.floats(min_value=0.1, max_value=20.0),
+        st.floats(min_value=0.05, max_value=5.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_degree_is_sufficient_and_minimal(self, work, target):
+        """The computed degree meets the target; one fewer would not."""
+        n = optimal_degree(Seq(work), target)
+        assert throughput(Farm(Seq(work), degree=n)) >= target - 1e-6
+        if n > 1:
+            assert throughput(Farm(Seq(work), degree=n - 1)) < target + 1e-6
+
+
+class TestResourceCount:
+    def test_seq(self):
+        assert resource_count(Seq()) == 1
+
+    def test_farm(self):
+        assert resource_count(Farm(Seq(), degree=4)) == 4
+
+    def test_farm_with_overhead(self):
+        assert resource_count(Farm(Seq(), degree=4), farm_overhead=2) == 6
+
+    def test_pipe_sums(self):
+        p = Pipe(Seq(), Farm(Seq(), degree=4), Seq())
+        assert resource_count(p) == 6
+
+    def test_fig4_initial_deployment(self):
+        """Producer + consumer + 3 default workers = 5 cores (Fig. 4)."""
+        p = Pipe(Seq(1.0), Farm(Seq(5.0), degree=3), Seq(1.0))
+        assert resource_count(p) == 5
+
+    def test_nested(self):
+        tree = Farm(Pipe(Seq(), Farm(Seq(), degree=2), Seq()), degree=2)
+        assert resource_count(tree) == 8
+
+
+class TestStageWeights:
+    def test_proportional(self):
+        p = Pipe(Seq(1.0), Seq(3.0))
+        assert stage_weights(p) == pytest.approx([0.25, 0.75])
+
+    def test_all_zero_work(self):
+        p = Pipe(Seq(0.0), Seq(0.0))
+        assert stage_weights(p) == pytest.approx([0.5, 0.5])
+
+    def test_weights_sum_to_one(self):
+        p = Pipe(Seq(1.0), Farm(Seq(4.0), degree=2), Seq(0.5))
+        assert sum(stage_weights(p)) == pytest.approx(1.0)
+
+    def test_bottleneck(self):
+        p = Pipe(Seq(1.0), Seq(5.0), Seq(2.0))
+        assert bottleneck_stage(p) == 1
+
+
+class TestScalabilityLimit:
+    def test_basic(self):
+        # 10s of work per task; 0.5s dispatch -> 20 useful workers
+        assert scalability_limit(Farm(Seq(10.0)), 0.5) == 20
+
+    def test_at_least_one(self):
+        assert scalability_limit(Farm(Seq(0.1)), 1.0) == 1
+
+    def test_invalid_overhead(self):
+        with pytest.raises(SkeletonError):
+            scalability_limit(Farm(Seq(1.0)), 0.0)
+
+
+class TestDescribe:
+    def test_keys(self):
+        d = describe(Pipe(Seq(), Seq()))
+        assert set(d) == {"service_time", "throughput", "resources", "depth", "nodes"}

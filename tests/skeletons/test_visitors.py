@@ -1,0 +1,160 @@
+"""Tests for skeleton tree rewrites and their invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.skeletons.ast import Farm, Pipe, Seq, SkeletonError
+from repro.skeletons.cost import service_time
+from repro.skeletons.visitors import (
+    count_type,
+    farm_out_stage,
+    normalize,
+    replace_node,
+    scale_farms,
+    transform,
+)
+
+from .test_ast import skeleton_strategy
+
+
+class TestTransform:
+    def test_identity_returns_same_tree(self):
+        tree = Pipe(Seq(), Farm(Seq()))
+        assert transform(tree, lambda n: n) is tree
+
+    def test_bottom_up_order(self):
+        visited = []
+        tree = Pipe(Seq(1.0), Farm(Seq(2.0)))
+
+        def spy(node):
+            visited.append(type(node).__name__)
+            return node
+
+        transform(tree, spy)
+        assert visited == ["Seq", "Seq", "Farm", "Pipe"]
+
+    def test_rebuilds_only_changed_paths(self):
+        left = Seq(1.0)
+        right = Farm(Seq(2.0))
+        tree = Pipe(left, right)
+
+        def bump(node):
+            if isinstance(node, Farm):
+                return node.with_degree(node.degree + 1)
+            return node
+
+        out = transform(tree, bump)
+        assert out is not tree
+        assert out.stages[0] is left  # untouched subtree shared
+
+
+class TestScaleFarms:
+    def test_doubles_degrees(self):
+        tree = Pipe(Seq(), Farm(Seq(), degree=3), Farm(Seq(), degree=2))
+        out = scale_farms(tree, 2.0)
+        assert [f.degree for f in out.walk() if isinstance(f, Farm)] == [6, 4]
+
+    def test_never_below_one(self):
+        out = scale_farms(Farm(Seq(), degree=2), 0.1)
+        assert out.degree == 1
+
+    def test_invalid_factor(self):
+        with pytest.raises(SkeletonError):
+            scale_farms(Seq(), 0.0)
+
+    @given(skeleton_strategy(), st.floats(min_value=0.5, max_value=4.0))
+    @settings(max_examples=40, deadline=None)
+    def test_structure_preserved(self, tree, factor):
+        out = scale_farms(tree, factor)
+        assert out.node_count == tree.node_count
+        assert len(out.leaves()) == len(tree.leaves())
+
+
+class TestFarmOutStage:
+    def test_replaces_stage_with_farm(self):
+        p = Pipe(Seq(1.0), Seq(5.0), Seq(1.0))
+        out = farm_out_stage(p, 1, 5)
+        assert isinstance(out.stages[1], Farm)
+        assert out.stages[1].degree == 5
+        assert out.stages[1].worker == Seq(5.0)
+
+    def test_relieves_bottleneck(self):
+        """§4.2: farming the slow stage restores pipeline throughput."""
+        p = Pipe(Seq(1.0), Seq(5.0), Seq(1.0))
+        assert service_time(p) == 5.0
+        out = farm_out_stage(p, 1, 5)
+        assert service_time(out) == pytest.approx(1.0)
+
+    def test_bad_index(self):
+        with pytest.raises(SkeletonError):
+            farm_out_stage(Pipe(Seq(), Seq()), 5, 2)
+
+    def test_bad_degree(self):
+        with pytest.raises(SkeletonError):
+            farm_out_stage(Pipe(Seq(), Seq()), 0, 0)
+
+
+class TestNormalize:
+    def test_flattens_nested_pipes(self):
+        p = Pipe(Seq(1.0), Pipe(Seq(2.0), Seq(3.0)), Seq(4.0))
+        out = normalize(p)
+        assert isinstance(out, Pipe)
+        assert len(out.stages) == 4
+        assert all(isinstance(s, Seq) for s in out.stages)
+
+    def test_merges_farm_of_farm(self):
+        f = Farm(Farm(Seq(2.0), degree=3), degree=2)
+        out = normalize(f)
+        assert isinstance(out, Farm)
+        assert out.degree == 6
+        assert out.worker == Seq(2.0)
+
+    def test_deeply_nested(self):
+        f = Farm(Farm(Farm(Seq(), degree=2), degree=2), degree=2)
+        out = normalize(f)
+        assert out.degree == 8
+
+    def test_already_normal_unchanged(self):
+        p = Pipe(Seq(), Farm(Seq(), degree=2))
+        assert normalize(p) is p
+
+    @given(skeleton_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_preserves_service_time(self, tree):
+        assert service_time(normalize(tree)) == pytest.approx(service_time(tree))
+
+    @given(skeleton_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent(self, tree):
+        once = normalize(tree)
+        assert normalize(once) == once
+
+    @given(skeleton_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_no_nested_pipes_or_farm_of_farm_left(self, tree):
+        out = normalize(tree)
+        for node in out.walk():
+            if isinstance(node, Pipe):
+                assert not any(isinstance(s, Pipe) for s in node.stages)
+            if isinstance(node, Farm):
+                assert not isinstance(node.worker, Farm)
+
+
+class TestReplaceAndCount:
+    def test_replace_by_identity(self):
+        slow = Seq(5.0)
+        tree = Pipe(Seq(1.0), slow)
+        out = replace_node(tree, slow, Farm(slow, 5))
+        assert isinstance(out.stages[1], Farm)
+        # equal-but-not-identical Seq(5.0) elsewhere would be untouched
+        other = Pipe(Seq(5.0), slow)
+        out2 = replace_node(other, slow, Seq(9.0))
+        assert out2.stages[0] == Seq(5.0)
+        assert out2.stages[1] == Seq(9.0)
+
+    def test_count_type(self):
+        tree = Farm(Pipe(Seq(), Farm(Seq()), Seq()))
+        assert count_type(tree, Farm) == 2
+        assert count_type(tree, Seq) == 3
+        assert count_type(tree, Pipe) == 1

@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs to completion and reports success.
+
+The examples are the library's front door; each must execute its
+``main()`` without raising and print the outcome markers a reader would
+look for.  (``live_threads`` is exercised with reduced volume through
+its building blocks in ``tests/runtime`` instead — wall-clock sleeps
+make the full script too slow for the unit suite.)
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "satisfied    : True" in out
+        assert "addWorker" in out
+
+    def test_medical_imaging(self, capsys):
+        load_example("medical_imaging").main()
+        out = capsys.readouterr().out
+        assert "images/s processed" in out
+        assert "final:" in out
+
+    def test_pipeline_hierarchy(self, capsys):
+        load_example("pipeline_hierarchy").main()
+        out = capsys.readouterr().out
+        assert "FIG4" in out
+        assert "incRate" in out
+        assert "addWorker" in out
+        assert "endStream" in out
+
+    def test_multiconcern_security(self, capsys):
+        load_example("multiconcern_security").main()
+        out = capsys.readouterr().out
+        assert "MC-2PC" in out
+        assert "plaintext over a non-private link" in out
+        assert "amendment" in out
+
+    def test_dataparallel_map(self, capsys):
+        load_example("dataparallel_map").main()
+        out = capsys.readouterr().out
+        assert "contract met    : True" in out
+        assert "addWorker" in out
+
+    def test_nested_skeletons(self, capsys):
+        load_example("nested_skeletons").main()
+        out = capsys.readouterr().out
+        assert "contract met    : True" in out
+        assert "replicas" in out
+
+    def test_live_threads_importable(self):
+        """Import only: the full run sleeps for real seconds."""
+        module = load_example("live_threads")
+        assert callable(module.main)
