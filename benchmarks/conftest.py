@@ -3,9 +3,13 @@
 Every figure-level bench renders its textual figure/table into
 ``benchmarks/out/<name>.txt`` (via the ``report_sink`` fixture) so the
 regenerated artefacts survive a plain ``pytest benchmarks/
---benchmark-only`` run; pass ``-s`` to also see them inline.
+--benchmark-only`` run; pass ``-s`` to also see them inline.  The
+``json_sink`` fixture does the same for machine-readable summaries
+(``benchmarks/out/BENCH_<name>.json``), which trend-tracking tooling can
+diff across revisions.
 """
 
+import json
 import pathlib
 
 import pytest
@@ -22,6 +26,20 @@ def report_sink():
         path = OUT_DIR / f"{name}.txt"
         path.write_text(text)
         print(f"\n{text}\n[report written to {path}]")
+        return path
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def json_sink():
+    """Write one experiment's summary dict to benchmarks/out/BENCH_<name>.json."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, payload: dict) -> pathlib.Path:
+        path = OUT_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n")
+        print(f"\n[summary written to {path}]")
         return path
 
     return write

@@ -12,7 +12,7 @@ from repro.experiments.report import render_fig3
 
 
 @pytest.mark.benchmark(group="fig3")
-def test_fig3_scenario(benchmark, report_sink):
+def test_fig3_scenario(benchmark, report_sink, json_sink):
     result = benchmark.pedantic(run_fig3, rounds=3, iterations=1)
 
     # paper shape: ramp up from 1 worker until the contract holds
@@ -23,6 +23,17 @@ def test_fig3_scenario(benchmark, report_sink):
     assert result.time_to_contract is not None
 
     report_sink("fig3", render_fig3(result))
+    json_sink(
+        "fig3",
+        {
+            "steady_state_throughput": result.final_throughput,
+            "adaptation_latency": result.time_to_contract,
+            "final_workers": result.final_workers,
+            "add_worker_times": result.add_worker_times,
+            "workers_over_time": result.workers_series,
+            "throughput_over_time": result.throughput_series,
+        },
+    )
 
 
 @pytest.mark.benchmark(group="fig3")

@@ -13,7 +13,7 @@ from repro.experiments.report import render_fig4
 
 
 @pytest.mark.benchmark(group="fig4")
-def test_fig4_scenario(benchmark, report_sink):
+def test_fig4_scenario(benchmark, report_sink, json_sink):
     result = benchmark.pedantic(run_fig4, rounds=3, iterations=1)
 
     # phase 1: starvation -> violations -> incRate ramp
@@ -33,6 +33,25 @@ def test_fig4_scenario(benchmark, report_sink):
     assert result.in_stripe_at_end()
 
     report_sink("fig4", render_fig4(result))
+    first_inc = min(result.inc_rate_times) if result.inc_rate_times else None
+    json_sink(
+        "fig4",
+        {
+            "steady_state_throughput": result.final_throughput(),
+            # first corrective action after the first reported violation
+            "adaptation_latency": (
+                first_inc - result.first_violation_time
+                if first_inc is not None and result.first_violation_time is not None
+                else None
+            ),
+            "first_violation_time": result.first_violation_time,
+            "inc_rate_times": result.inc_rate_times,
+            "add_worker_times": result.add_worker_times,
+            "end_stream_time": result.end_stream_time,
+            "workers_over_time": result.cores_series,
+            "throughput_over_time": result.throughput_series,
+        },
+    )
 
 
 @pytest.mark.benchmark(group="fig4")

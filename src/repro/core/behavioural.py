@@ -130,6 +130,7 @@ def build_farm_bs(
     spawn_worker_managers: bool = True,
     on_result: Optional[Callable[..., None]] = None,
     policy: str = "standard",
+    telemetry: Optional[Any] = None,
 ) -> FarmBS:
     """Assemble a task-farm BS (Figure 3 configuration).
 
@@ -150,6 +151,7 @@ def build_farm_bs(
         worker_setup_time=worker_setup_time,
         rate_window=rate_window,
         on_result=on_result,
+        telemetry=telemetry,
     )
     abc = FarmABC(farm, resources, node_predicate=node_predicate)
     from .policies import ManagersConstants
@@ -165,6 +167,7 @@ def build_farm_bs(
         manage_workers=spawn_worker_managers,
         policy=policy,
         worker_work=worker_work,
+        telemetry=telemetry,
     )
     if initial_degree > 0:
         abc.bootstrap(initial_degree)
@@ -316,6 +319,7 @@ def build_three_stage_pipeline(
     inc_factor: float = 1.3,
     dec_factor: float = 0.92,
     name: str = "app",
+    telemetry: Optional[Any] = None,
 ) -> PipelineApp:
     """Assemble Figure 4's ``pipeline(seq, farm(seq), seq)`` application.
 
@@ -337,6 +341,7 @@ def build_three_stage_pipeline(
         network=network,
         worker_setup_time=worker_setup_time,
         rate_window=rate_window,
+        telemetry=telemetry,
     )
 
     # consumer: drains the farm's output through a forwarder
@@ -364,10 +369,18 @@ def build_three_stage_pipeline(
         trace=trace,
         control_period=control_period,
         manage_workers=spawn_worker_managers,
+        telemetry=telemetry,
     )
 
     consumer_abc = StageABC(consumer_stage)
-    am_c = ConsumerManager("AM_C", sim, consumer_abc, trace=trace, control_period=control_period)
+    am_c = ConsumerManager(
+        "AM_C",
+        sim,
+        consumer_abc,
+        trace=trace,
+        control_period=control_period,
+        telemetry=telemetry,
+    )
 
     am_a = PipelineManager(
         "AM_A",
@@ -376,6 +389,7 @@ def build_three_stage_pipeline(
         control_period=control_period,
         inc_factor=inc_factor,
         dec_factor=dec_factor,
+        telemetry=telemetry,
     )
 
     source = TaskSource(
@@ -392,7 +406,14 @@ def build_three_stage_pipeline(
         ),
     )
     producer_abc = ProducerABC(source)
-    am_p = ProducerManager("AM_P", sim, producer_abc, trace=trace, control_period=control_period)
+    am_p = ProducerManager(
+        "AM_P",
+        sim,
+        producer_abc,
+        trace=trace,
+        control_period=control_period,
+        telemetry=telemetry,
+    )
 
     am_a.producer = am_p
     am_a.add_child(am_p)

@@ -34,6 +34,7 @@ import enum
 from typing import Any, Dict, List, Mapping, Optional
 
 from ..gcm.abc_controller import AutonomicBehaviourController
+from ..obs.telemetry import NOOP, Telemetry
 from ..rules.beans import Bean, ManagerOperation
 from ..rules.engine import RuleEngine
 from ..sim.engine import PeriodicTask, Simulator
@@ -66,6 +67,7 @@ class AutonomicManager:
         concern: str = "performance",
         abc: Optional[AutonomicBehaviourController] = None,
         trace: Optional[TraceRecorder] = None,
+        telemetry: Optional[Telemetry] = None,
         control_period: float = 10.0,
         violation_delay: float = 1.0,
         autostart: bool = True,
@@ -77,10 +79,15 @@ class AutonomicManager:
         self.concern = concern
         self.abc = abc
         self.trace = trace or TraceRecorder()
+        # Observability is strictly optional: the no-op default makes
+        # every tel.* call inert, and the property tests assert that
+        # attaching a live Telemetry leaves the event sequence
+        # bit-identical.
+        self.telemetry = telemetry if telemetry is not None else NOOP
         self.control_period = control_period
         self.violation_delay = violation_delay
 
-        self.engine = RuleEngine()
+        self.engine = RuleEngine(telemetry=self.telemetry, owner=name)
         self.contract: Optional[Contract] = None
         self.state = ManagerState.PASSIVE
         self.parent: Optional["AutonomicManager"] = None
@@ -140,12 +147,18 @@ class AutonomicManager:
     # ------------------------------------------------------------------
     def assign_contract(self, contract: Contract) -> None:
         """Receive a contract from the user or the parent manager."""
-        self.contract = contract
-        self.trace.mark(
-            self.sim.now, self.name, Events.NEW_CONTRACT, contract=contract.describe()
-        )
-        self.on_contract(contract)
-        self._set_state(ManagerState.ACTIVE)
+        with self.telemetry.span(
+            "contract.assign", actor=self.name, contract=contract.describe()
+        ):
+            self.contract = contract
+            self.trace.mark(
+                self.sim.now, self.name, Events.NEW_CONTRACT, contract=contract.describe()
+            )
+            # on_contract may split/propagate to children, whose own
+            # contract.assign spans nest under this one: the P_spl
+            # propagation tree becomes directly visible in the trace.
+            self.on_contract(contract)
+            self._set_state(ManagerState.ACTIVE)
 
     def on_contract(self, contract: Contract) -> None:
         """Hook: derive thresholds, split and propagate to children."""
@@ -165,16 +178,56 @@ class AutonomicManager:
     # MAPE loop
     # ------------------------------------------------------------------
     def control_step(self) -> None:
-        """One control-loop tick: monitor, analyse, plan, execute."""
-        data = self.monitor()
-        if data is None:
-            return  # reconfiguration blackout: no sensor data this tick
-        self.last_monitor = data
-        self.observe(data)
-        if self.state is ManagerState.ACTIVE:
-            self.engine.evaluate()
-        else:
-            self.passive_step(data)
+        """One control-loop tick: monitor, analyse, plan, execute.
+
+        With telemetry attached, every phase of the MAPE cycle becomes a
+        child span of one ``mape.cycle`` span, and the cycle's
+        instrumentation-side cost feeds the control-loop latency
+        histogram.  The rule evaluation is split into its
+        :meth:`~repro.rules.engine.RuleEngine.agenda` (plan) and
+        :meth:`~repro.rules.engine.RuleEngine.fire` (execute) halves —
+        behaviourally identical to ``evaluate()`` — so planning and
+        execution are separately attributable.
+        """
+        tel = self.telemetry
+        with tel.span("mape.cycle", actor=self.name) as cycle:
+            with tel.span("mape.monitor", actor=self.name):
+                data = self.monitor()
+            if data is None:
+                # reconfiguration blackout: no sensor data this tick
+                cycle.set_attribute("blackout", True)
+                if tel.enabled:
+                    tel.metrics.counter(
+                        "repro_mape_blackout_ticks_total",
+                        "control ticks skipped during reconfiguration blackouts",
+                    ).labels(manager=self.name).inc()
+                return
+            self.last_monitor = data
+            with tel.span("mape.analyse", actor=self.name):
+                self.observe(data)
+            if self.state is ManagerState.ACTIVE:
+                with tel.span("mape.plan", actor=self.name) as plan:
+                    agenda = self.engine.agenda()
+                    if tel.enabled:
+                        plan.set_attribute(
+                            "matched",
+                            [(a.rule.name, a.rule.salience) for a in agenda],
+                        )
+                with tel.span("mape.execute", actor=self.name) as execute:
+                    fired = self.engine.fire(agenda)
+                    if tel.enabled:
+                        execute.set_attribute("fired", fired)
+            else:
+                with tel.span("mape.execute", actor=self.name, mode="passive"):
+                    self.passive_step(data)
+        if tel.enabled:
+            tel.metrics.histogram(
+                "repro_control_loop_latency_seconds",
+                "wall-clock cost of one MAPE control tick",
+            ).labels(manager=self.name).observe(cycle.perf_elapsed or 0.0)
+            tel.metrics.counter(
+                "repro_mape_ticks_total", "MAPE control ticks executed"
+            ).labels(manager=self.name).inc()
 
     def monitor(self) -> Optional[Dict[str, Any]]:
         """Sample the ABC (managers without an ABC see an empty sample)."""
@@ -245,12 +298,28 @@ class AutonomicManager:
         if self.parent is not None:
             # Violation reports travel over the network: the parent sees
             # them "a little bit after" (Fig. 4) the child raised them.
+            # The in-flight interval is a detached span closed at
+            # delivery, so the audit shows each propagation hop.
+            span = self.telemetry.start_span(
+                "violation.propagate",
+                actor=self.name,
+                kind=kind,
+                severity=severity,
+                target=self.parent.name,
+            )
             self.sim.schedule(
-                self.violation_delay, self.parent.child_violation, self, violation
+                self.violation_delay, self._deliver_violation, self.parent, violation, span
             )
         else:
             self.unhandled_violations.append(violation)
         return violation
+
+    def _deliver_violation(
+        self, parent: "AutonomicManager", violation: Violation, span: Any
+    ) -> None:
+        """Scheduled hand-off of a violation report to the parent."""
+        self.telemetry.end_span(span)
+        parent.child_violation(self, violation)
 
     def child_violation(self, child: "AutonomicManager", violation: Violation) -> None:
         """Hook: a child reported a violation.  Default: record only."""

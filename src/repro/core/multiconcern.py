@@ -29,10 +29,11 @@ design points, all implemented here:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..gcm.abc_controller import FarmABC, PlannedReconfiguration
+from ..obs.telemetry import NOOP, Telemetry
 from ..rules.beans import ManagerOperation
 from ..sim.trace import TraceRecorder
 from .events import Events
@@ -84,9 +85,11 @@ class GeneralManager:
         *,
         mode: CoordinationMode = CoordinationMode.TWO_PHASE,
         trace: Optional[TraceRecorder] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.mode = mode
         self.trace = trace or TraceRecorder()
+        self.telemetry = telemetry if telemetry is not None else NOOP
         self._managers: List[Tuple[int, AutonomicManager]] = []
         self.intents: List[IntentRecord] = []
 
@@ -131,54 +134,75 @@ class GeneralManager:
         if op is not ManagerOperation.ADD_EXECUTOR or not isinstance(abc, FarmABC):
             return abc.execute(op, data) if abc is not None else False
 
-        count = int(data.get("count", 1)) if isinstance(data, Mapping) else 1
-        plan = abc.plan_add_workers(count)
-        if plan is None:
-            self._record(originator, op, "no-plan")
-            return False
-
-        if self.mode is CoordinationMode.NAIVE:
-            # Phase-less commit: other concern managers only find out via
-            # their own monitoring — the unsafe window of §3.2.
-            abc.commit_plan(plan)
-            self._record(originator, op, "committed", reviewers=())
-            return True
-
-        amendments = 0
-        reviewers: List[str] = []
-        for reviewer in self.managers:
-            if reviewer is originator:
-                continue
-            if not isinstance(reviewer, ConcernReview) and not hasattr(
-                reviewer, "review_intent"
-            ):
-                continue
-            reviewers.append(reviewer.name)
-            before = dict(plan.secured)
-            verdict = reviewer.review_intent(originator, plan)
-            if plan.secured != before:
-                amendments += 1
-                self.trace.mark(
-                    originator.sim.now,
-                    reviewer.name,
-                    Events.INTENT_AMENDED,
-                    nodes=[n for n in plan.secured if plan.secured[n]],
-                )
-            if verdict is False:
-                abc.abort_plan(plan)
-                self.trace.mark(
-                    originator.sim.now, reviewer.name, Events.INTENT_VETOED
-                )
-                self._record(
-                    originator, op, "vetoed", amendments=amendments,
-                    reviewers=tuple(reviewers),
-                )
+        tel = self.telemetry
+        with tel.span(
+            "intent.round",
+            actor="GM",
+            originator=originator.name,
+            operation=op.value,
+            mode=self.mode.value,
+        ) as round_span:
+            count = int(data.get("count", 1)) if isinstance(data, Mapping) else 1
+            plan = abc.plan_add_workers(count)
+            tel.event("intent.plan", count=count, ok=plan is not None)
+            if plan is None:
+                round_span.set_attribute("outcome", "no-plan")
+                self._record(originator, op, "no-plan")
                 return False
-        abc.commit_plan(plan)
-        self._record(
-            originator, op, "committed", amendments=amendments, reviewers=tuple(reviewers)
-        )
-        return True
+
+            if self.mode is CoordinationMode.NAIVE:
+                # Phase-less commit: other concern managers only find out via
+                # their own monitoring — the unsafe window of §3.2.
+                abc.commit_plan(plan)
+                tel.event("intent.commit", reviewers=0)
+                round_span.set_attribute("outcome", "committed")
+                self._record(originator, op, "committed", reviewers=())
+                return True
+
+            amendments = 0
+            reviewers: List[str] = []
+            for reviewer in self.managers:
+                if reviewer is originator:
+                    continue
+                if not isinstance(reviewer, ConcernReview) and not hasattr(
+                    reviewer, "review_intent"
+                ):
+                    continue
+                reviewers.append(reviewer.name)
+                before = dict(plan.secured)
+                verdict = reviewer.review_intent(originator, plan)
+                tel.event(
+                    "intent.review", reviewer=reviewer.name, verdict=verdict is not False
+                )
+                if plan.secured != before:
+                    amendments += 1
+                    self.trace.mark(
+                        originator.sim.now,
+                        reviewer.name,
+                        Events.INTENT_AMENDED,
+                        nodes=[n for n in plan.secured if plan.secured[n]],
+                    )
+                    tel.event("intent.amend", reviewer=reviewer.name)
+                if verdict is False:
+                    abc.abort_plan(plan)
+                    self.trace.mark(
+                        originator.sim.now, reviewer.name, Events.INTENT_VETOED
+                    )
+                    tel.event("intent.veto", reviewer=reviewer.name)
+                    round_span.set_attribute("outcome", "vetoed")
+                    self._record(
+                        originator, op, "vetoed", amendments=amendments,
+                        reviewers=tuple(reviewers),
+                    )
+                    return False
+            abc.commit_plan(plan)
+            tel.event("intent.commit", reviewers=len(reviewers), amendments=amendments)
+            round_span.set_attribute("outcome", "committed")
+            self._record(
+                originator, op, "committed", amendments=amendments,
+                reviewers=tuple(reviewers),
+            )
+            return True
 
     def _record(
         self,

@@ -192,6 +192,31 @@ class FarmManager(AutonomicManager):
         self.trace.sample(f"{self.name}.departure_rate", now, data["departure_rate"])
         self.trace.sample(f"{self.name}.num_workers", now, data["num_workers"])
 
+        tel = self.telemetry
+        if tel.enabled:
+            # The metrics registry is the shared sink for the window/EWMA
+            # rate estimators' outputs — sim and live runtimes publish the
+            # same gauge names.
+            m = tel.metrics
+            labels = {"manager": self.name}
+            m.gauge("repro_farm_arrival_rate", "task arrival rate (tasks/s)").labels(
+                **labels
+            ).set(data["arrival_rate"])
+            m.gauge(
+                "repro_farm_departure_rate", "task departure rate (tasks/s)"
+            ).labels(**labels).set(data["departure_rate"])
+            m.gauge("repro_farm_workers", "active parallelism degree").labels(
+                **labels
+            ).set(data["num_workers"])
+            m.gauge(
+                "repro_farm_queue_variance", "population variance of queue lengths"
+            ).labels(**labels).set(data["queue_variance"])
+            m.histogram(
+                "repro_farm_queue_variance_ticks",
+                "queue variance observed per control tick",
+                buckets=(0.25, 1.0, 4.0, 9.0, 16.0, 25.0, 100.0),
+            ).labels(**labels).observe(data["queue_variance"])
+
         low = self.constants.FARM_LOW_PERF_LEVEL
         high = self.constants.FARM_HIGH_PERF_LEVEL
         if data["departure_rate"] < low:
@@ -227,6 +252,10 @@ class FarmManager(AutonomicManager):
                 self.trace.mark(self.sim.now, self.name, Events.ADD_WORKER, count=count)
             else:
                 self.raise_violation(ViolationKind.NO_LOCAL_PLAN, operation=op.value)
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter(
+                    "repro_reconfigurations_total", "actuator operations executed"
+                ).labels(manager=self.name, op=op.value, ok=ok).inc()
             return
         if op is ManagerOperation.REMOVE_EXECUTOR:
             if self.farm_abc.execute(op, data):

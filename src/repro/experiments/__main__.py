@@ -4,9 +4,12 @@ Usage::
 
     python -m repro.experiments            # run everything, print reports
     python -m repro.experiments fig4 mc    # run a subset
+    python -m repro.experiments fig4 --trace-out audit.jsonl
 
 Experiment keys: fig3, fig4, loadspike, multiconcern (mc), split,
-ablation, faults, stagefarm, patterns.
+ablation, faults, stagefarm, patterns.  ``--trace-out PATH`` attaches
+telemetry to the FIG4 run and writes its decision audit as JSONL (see
+``python -m repro.experiments.fig4 --help`` for the full option set).
 """
 
 from __future__ import annotations
@@ -116,13 +119,34 @@ DEFAULT_ORDER = (
 
 
 def main(argv: list[str]) -> int:
-    keys = argv or list(DEFAULT_ORDER)
+    trace_out = None
+    keys = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--trace-out":
+            trace_out = next(it, None)
+            if trace_out is None:
+                print("--trace-out needs a PATH argument")
+                return 2
+        elif arg.startswith("--trace-out="):
+            trace_out = arg.split("=", 1)[1]
+        else:
+            keys.append(arg)
+    keys = keys or list(DEFAULT_ORDER)
     unknown = [k for k in keys if k not in RUNNERS]
     if unknown:
         print(f"unknown experiment(s): {unknown}; choose from {sorted(RUNNERS)}")
         return 2
+    runners = dict(RUNNERS)
+    if trace_out is not None:
+        from .fig4 import main as fig4_main
+
+        runners["fig4"] = lambda: (
+            fig4_main(["--trace-out", trace_out]),
+            "",
+        )[1]
     for key in keys:
-        print(RUNNERS[key]())
+        print(runners[key]())
         print()
     return 0
 

@@ -23,18 +23,20 @@ rates vs the contract stripe, and cores in use (5 → 7 → 9).
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..core.behavioural import PipelineApp, build_three_stage_pipeline
 from ..core.contracts import ThroughputRangeContract
 from ..core.events import Events
+from ..obs.telemetry import Telemetry
 from ..sim.engine import Simulator
 from ..sim.resources import ResourceManager, make_cluster
 from ..sim.trace import TraceRecorder
 from ..sim.workload import UniformWork
 
-__all__ = ["Fig4Config", "Fig4Result", "run_fig4"]
+__all__ = ["Fig4Config", "Fig4Result", "run_fig4", "main"]
 
 
 @dataclass
@@ -57,6 +59,10 @@ class Fig4Config:
     inc_factor: float = 1.4
     dec_factor: float = 0.92
     seed: int = 42
+    #: route AM_F's worker additions through a two-phase GeneralManager.
+    #: Off by default: the GM adds its own intentReview trace marks, and
+    #: the regenerated Figure 4 artefacts must stay byte-identical.
+    with_coordinator: bool = False
 
     @property
     def mean_worker_work(self) -> float:
@@ -139,11 +145,26 @@ class Fig4Result:
         return self.config.contract_low <= v <= self.config.contract_high * 1.1
 
 
-def run_fig4(config: Optional[Fig4Config] = None) -> Fig4Result:
-    """Run the FIG4 scenario and return its traces and summary."""
+def run_fig4(
+    config: Optional[Fig4Config] = None, *, telemetry: Optional[Telemetry] = None
+) -> Fig4Result:
+    """Run the FIG4 scenario and return its traces and summary.
+
+    ``telemetry`` (optional) attaches a :class:`repro.obs.Telemetry`
+    whose clock follows the simulation; every manager MAPE phase, rule
+    evaluation, violation propagation and (with
+    ``config.with_coordinator``) intent round becomes a span.  Attaching
+    it never changes the event sequence — the no-op invariant is
+    property-tested.
+    """
     cfg = config or Fig4Config()
-    sim = Simulator()
+    sim = Simulator(telemetry=telemetry)
     trace = TraceRecorder()
+    if telemetry is not None:
+        from ..obs.clock import SimClock
+
+        telemetry.clock = SimClock(sim)
+        telemetry.trace = trace
     rm = ResourceManager(make_cluster(cfg.pool_size))
 
     app = build_three_stage_pipeline(
@@ -161,7 +182,16 @@ def run_fig4(config: Optional[Fig4Config] = None) -> Fig4Result:
         inc_factor=cfg.inc_factor,
         dec_factor=cfg.dec_factor,
         trace=trace,
+        telemetry=telemetry,
     )
+    if cfg.with_coordinator:
+        from ..core.multiconcern import CoordinationMode, GeneralManager
+
+        gm = GeneralManager(
+            mode=CoordinationMode.TWO_PHASE, trace=trace, telemetry=telemetry
+        )
+        gm.register(app.am_f)
+        app.gm = gm  # type: ignore[attr-defined]
     app.assign_contract(ThroughputRangeContract(cfg.contract_low, cfg.contract_high))
 
     def sample() -> None:
@@ -182,3 +212,65 @@ def run_fig4(config: Optional[Fig4Config] = None) -> Fig4Result:
         input_rate_series=trace.series_values("input_rate"),
         throughput_series=trace.series_values("throughput"),
     )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: run FIG4, print the report, optionally dump the decision audit.
+
+    ``--trace-out PATH`` attaches telemetry and writes the full decision
+    audit — trace marks, MAPE/rule/violation/intent spans, monitoring
+    series — as JSON lines.  ``--metrics-out PATH`` additionally dumps
+    the metrics registry in Prometheus text format.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.fig4", description=main.__doc__
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the decision audit (spans + events + series) as JSONL",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the metrics registry as Prometheus text",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None, help="override simulated duration"
+    )
+    parser.add_argument(
+        "--with-coordinator", action="store_true",
+        help="route AM_F worker additions through a two-phase GM",
+    )
+    args = parser.parse_args(argv)
+
+    cfg = Fig4Config(with_coordinator=args.with_coordinator)
+    if args.duration is not None:
+        cfg.duration = args.duration
+
+    telemetry = None
+    if args.trace_out or args.metrics_out:
+        telemetry = Telemetry()
+
+    result = run_fig4(cfg, telemetry=telemetry)
+
+    from .report import render_fig4
+
+    print(render_fig4(result))
+
+    if args.trace_out:
+        from ..obs.export import write_trace_jsonl
+
+        n = write_trace_jsonl(
+            args.trace_out, telemetry, result.trace, include_series=True
+        )
+        print(f"wrote {n} trace records to {args.trace_out}")
+    if args.metrics_out:
+        from ..obs.export import prometheus_text
+
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(prometheus_text(telemetry.metrics))
+        print(f"wrote metrics to {args.metrics_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+"""repro.obs — the unified observability subsystem.
+
+One substrate-agnostic telemetry spine for the whole stack:
+
+* **clocks** (:mod:`repro.obs.clock`) — the same tracer timestamps
+  sim-time spans under the DES and wall-clock spans under the live
+  thread runtime, by injecting a :class:`Clock`;
+* **spans** (:mod:`repro.obs.spans`) — hierarchical named intervals with
+  parents, attributes and point events; every MAPE phase, rule-engine
+  invocation, contract split, violation propagation hop and two-phase
+  intent round of the autonomic managers becomes a span or span-event;
+* **event marks** (:mod:`repro.obs.events`) — the flat
+  ``(time, actor, name)`` records behind the reproduced figures
+  (formerly ``repro.sim.trace``, which remains as a shim);
+* **metrics** (:mod:`repro.obs.metrics`) — a registry of counters,
+  gauges and fixed-bucket histograms: control-loop latency, queue
+  variance, per-worker service time, reconfiguration blackout duration;
+* **exporters** (:mod:`repro.obs.export`) — JSONL decision audits,
+  Prometheus text exposition, ASCII timeline/series figures.
+
+Everything hangs off a :class:`Telemetry` object that instrumented
+layers accept optionally; the :data:`NOOP` null telemetry is the
+default, so attaching observability never perturbs dynamics.
+"""
+
+from .clock import Clock, ManualClock, SimClock, WallClock
+from .events import EventMark, TraceRecorder
+from .export import (
+    ascii_series,
+    ascii_timeline,
+    prometheus_text,
+    span_to_dict,
+    trace_jsonl,
+    write_trace_jsonl,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from .spans import Span, SpanEvent, SpanRecorder
+from .telemetry import NOOP, NullTelemetry, Telemetry
+
+__all__ = [
+    # clocks
+    "Clock",
+    "SimClock",
+    "WallClock",
+    "ManualClock",
+    # events
+    "EventMark",
+    "TraceRecorder",
+    # spans
+    "Span",
+    "SpanEvent",
+    "SpanRecorder",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    # telemetry
+    "Telemetry",
+    "NullTelemetry",
+    "NOOP",
+    # export
+    "span_to_dict",
+    "trace_jsonl",
+    "write_trace_jsonl",
+    "prometheus_text",
+    "ascii_timeline",
+    "ascii_series",
+]

@@ -1,0 +1,94 @@
+"""Pluggable time sources for the observability layer.
+
+The same tracer must be able to timestamp spans in *simulated* time
+(when attached to the DES substrate) and in *wall-clock* time (when
+attached to the live thread runtime).  Substrate-agnosticism is achieved
+by injecting a :class:`Clock` rather than letting telemetry reach into
+``Simulator.now`` or ``time.time`` directly.
+
+Every clock also exposes :meth:`Clock.perf`, a monotonic seconds counter
+used to measure the *cost* of instrumented code (e.g. how long one MAPE
+tick took to compute).  For :class:`SimClock` the two deliberately
+differ: ``now()`` is virtual time (a control tick takes zero simulated
+seconds) while ``perf()`` is real CPU-side time, which is what a
+control-loop latency histogram should see.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Clock", "SimClock", "WallClock", "ManualClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """A source of timestamps for spans, events and metric samples."""
+
+    def now(self) -> float:
+        """Current time on the telemetry timeline (sim or wall)."""
+        ...
+
+    def perf(self) -> float:
+        """Monotonic seconds for measuring instrumentation-side cost."""
+        ...
+
+
+class SimClock:
+    """Reads the virtual clock of any object exposing a ``now`` attribute.
+
+    Built for :class:`repro.sim.engine.Simulator` but duck-typed so the
+    obs package keeps zero dependencies on the simulation substrate.
+    """
+
+    __slots__ = ("_source",)
+
+    def __init__(self, source: object) -> None:
+        if not hasattr(source, "now"):
+            raise TypeError(f"SimClock source needs a 'now' attribute, got {source!r}")
+        self._source = source
+
+    def now(self) -> float:
+        value = self._source.now
+        return float(value() if callable(value) else value)
+
+    def perf(self) -> float:
+        return time.perf_counter()
+
+
+class WallClock:
+    """Real time: epoch seconds for timestamps, perf_counter for cost."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.time()
+
+    def perf(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock:
+    """A clock advanced by hand — deterministic telemetry unit tests."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def perf(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> None:
+        if delta < 0:
+            raise ValueError(f"cannot move a clock backwards (delta={delta})")
+        self._now += delta
+
+    def set(self, value: float) -> None:
+        if value < self._now:
+            raise ValueError(f"cannot move a clock backwards ({value} < {self._now})")
+        self._now = float(value)

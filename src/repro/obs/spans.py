@@ -1,0 +1,174 @@
+"""Hierarchical span tracing: named intervals with parents and events.
+
+A :class:`Span` is one named interval of manager activity — a MAPE
+phase, a rule-engine invocation, a contract split, a violation's journey
+from child to parent, one round of the two-phase intent protocol.  Spans
+nest: the tracer keeps a per-thread stack of open spans, so a
+``mape.monitor`` span opened inside a ``mape.cycle`` span records the
+cycle as its parent, and the whole decision process of an autonomic
+manager reconstructs as a tree — the "observable event sequence" view of
+manager behaviour that arXiv:1002.2722 argues for.
+
+Span identifiers are small sequential integers (never random), so a
+trace is bit-for-bit reproducible across runs of a deterministic
+scenario.  Timestamps come from the injected
+:class:`~repro.obs.clock.Clock`: simulated seconds under the DES,
+epoch seconds under the live thread runtime.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["SpanEvent", "Span", "SpanRecorder"]
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """A point-in-time annotation attached to a span."""
+
+    time: float
+    name: str
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """One named interval, with lineage, attributes and point events."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    actor: str
+    start: float
+    end: Optional[float] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    events: List[SpanEvent] = field(default_factory=list)
+    #: instrumentation-side cost in monotonic seconds (perf clock); in a
+    #: simulation this is the real CPU time one zero-sim-time tick took
+    perf_elapsed: Optional[float] = None
+
+    def set_attribute(self, key: str, value: Any) -> "Span":
+        self.attributes[key] = value
+        return self
+
+    def add_event(self, name: str, time: float, **attributes: Any) -> SpanEvent:
+        ev = SpanEvent(time, name, dict(attributes))
+        self.events.append(ev)
+        return ev
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Elapsed clock time (sim or wall); None while still open."""
+        return None if self.end is None else self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.end is None else f"{self.duration:.6f}s"
+        return f"<Span #{self.span_id} {self.actor}:{self.name} {state}>"
+
+
+class SpanRecorder:
+    """Creates, nests and collects spans.
+
+    The recorder is passive storage plus a per-thread stack of open
+    spans; all policy (clocks, metrics, context management) lives in
+    :class:`~repro.obs.telemetry.Telemetry`.  Thread-locality matters
+    only for the live runtime, where the controller thread and worker
+    threads must not interleave their stacks; under the single-threaded
+    DES it is inert.
+    """
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._next_id = 0
+        self._stacks = threading.local()
+
+    # -- stack ----------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._stacks.stack = stack
+        return stack
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread (None at top level)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- lifecycle ------------------------------------------------------
+    def open(
+        self,
+        name: str,
+        start: float,
+        *,
+        actor: str = "",
+        parent: Optional[Span] = None,
+        attach: bool = True,
+        **attributes: Any,
+    ) -> Span:
+        """Open a span; with ``attach`` it joins this thread's stack.
+
+        Detached spans (``attach=False``) serve intervals that do not
+        nest lexically — e.g. a violation report travelling child →
+        parent closes at delivery time, long after the raising frame
+        returned.  They still record the span open at creation time as
+        their parent.
+        """
+        if parent is None:
+            parent = self.current
+        span = Span(
+            span_id=self._next_id,
+            parent_id=None if parent is None else parent.span_id,
+            name=name,
+            actor=actor,
+            start=start,
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        if attach:
+            self._stack().append(span)
+        return span
+
+    def close(self, span: Span, end: float) -> Span:
+        """Finish a span; pops it (and any leaked children) off the stack."""
+        if span.end is not None:
+            return span
+        span.end = end
+        stack = self._stack()
+        if span in stack:
+            while stack and stack[-1] is not span:
+                stack.pop().end = end  # leaked child: close with the parent
+            stack.pop()
+        return span
+
+    # -- queries --------------------------------------------------------
+    def named(self, name: str, actor: Optional[str] = None) -> List[Span]:
+        """Finished-or-open spans filtered by name (and optionally actor)."""
+        return [
+            s
+            for s in self.spans
+            if s.name == name and (actor is None or s.actor == actor)
+        ]
+
+    def actors(self) -> List[str]:
+        """Distinct span actors in order of first appearance."""
+        seen: List[str] = []
+        for s in self.spans:
+            if s.actor and s.actor not in seen:
+                seen.append(s.actor)
+        return seen
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def __len__(self) -> int:
+        return len(self.spans)

@@ -1,0 +1,230 @@
+"""The Telemetry facade: one object carrying spans + metrics + a clock.
+
+Every instrumented layer — autonomic managers, the rule engine, the
+simulator, the live thread controller, the multi-concern GM — accepts an
+*optional* ``Telemetry``.  The default is :data:`NOOP`, a null object
+whose every operation is a cheap no-op, so instrumentation can stay
+inline on hot paths without perturbing un-instrumented runs (the no-op
+invariant is property-tested: a scenario produces a bit-identical event
+sequence with telemetry attached or detached).
+
+Usage::
+
+    tel = Telemetry(SimClock(sim))
+    with tel.span("mape.cycle", actor="AM_F") as cycle:
+        with tel.span("mape.monitor", actor="AM_F"):
+            data = abc.monitor()
+        tel.event("blackout") if data is None else ...
+    tel.metrics.counter("repro_ticks_total").inc()
+
+``span`` timestamps with ``clock.now()`` (sim or wall time) and records
+``clock.perf()`` cost in :attr:`Span.perf_elapsed`, so control-loop
+latency is measurable even when a tick takes zero simulated seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from .clock import Clock, WallClock
+from .events import TraceRecorder
+from .metrics import MetricsRegistry
+from .spans import Span, SpanEvent, SpanRecorder
+
+__all__ = ["Telemetry", "NullTelemetry", "NOOP"]
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Telemetry.span`."""
+
+    __slots__ = ("_tel", "span", "_perf0")
+
+    def __init__(self, tel: "Telemetry", span: Span) -> None:
+        self._tel = tel
+        self.span = span
+        self._perf0 = 0.0
+
+    def __enter__(self) -> Span:
+        self._perf0 = self._tel.clock.perf()
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.span.perf_elapsed = self._tel.clock.perf() - self._perf0
+        if exc_type is not None:
+            self.span.set_attribute("error", repr(exc))
+        self._tel.spans.close(self.span, self._tel.clock.now())
+        return False
+
+
+class Telemetry:
+    """Live telemetry: a clock, a span recorder, a metrics registry.
+
+    ``trace`` optionally links the legacy :class:`TraceRecorder` whose
+    event marks belong to the same run, so exporters can emit one merged
+    decision audit.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        *,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.clock: Clock = clock if clock is not None else WallClock()
+        self.spans = SpanRecorder()
+        self.metrics = MetricsRegistry()
+        self.trace = trace
+        #: span-events recorded while no span was open
+        self.orphan_events: List[SpanEvent] = []
+
+    # -- spans -----------------------------------------------------------
+    def span(self, name: str, *, actor: str = "", **attributes: Any) -> _SpanContext:
+        """Open a nested span for the duration of a ``with`` block."""
+        span = self.spans.open(
+            name, self.clock.now(), actor=actor, **attributes
+        )
+        return _SpanContext(self, span)
+
+    def start_span(self, name: str, *, actor: str = "", **attributes: Any) -> Span:
+        """Open a *detached* span closed later by :meth:`end_span`.
+
+        For intervals that outlive the opening frame — e.g. a violation
+        report in flight between child and parent managers.
+        """
+        return self.spans.open(
+            name, self.clock.now(), actor=actor, attach=False, **attributes
+        )
+
+    def end_span(self, span: Optional[Span], **attributes: Any) -> None:
+        """Close a span from :meth:`start_span` (None-safe)."""
+        if span is None:
+            return
+        span.attributes.update(attributes)
+        self.spans.close(span, self.clock.now())
+
+    # -- events ----------------------------------------------------------
+    def event(self, name: str, **attributes: Any) -> None:
+        """Record a point event on the innermost open span (or orphaned)."""
+        current = self.spans.current
+        if current is not None:
+            current.add_event(name, self.clock.now(), **attributes)
+        else:
+            self.orphan_events.append(
+                SpanEvent(self.clock.now(), name, dict(attributes))
+            )
+
+
+# ----------------------------------------------------------------------
+# the null object
+# ----------------------------------------------------------------------
+
+
+class _NullSpan:
+    """Inert span: absorbs attribute/event calls, reports nothing."""
+
+    __slots__ = ()
+    span_id = -1
+    parent_id = None
+    name = ""
+    actor = ""
+    start = 0.0
+    end = 0.0
+    perf_elapsed = 0.0
+    duration = 0.0
+    finished = True
+    attributes: dict = {}
+    events: list = []
+
+    def set_attribute(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def add_event(self, name: str, time: float = 0.0, **attributes: Any) -> None:
+        return None
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class _NullInstrument:
+    """Stands in for Counter/Gauge/Histogram *and* their families."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+
+    def labels(self, **labels: Any) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+class _NullMetricsRegistry:
+    __slots__ = ()
+
+    def counter(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "") -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "", *, buckets: Any = None) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def families(self) -> list:
+        return []
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+_NULL_INSTRUMENT = _NullInstrument()
+_NULL_METRICS = _NullMetricsRegistry()
+
+
+class NullTelemetry:
+    """The do-nothing default: every operation is O(1) and allocation-free.
+
+    Instrumented code never needs a ``telemetry is not None`` branch —
+    it can call the same API unconditionally; for the very hottest paths
+    the :attr:`enabled` flag allows skipping argument construction.
+    """
+
+    enabled = False
+    trace = None
+    metrics = _NULL_METRICS
+    orphan_events: list = []
+
+    def span(self, name: str, *, actor: str = "", **attributes: Any) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def start_span(self, name: str, *, actor: str = "", **attributes: Any) -> None:
+        return None
+
+    def end_span(self, span: Any, **attributes: Any) -> None:
+        return None
+
+    def event(self, name: str, **attributes: Any) -> None:
+        return None
+
+
+#: module-level singleton used as the default everywhere
+NOOP = NullTelemetry()

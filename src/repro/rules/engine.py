@@ -197,13 +197,31 @@ class FireRecord:
 
 
 class RuleEngine:
-    """Agenda-based rule evaluation over a working memory."""
+    """Agenda-based rule evaluation over a working memory.
 
-    def __init__(self, rules: Iterable[Rule] = ()) -> None:
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, no-op by default) and
+    ``owner`` make each engine invocation observable: one
+    ``rules.evaluate`` span per :meth:`evaluate` call, recording which
+    rules matched, in what salience order, and which fired.  Callers
+    that need the plan/execute split as *separate* spans (the MAPE loop)
+    instead call :meth:`agenda` and :meth:`fire` themselves.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[Rule] = (),
+        *,
+        telemetry: Any = None,
+        owner: str = "rules",
+    ) -> None:
+        from ..obs.telemetry import NOOP
+
         self.memory = WorkingMemory()
         self._rules: List[Rule] = []
         self.history: List[FireRecord] = []
         self._cycle = 0
+        self.telemetry = telemetry if telemetry is not None else NOOP
+        self.owner = owner
         for r in rules:
             self.add_rule(r)
 
@@ -281,6 +299,24 @@ class RuleEngine:
     # ------------------------------------------------------------------
     # firing
     # ------------------------------------------------------------------
+    def fire(self, activations: List[Activation]) -> List[str]:
+        """Execute pre-computed activations in order; returns rules fired.
+
+        This is the *execute* half of :meth:`evaluate`; exposing it
+        separately lets the MAPE loop trace planning (agenda
+        computation) and execution as distinct spans without changing
+        the firing semantics.
+        """
+        self._cycle += 1
+        fired: List[str] = []
+        for activation in activations:
+            activation.rule.action(activation)
+            fired.append(activation.rule.name)
+            self.history.append(
+                FireRecord(self._cycle, activation.rule.name, tuple(activation.bindings))
+            )
+        return fired
+
     def evaluate(self) -> List[str]:
         """One engine invocation (the paper's periodic control tick).
 
@@ -288,14 +324,16 @@ class RuleEngine:
         every activation's action runs in priority order.  Returns the
         names of the rules fired.
         """
-        self._cycle += 1
-        fired: List[str] = []
-        for activation in self.agenda():
-            activation.rule.action(activation)
-            fired.append(activation.rule.name)
-            self.history.append(
-                FireRecord(self._cycle, activation.rule.name, tuple(activation.bindings))
+        tel = self.telemetry
+        if not tel.enabled:
+            return self.fire(self.agenda())
+        with tel.span("rules.evaluate", actor=self.owner) as span:
+            agenda = self.agenda()
+            span.set_attribute(
+                "matched", [(a.rule.name, a.rule.salience) for a in agenda]
             )
+            fired = self.fire(agenda)
+            span.set_attribute("fired", fired)
         return fired
 
     def fire_until_quiescent(self, max_cycles: int = 100) -> List[str]:

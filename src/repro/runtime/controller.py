@@ -33,6 +33,7 @@ from ..rules.beans import (
     NumWorkerBean,
     QueueVarianceBean,
 )
+from ..obs.telemetry import NOOP, Telemetry
 from ..rules.engine import RuleEngine
 from .farm_runtime import ThreadFarm
 
@@ -40,7 +41,13 @@ __all__ = ["ThreadFarmController"]
 
 
 class ThreadFarmController:
-    """A wall-clock MAPE loop enforcing a contract on a :class:`ThreadFarm`."""
+    """A wall-clock MAPE loop enforcing a contract on a :class:`ThreadFarm`.
+
+    ``telemetry`` (optional, no-op default) records the same
+    ``mape.*`` span hierarchy the simulated managers emit — but on the
+    wall clock, since this controller is a real thread: one probe works
+    for both substrates.
+    """
 
     def __init__(
         self,
@@ -50,15 +57,21 @@ class ThreadFarmController:
         control_period: float = 0.5,
         constants: Optional[ManagersConstants] = None,
         max_workers: Optional[int] = None,
+        telemetry: Optional[Telemetry] = None,
+        name: str = "AM_live",
     ) -> None:
         if control_period <= 0:
             raise ValueError("control_period must be positive")
         self.farm = farm
+        self.name = name
         self.control_period = control_period
         self.constants = constants or ManagersConstants()
         if max_workers is not None:
             self.constants.FARM_MAX_NUM_WORKERS = max_workers
-        self.engine = RuleEngine(farm_rules(self.constants))
+        self.telemetry = telemetry if telemetry is not None else NOOP
+        self.engine = RuleEngine(
+            farm_rules(self.constants), telemetry=self.telemetry, owner=name
+        )
         self.engine.add_rule(latency_rule(self.constants))
         self.violations: List[Tuple[float, str]] = []
         self.actions: List[Tuple[float, str]] = []
@@ -113,14 +126,47 @@ class ThreadFarmController:
     # one MAPE tick (public so tests can drive it deterministically)
     # ------------------------------------------------------------------
     def control_step(self) -> List[str]:
-        snap = self.farm.snapshot()
-        mem = self.engine.memory
-        mem.replace(ArrivalRateBean(snap.arrival_rate).bind_sink(self._sink))
-        mem.replace(DepartureRateBean(snap.departure_rate).bind_sink(self._sink))
-        mem.replace(NumWorkerBean(snap.num_workers).bind_sink(self._sink))
-        mem.replace(QueueVarianceBean(snap.queue_variance).bind_sink(self._sink))
-        mem.replace(LatencyBean(snap.mean_latency).bind_sink(self._sink))
-        return self.engine.evaluate()
+        tel = self.telemetry
+        with tel.span("mape.cycle", actor=self.name) as cycle:
+            with tel.span("mape.monitor", actor=self.name):
+                snap = self.farm.snapshot()
+            with tel.span("mape.analyse", actor=self.name):
+                mem = self.engine.memory
+                mem.replace(ArrivalRateBean(snap.arrival_rate).bind_sink(self._sink))
+                mem.replace(DepartureRateBean(snap.departure_rate).bind_sink(self._sink))
+                mem.replace(NumWorkerBean(snap.num_workers).bind_sink(self._sink))
+                mem.replace(QueueVarianceBean(snap.queue_variance).bind_sink(self._sink))
+                mem.replace(LatencyBean(snap.mean_latency).bind_sink(self._sink))
+                if tel.enabled:
+                    m = tel.metrics
+                    m.gauge(
+                        "repro_farm_departure_rate", "results per second leaving the farm"
+                    ).labels(manager=self.name).set(snap.departure_rate)
+                    m.gauge(
+                        "repro_farm_workers", "active workers"
+                    ).labels(manager=self.name).set(snap.num_workers)
+                    m.gauge(
+                        "repro_farm_queue_variance", "variance of per-worker queue lengths"
+                    ).labels(manager=self.name).set(snap.queue_variance)
+            with tel.span("mape.plan", actor=self.name) as plan:
+                agenda = self.engine.agenda()
+                if tel.enabled:
+                    plan.set_attribute(
+                        "matched", [(a.rule.name, a.rule.salience) for a in agenda]
+                    )
+            with tel.span("mape.execute", actor=self.name) as execute:
+                fired = self.engine.fire(agenda)
+                if tel.enabled:
+                    execute.set_attribute("fired", fired)
+        if tel.enabled:
+            tel.metrics.histogram(
+                "repro_control_loop_latency_seconds",
+                "wall-clock cost of one MAPE control tick",
+            ).labels(manager=self.name).observe(cycle.perf_elapsed or 0.0)
+            tel.metrics.counter(
+                "repro_mape_ticks_total", "MAPE control ticks executed"
+            ).labels(manager=self.name).inc()
+        return fired
 
     def _sink(self, op: ManagerOperation, data: Any) -> None:
         now = self.farm.now()

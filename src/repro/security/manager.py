@@ -144,6 +144,16 @@ class SecurityManager(AutonomicManager, ConcernReview):
         now = self.sim.now
         self.trace.sample(f"{self.name}.exposed", now, data["insecure_untrusted_workers"])
         self.trace.sample(f"{self.name}.leaks", now, data["leak_count"])
+        tel = self.telemetry
+        if tel.enabled:
+            tel.metrics.gauge(
+                "repro_security_exposed_workers",
+                "workers with unsecured channels to untrusted nodes",
+            ).labels(manager=self.name).set(data["insecure_untrusted_workers"])
+            tel.metrics.gauge(
+                "repro_security_leaked_messages",
+                "plaintext messages that crossed untrusted links",
+            ).labels(manager=self.name).set(data["leak_count"])
 
     def on_operation(self, op: ManagerOperation, data: Any) -> None:
         if op is ManagerOperation.SECURE_CHANNEL:
@@ -165,7 +175,11 @@ class SecurityManager(AutonomicManager, ConcernReview):
         channel; it just costs throughput (the perf/sec trade-off the
         paper leaves to the GM's contract arithmetic).
         """
+        amended = []
         for node in plan.nodes:
             if not self.security_abc.policy.node_trusted(node):
                 plan.require_secure(node)
+                amended.append(node)
+        if amended and self.telemetry.enabled:
+            self.telemetry.event("security.amend", nodes=amended)
         return True

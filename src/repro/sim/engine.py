@@ -174,14 +174,22 @@ class ScheduledCall:
 
 
 class Simulator:
-    """The event loop: a virtual clock plus a deterministic event queue."""
+    """The event loop: a virtual clock plus a deterministic event queue.
 
-    def __init__(self) -> None:
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) makes each
+    :meth:`run` an observable span on the *simulated* timeline and
+    counts processed events.  It is purely passive: attaching telemetry
+    never schedules anything, so traces are bit-identical with or
+    without it.
+    """
+
+    def __init__(self, telemetry: Any = None) -> None:
         self._now = 0.0
         self._queue: list[_QueueEntry] = []
         self._seq = itertools.count()
         self._processes: list[Process] = []
         self._running = False
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     # clock & scheduling
@@ -261,6 +269,10 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
+        tel = self.telemetry
+        run_span = None
+        if tel is not None and tel.enabled:
+            run_span = tel.start_span("sim.run", actor="sim", until=until)
         try:
             count = 0
             while self._queue:
@@ -281,6 +293,11 @@ class Simulator:
             return self._now
         finally:
             self._running = False
+            if run_span is not None:
+                tel.metrics.counter(
+                    "repro_sim_events_total", "simulation queue entries executed"
+                ).inc(count)
+                tel.end_span(run_span, events=count)
 
     def peek(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty."""

@@ -121,6 +121,13 @@ class FarmWorker:
             self.util.set_busy(self.sim.now)
             work = self.farm.work_override if self.farm.work_override is not None else task.work
             service = self.node.service_time(work, self.sim.now)
+            tel = self.farm.telemetry
+            if tel is not None and tel.enabled:
+                tel.metrics.histogram(
+                    "repro_worker_service_time",
+                    "per-task service time in simulated seconds",
+                    buckets=self.farm.SERVICE_TIME_BUCKETS,
+                ).labels(farm=self.farm.name, worker=self.name).observe(service)
             yield self.sim.timeout(service)
             task.completed_at = self.sim.now
             self.util.set_idle(self.sim.now)
@@ -131,6 +138,11 @@ class FarmWorker:
 
 class SimFarm:
     """Functional-replication farm over the DES substrate."""
+
+    #: histogram bounds for per-task service times (simulated seconds)
+    SERVICE_TIME_BUCKETS = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+    #: histogram bounds for reconfiguration blackout durations
+    BLACKOUT_BUCKETS = (0.5, 1.0, 2.5, 5.0, 10.0, 20.0, 40.0)
 
     def __init__(
         self,
@@ -149,6 +161,7 @@ class SimFarm:
         input_store: Optional[Store] = None,
         output_store: Optional[Store] = None,
         work_override: Optional[float] = None,
+        telemetry: Any = None,
     ) -> None:
         if dispatch not in DispatchPolicy.ALL:
             raise ValueError(f"unknown dispatch policy {dispatch!r}")
@@ -164,6 +177,8 @@ class SimFarm:
         self.task_size_kb = task_size_kb
         self.result_size_kb = result_size_kb
         self.on_result = on_result
+        #: optional repro.obs.Telemetry; purely passive (never schedules)
+        self.telemetry = telemetry
 
         # Adopting existing stores lets a farm take over a SeqStage's
         # plumbing in place — the §4.2 stage-to-farm transformation.
@@ -454,6 +469,14 @@ class SimFarm:
 
     def _begin_blackout(self, duration: float) -> None:
         self._blackout_until = max(self._blackout_until, self.sim.now + duration)
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.metrics.histogram(
+                "repro_reconfiguration_blackout_seconds",
+                "sensor-data blackout caused by one reconfiguration",
+                buckets=self.BLACKOUT_BUCKETS,
+            ).labels(farm=self.name).observe(duration)
+            tel.event("farm.blackout", farm=self.name, duration=duration)
 
     # ------------------------------------------------------------------
     # stream plumbing

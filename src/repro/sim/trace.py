@@ -1,210 +1,16 @@
-"""Trace recording: the data behind every reproduced figure.
+"""Compatibility shim: trace recording now lives in :mod:`repro.obs`.
 
-Figure 3 and Figure 4 in the paper are *time-series plots of manager
-activity*: event marks (``contrLow``, ``raiseViol``, ``incRate``,
-``addWorker``, ``rebalance``, ``endStream``, …) on one axis and numeric
-series (throughput, input rate, cores in use) on others.  The
-:class:`TraceRecorder` collects both kinds of data during a run; the
-benchmark harnesses then render them as aligned text timelines and CSV.
-
-The recorder is intentionally passive — pure appends, no side effects —
-so attaching it never perturbs scenario dynamics.
+Historically this module owned :class:`EventMark`, :class:`TraceRecorder`
+and the ASCII figure renderers.  They moved to the substrate-agnostic
+observability package (``repro.obs.events`` / ``repro.obs.export``) so
+the live thread runtime can share them with the simulation; this shim
+re-exports them unchanged, keeping every existing import — and the
+regenerated Figure 3/4 artefacts — working as before.
 """
 
 from __future__ import annotations
 
-import io
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from ..obs.events import EventMark, TraceRecorder
+from ..obs.export import ascii_series, ascii_timeline
 
 __all__ = ["EventMark", "TraceRecorder", "ascii_timeline", "ascii_series"]
-
-
-@dataclass(frozen=True)
-class EventMark:
-    """One manager event: who emitted what, when, with what detail."""
-
-    time: float
-    actor: str
-    name: str
-    detail: Mapping[str, Any] = field(default_factory=dict)
-
-    def __str__(self) -> str:
-        extra = f" {dict(self.detail)}" if self.detail else ""
-        return f"[{self.time:9.2f}] {self.actor:>8}: {self.name}{extra}"
-
-
-class TraceRecorder:
-    """Collects event marks and sampled numeric series for one run."""
-
-    def __init__(self) -> None:
-        self.events: List[EventMark] = []
-        self.series: Dict[str, List[Tuple[float, float]]] = {}
-
-    # ------------------------------------------------------------------
-    # recording
-    # ------------------------------------------------------------------
-    def mark(self, time: float, actor: str, name: str, **detail: Any) -> EventMark:
-        """Record a manager/controller event."""
-        ev = EventMark(time, actor, name, dict(detail))
-        self.events.append(ev)
-        return ev
-
-    def sample(self, series: str, time: float, value: float) -> None:
-        """Record one (time, value) point of a numeric series."""
-        self.series.setdefault(series, []).append((time, float(value)))
-
-    # ------------------------------------------------------------------
-    # queries
-    # ------------------------------------------------------------------
-    def events_of(self, actor: Optional[str] = None, name: Optional[str] = None) -> List[EventMark]:
-        """Events filtered by actor and/or event name, in time order."""
-        out = self.events
-        if actor is not None:
-            out = [e for e in out if e.actor == actor]
-        if name is not None:
-            out = [e for e in out if e.name == name]
-        return list(out)
-
-    def event_names(self, actor: Optional[str] = None) -> List[str]:
-        """Event names in order of occurrence (optionally one actor)."""
-        return [e.name for e in self.events_of(actor)]
-
-    def first(self, name: str, actor: Optional[str] = None) -> Optional[EventMark]:
-        """First occurrence of event ``name`` (None if absent)."""
-        for e in self.events:
-            if e.name == name and (actor is None or e.actor == actor):
-                return e
-        return None
-
-    def count(self, name: str, actor: Optional[str] = None) -> int:
-        """Number of occurrences of event ``name``."""
-        return len(self.events_of(actor, name))
-
-    def series_values(self, series: str) -> List[Tuple[float, float]]:
-        """The (time, value) points of a series ([] if unknown)."""
-        return list(self.series.get(series, []))
-
-    def value_at(self, series: str, time: float) -> Optional[float]:
-        """Last sampled value of ``series`` at or before ``time``."""
-        best: Optional[float] = None
-        for t, v in self.series.get(series, []):
-            if t <= time:
-                best = v
-            else:
-                break
-        return best
-
-    def final_value(self, series: str) -> Optional[float]:
-        """Most recent sample of ``series`` (None if empty)."""
-        pts = self.series.get(series)
-        return pts[-1][1] if pts else None
-
-    def assert_order(self, names: Sequence[str], actor: Optional[str] = None) -> bool:
-        """True if ``names`` occur in this relative order (subsequence)."""
-        stream = iter(self.event_names(actor))
-        return all(any(n == got for got in stream) for n in names)
-
-    # ------------------------------------------------------------------
-    # export
-    # ------------------------------------------------------------------
-    def to_csv(self, series: str) -> str:
-        """CSV text (time,value) for one series."""
-        buf = io.StringIO()
-        buf.write("time,value\n")
-        for t, v in self.series.get(series, []):
-            buf.write(f"{t:.6f},{v:.6f}\n")
-        return buf.getvalue()
-
-    def events_csv(self) -> str:
-        """CSV text (time,actor,event,detail) of every event mark."""
-        buf = io.StringIO()
-        buf.write("time,actor,event,detail\n")
-        for e in self.events:
-            detail = ";".join(f"{k}={v}" for k, v in e.detail.items())
-            buf.write(f"{e.time:.6f},{e.actor},{e.name},{detail}\n")
-        return buf.getvalue()
-
-
-def ascii_timeline(
-    events: Iterable[EventMark],
-    *,
-    t0: Optional[float] = None,
-    t1: Optional[float] = None,
-    width: int = 72,
-) -> str:
-    """Render event marks as per-event-name timeline rows.
-
-    One row per distinct event name; a ``*`` wherever the event occurred.
-    This is the textual analogue of the event scatter rows in Figure 4's
-    first two graphs.
-    """
-    evs = sorted(events, key=lambda e: (e.time, e.name))
-    if not evs:
-        return "(no events)\n"
-    lo = t0 if t0 is not None else evs[0].time
-    hi = t1 if t1 is not None else evs[-1].time
-    span = max(hi - lo, 1e-9)
-    names: List[str] = []
-    for e in evs:
-        if e.name not in names:
-            names.append(e.name)
-    label_w = max(len(n) for n in names) + 1
-    lines = []
-    for name in names:
-        row = [" "] * width
-        for e in evs:
-            if e.name != name:
-                continue
-            pos = int((e.time - lo) / span * (width - 1))
-            row[min(max(pos, 0), width - 1)] = "*"
-        lines.append(f"{name:>{label_w}} |{''.join(row)}|")
-    scale = f"{'':>{label_w}}  {lo:<10.1f}{'':^{max(width - 22, 0)}}{hi:>10.1f}"
-    return "\n".join(lines + [scale]) + "\n"
-
-
-def ascii_series(
-    points: Sequence[Tuple[float, float]],
-    *,
-    height: int = 10,
-    width: int = 72,
-    lo: Optional[float] = None,
-    hi: Optional[float] = None,
-    hlines: Sequence[float] = (),
-    title: str = "",
-) -> str:
-    """Render one numeric series as a coarse ASCII chart.
-
-    ``hlines`` draws dashed reference lines (the contract "stripe" of
-    Figure 4's third graph).
-    """
-    if not points:
-        return f"{title}: (no data)\n"
-    ts = [p[0] for p in points]
-    vs = [p[1] for p in points]
-    vlo = lo if lo is not None else min(min(vs), *(list(hlines) or [min(vs)]))
-    vhi = hi if hi is not None else max(max(vs), *(list(hlines) or [max(vs)]))
-    if vhi <= vlo:
-        vhi = vlo + 1.0
-    t_lo, t_hi = ts[0], ts[-1]
-    t_span = max(t_hi - t_lo, 1e-9)
-    grid = [[" "] * width for _ in range(height)]
-
-    def yrow(v: float) -> int:
-        frac = (v - vlo) / (vhi - vlo)
-        return min(height - 1, max(0, int(round((1 - frac) * (height - 1)))))
-
-    for h in hlines:
-        r = yrow(h)
-        for c in range(width):
-            if grid[r][c] == " ":
-                grid[r][c] = "-"
-    for t, v in points:
-        c = min(width - 1, max(0, int((t - t_lo) / t_span * (width - 1))))
-        grid[yrow(v)][c] = "o"
-    out = [title] if title else []
-    for i, row in enumerate(grid):
-        v = vhi - (vhi - vlo) * i / (height - 1)
-        out.append(f"{v:8.2f} |{''.join(row)}|")
-    out.append(f"{'':8} {t_lo:<10.1f}{'':^{max(width - 20, 0)}}{t_hi:>10.1f}")
-    return "\n".join(out) + "\n"

@@ -16,7 +16,7 @@ from repro.core.contracts import (
     split_contract,
 )
 from repro.skeletons.ast import Farm, Pipe, Seq
-from repro.skeletons.cost import service_time, throughput
+from repro.skeletons.cost import throughput
 
 
 class TestThroughputRange:

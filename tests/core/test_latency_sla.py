@@ -6,7 +6,6 @@ from repro.core.contracts import (
     CompositeContract,
     ContractError,
     MaxLatencyContract,
-    MinThroughputContract,
     ThroughputRangeContract,
 )
 from repro.core.skeleton_manager import FarmManager

@@ -8,7 +8,6 @@ from repro.core.manager import AutonomicManager, ManagerError, ManagerState
 from repro.rules.beans import DepartureRateBean, ManagerOperation
 from repro.rules.dsl import rule, value_lt
 from repro.sim.engine import Simulator
-from repro.sim.trace import TraceRecorder
 
 
 class RecordingManager(AutonomicManager):

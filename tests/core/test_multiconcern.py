@@ -1,9 +1,7 @@
 """Tests for the GM, priorities and the two-phase intent protocol."""
 
-import pytest
-
 from repro.core.behavioural import build_farm_bs
-from repro.core.contracts import MinThroughputContract, SecurityContract
+from repro.core.contracts import SecurityContract
 from repro.core.manager import AutonomicManager
 from repro.core.multiconcern import (
     ConcernReview,

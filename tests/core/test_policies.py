@@ -1,7 +1,5 @@
 """Tests for the Figure 5 rule transliteration and the AM_A policy set."""
 
-import pytest
-
 from repro.core.events import ViolationKind
 from repro.core.policies import ManagersConstants, farm_rules
 from repro.rules.beans import (

@@ -13,7 +13,6 @@ from repro.core.contracts import (
 from repro.core.events import Events, ViolationKind
 from repro.core.manager import ManagerError, ManagerState
 from repro.core.skeleton_manager import (
-    ConsumerManager,
     FarmManager,
     PipelineManager,
     ProducerManager,
@@ -24,7 +23,6 @@ from repro.sim.engine import Simulator
 from repro.sim.farm import SimFarm
 from repro.sim.queues import Store
 from repro.sim.resources import Node, ResourceManager, make_cluster
-from repro.sim.trace import TraceRecorder
 from repro.sim.workload import ConstantWork, TaskSource, finite_stream
 
 

@@ -1,7 +1,5 @@
 """Tests for the ``python -m repro.experiments`` runner."""
 
-import pytest
-
 from repro.experiments.__main__ import DEFAULT_ORDER, RUNNERS, main
 
 

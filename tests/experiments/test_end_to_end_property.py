@@ -12,9 +12,6 @@ This is the paper's core promise quantified over the configuration
 space rather than at the two published operating points.
 """
 
-import math
-
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

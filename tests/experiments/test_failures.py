@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.failures import FaultConfig, run_faults
+from repro.experiments.failures import run_faults
 from repro.experiments.report import render_faults
 from repro.sim.engine import Simulator
 from repro.sim.farm import SimFarm

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.migration import MigrationConfig, run_migration
+from repro.experiments.migration import run_migration
 from repro.experiments.report import render_migration
 from repro.gcm.abc_controller import FarmABC
 from repro.rules.beans import ManagerOperation

@@ -1,0 +1,128 @@
+"""Unit tests for the metrics registry: instruments, families, buckets."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter()
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        c = Counter()
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(4)
+        g.inc()
+        g.dec(2.5)
+        assert g.value == 2.5
+
+
+class TestHistogram:
+    def test_bucketing_boundaries_are_inclusive_upper(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 100.0):
+            h.observe(v)
+        # (≤1): 0.5, 1.0 | (1,2]: 1.5, 2.0 | (2,4]: 3.0, 4.0 | +Inf: 100.0
+        assert h.counts == [2, 2, 2, 1]
+        assert h.count == 7
+        assert h.sum == pytest.approx(112.0)
+
+    def test_cumulative_view_ends_with_inf_total(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        for v in (0.5, 1.5, 9.0):
+            h.observe(v)
+        assert h.cumulative() == [(1.0, 1), (2.0, 2), (math.inf, 3)]
+
+    def test_quantile_is_bucket_resolution(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.5, 0.5, 3.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 4.0
+        assert Histogram(bounds=(1.0,)).quantile(0.9) == 0.0  # empty
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+
+    def test_default_bounds_cover_sub_ms_to_minutes(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 60.0
+
+
+class TestMetricFamily:
+    def test_labels_create_children_once(self):
+        fam = MetricFamily("repro_x_total", "counter")
+        a = fam.labels(manager="AM_F")
+        b = fam.labels(manager="AM_F")
+        c = fam.labels(manager="AM_A")
+        assert a is b and a is not c
+        a.inc()
+        assert fam.labels(manager="AM_F").value == 1.0
+
+    def test_label_order_does_not_matter(self):
+        fam = MetricFamily("repro_x_total", "counter")
+        assert fam.labels(a="1", b="2") is fam.labels(b="2", a="1")
+
+    def test_zero_label_delegation(self):
+        fam = MetricFamily("repro_x_total", "counter")
+        fam.inc(3)
+        assert fam.value == 3.0
+
+    def test_rejects_invalid_names(self):
+        with pytest.raises(ValueError):
+            MetricFamily("1bad", "counter")
+        with pytest.raises(ValueError):
+            MetricFamily("ok_name", "timer")
+        with pytest.raises(ValueError):
+            MetricFamily("ok_name", "gauge").labels(**{"bad-label": "x"})
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("repro_a_total") is reg.counter("repro_a_total")
+        assert len(reg) == 1
+        assert "repro_a_total" in reg
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total")
+        with pytest.raises(ValueError):
+            reg.gauge("repro_a_total")
+
+    def test_histogram_custom_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_h", buckets=(1.0, 2.0)).labels(k="v")
+        h.observe(1.5)
+        assert h.counts == [0, 1, 0]
+
+    def test_families_in_registration_order(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_b")
+        reg.counter("repro_a_total")
+        assert [f.name for f in reg.families()] == ["repro_b", "repro_a_total"]

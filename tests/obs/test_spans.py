@@ -1,0 +1,124 @@
+"""Span recorder + Telemetry facade tests: nesting, detachment, clocks."""
+
+import pytest
+
+from repro.obs.clock import ManualClock, SimClock, WallClock
+from repro.obs.spans import SpanRecorder
+from repro.obs.telemetry import NOOP, NullTelemetry, Telemetry
+
+
+class TestSpanRecorder:
+    def test_sequential_ids_and_parentage(self):
+        rec = SpanRecorder()
+        outer = rec.open("mape.cycle", 0.0, actor="AM_F")
+        inner = rec.open("mape.monitor", 0.0, actor="AM_F")
+        assert (outer.span_id, inner.span_id) == (0, 1)
+        assert inner.parent_id == outer.span_id
+        rec.close(inner, 1.0)
+        rec.close(outer, 2.0)
+        assert inner.duration == 1.0 and outer.duration == 2.0
+        assert rec.children_of(outer) == [inner]
+
+    def test_detached_span_does_not_join_stack(self):
+        rec = SpanRecorder()
+        outer = rec.open("mape.cycle", 0.0)
+        flight = rec.open("violation.propagate", 0.0, attach=False)
+        assert rec.current is outer
+        assert flight.parent_id == outer.span_id
+        rec.close(outer, 1.0)
+        assert not flight.finished
+        rec.close(flight, 5.0)
+        assert flight.duration == 5.0
+
+    def test_closing_parent_closes_leaked_children(self):
+        rec = SpanRecorder()
+        outer = rec.open("outer", 0.0)
+        leaked = rec.open("leaked", 0.0)
+        rec.close(outer, 3.0)
+        assert leaked.end == 3.0
+        assert rec.current is None
+
+    def test_close_is_idempotent(self):
+        rec = SpanRecorder()
+        s = rec.open("s", 0.0)
+        rec.close(s, 1.0)
+        rec.close(s, 9.0)
+        assert s.end == 1.0
+
+    def test_named_and_actors_queries(self):
+        rec = SpanRecorder()
+        rec.open("mape.cycle", 0.0, actor="AM_F")
+        rec.open("mape.cycle", 0.0, actor="AM_A")
+        assert len(rec.named("mape.cycle")) == 2
+        assert [s.actor for s in rec.named("mape.cycle", "AM_A")] == ["AM_A"]
+        assert rec.actors() == ["AM_F", "AM_A"]
+
+
+class TestTelemetrySpans:
+    def test_with_block_times_on_injected_clock(self):
+        clock = ManualClock(10.0)
+        tel = Telemetry(clock)
+        with tel.span("mape.cycle", actor="AM_F", tick=3) as span:
+            clock.advance(2.5)
+        assert span.start == 10.0 and span.end == 12.5
+        assert span.attributes["tick"] == 3
+        assert span.perf_elapsed == 2.5  # ManualClock: perf == now
+
+    def test_exception_recorded_and_propagated(self):
+        tel = Telemetry(ManualClock())
+        with pytest.raises(RuntimeError):
+            with tel.span("mape.execute") as span:
+                raise RuntimeError("boom")
+        assert span.finished
+        assert "boom" in span.attributes["error"]
+
+    def test_events_attach_to_innermost_span(self):
+        clock = ManualClock()
+        tel = Telemetry(clock)
+        with tel.span("outer"):
+            with tel.span("inner") as inner:
+                clock.advance(1.0)
+                tel.event("fired", rule="AddWorker")
+        assert [e.name for e in inner.events] == ["fired"]
+        assert inner.events[0].time == 1.0
+
+    def test_detached_span_lifecycle(self):
+        clock = ManualClock()
+        tel = Telemetry(clock)
+        span = tel.start_span("violation.propagate", actor="AM_F", kind="contrLow")
+        clock.advance(1.0)
+        tel.end_span(span, delivered=True)
+        assert span.duration == 1.0
+        assert span.attributes["delivered"] is True
+        tel.end_span(None)  # None-safe
+
+    def test_sim_clock_reads_property_sources(self):
+        class FakeSim:
+            now = 42.0
+
+        tel = Telemetry(SimClock(FakeSim()))
+        with tel.span("s") as span:
+            pass
+        assert span.start == span.end == 42.0
+        with pytest.raises(TypeError):
+            SimClock(object())
+
+    def test_default_clock_is_wall(self):
+        assert isinstance(Telemetry().clock, WallClock)
+
+
+class TestNullTelemetry:
+    def test_noop_is_shared_and_disabled(self):
+        assert isinstance(NOOP, NullTelemetry)
+        assert NOOP.enabled is False
+
+    def test_full_api_surface_is_inert(self):
+        with NOOP.span("x", actor="y", k=1) as span:
+            span.set_attribute("a", 2)
+            span.add_event("e")
+        NOOP.event("e", k=1)
+        NOOP.end_span(NOOP.start_span("d"))
+        NOOP.metrics.counter("repro_c_total").labels(a="b").inc()
+        NOOP.metrics.gauge("repro_g").set(1)
+        NOOP.metrics.histogram("repro_h").observe(0.5)
+        assert NOOP.metrics.families() == []

@@ -9,7 +9,6 @@ from repro.rules.dsl import rule, value_ge, value_lt
 from repro.rules.engine import (
     Activation,
     Condition,
-    NotExists,
     Rule,
     RuleEngine,
     RuleEngineError,

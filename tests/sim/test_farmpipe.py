@@ -9,7 +9,7 @@ from repro.core.skeleton_manager import FarmManager
 from repro.gcm.abc_controller import FarmABC
 from repro.rules.beans import ManagerOperation
 from repro.sim.engine import Simulator
-from repro.sim.farmpipe import PipelineReplica, SimFarmOfPipelines
+from repro.sim.farmpipe import SimFarmOfPipelines
 from repro.sim.resources import ResourceManager, make_cluster
 from repro.sim.workload import ConstantWork, TaskSource, finite_stream
 from repro.skeletons.ast import Farm, Pipe, Seq

@@ -1,7 +1,5 @@
 """Tests for monitoring probes (rate estimators, utilisation, queue stats)."""
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
