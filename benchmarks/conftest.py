@@ -10,11 +10,23 @@ diff across revisions.
 """
 
 import json
+import os
 import pathlib
 
 import pytest
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: CI smoke mode (REPRO_BENCH_SMOKE=1): shrink live-runtime workloads to
+#: seconds and skip hardware-dependent perf assertions, so every PR still
+#: exercises the bench code paths and uploads fresh artefacts.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+@pytest.fixture(scope="session")
+def smoke_mode() -> bool:
+    """True when the bench run is a CI smoke pass (tiny workloads)."""
+    return SMOKE
 
 
 @pytest.fixture(scope="session")

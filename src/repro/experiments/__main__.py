@@ -5,11 +5,14 @@ Usage::
     python -m repro.experiments            # run everything, print reports
     python -m repro.experiments fig4 mc    # run a subset
     python -m repro.experiments fig4 --trace-out audit.jsonl
+    python -m repro.experiments fig4 --backend=process
 
 Experiment keys: fig3, fig4, loadspike, multiconcern (mc), split,
 ablation, faults, stagefarm, patterns.  ``--trace-out PATH`` attaches
-telemetry to the FIG4 run and writes its decision audit as JSONL (see
-``python -m repro.experiments.fig4 --help`` for the full option set).
+telemetry to the FIG4 run and writes its decision audit as JSONL;
+``--backend {sim,thread,process}`` selects the substrate under the FIG4
+rules (see ``python -m repro.experiments.fig4 --help`` for the full
+option set).
 """
 
 from __future__ import annotations
@@ -120,6 +123,7 @@ DEFAULT_ORDER = (
 
 def main(argv: list[str]) -> int:
     trace_out = None
+    backend = None
     keys = []
     it = iter(argv)
     for arg in it:
@@ -130,21 +134,33 @@ def main(argv: list[str]) -> int:
                 return 2
         elif arg.startswith("--trace-out="):
             trace_out = arg.split("=", 1)[1]
+        elif arg == "--backend":
+            backend = next(it, None)
+            if backend is None:
+                print("--backend needs a {sim,thread,process} argument")
+                return 2
+        elif arg.startswith("--backend="):
+            backend = arg.split("=", 1)[1]
         else:
             keys.append(arg)
+    if backend not in (None, "sim", "thread", "process"):
+        print(f"unknown backend {backend!r}; choose from sim, thread, process")
+        return 2
     keys = keys or list(DEFAULT_ORDER)
     unknown = [k for k in keys if k not in RUNNERS]
     if unknown:
         print(f"unknown experiment(s): {unknown}; choose from {sorted(RUNNERS)}")
         return 2
     runners = dict(RUNNERS)
-    if trace_out is not None:
+    if trace_out is not None or backend not in (None, "sim"):
         from .fig4 import main as fig4_main
 
-        runners["fig4"] = lambda: (
-            fig4_main(["--trace-out", trace_out]),
-            "",
-        )[1]
+        fig4_argv = []
+        if trace_out is not None:
+            fig4_argv += ["--trace-out", trace_out]
+        if backend is not None:
+            fig4_argv += ["--backend", backend]
+        runners["fig4"] = lambda: (fig4_main(fig4_argv), "")[1]
     for key in keys:
         print(runners[key]())
         print()

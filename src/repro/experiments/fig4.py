@@ -217,6 +217,10 @@ def run_fig4(
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI: run FIG4, print the report, optionally dump the decision audit.
 
+    ``--backend`` selects the substrate the Figure 5 rules drive:
+    ``sim`` (default, the deterministic DES reproducing the paper's
+    figure), ``thread`` (live threads) or ``process`` (supervised OS
+    processes with SIGKILL fault injection and task replay).
     ``--trace-out PATH`` attaches telemetry and writes the full decision
     audit — trace marks, MAPE/rule/violation/intent spans, monitoring
     series — as JSON lines.  ``--metrics-out PATH`` additionally dumps
@@ -224,6 +228,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.fig4", description=main.__doc__
+    )
+    parser.add_argument(
+        "--backend", choices=("sim", "thread", "process"), default="sim",
+        help="substrate under the rules: deterministic sim (default), "
+        "live threads, or crash-supervised OS processes",
+    )
+    parser.add_argument(
+        "--no-crash", action="store_true",
+        help="process backend: skip the SIGKILL fault injection",
     )
     parser.add_argument(
         "--trace-out", metavar="PATH", default=None,
@@ -241,6 +254,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="route AM_F worker additions through a two-phase GM",
     )
     args = parser.parse_args(argv)
+
+    if args.backend != "sim":
+        from .fig4_live import Fig4LiveConfig, render_fig4_live, run_fig4_live
+
+        live_cfg = Fig4LiveConfig(
+            backend=args.backend, inject_crash=not args.no_crash
+        )
+        print(render_fig4_live(run_fig4_live(live_cfg)))
+        return 0
 
     cfg = Fig4Config(with_coordinator=args.with_coordinator)
     if args.duration is not None:

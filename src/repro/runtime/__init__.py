@@ -1,25 +1,35 @@
-"""Live (wall-clock, thread-based) runtime: the ProActive analog.
+"""Live (wall-clock) runtime: the ProActive analog.
 
-Active objects (:mod:`~.active_object`), a real thread farm with the
-same monitoring/actuator surface as the simulated one
-(:mod:`~.farm_runtime`), a thread pipeline (:mod:`~.pipeline_runtime`),
-and a controller that runs the *same* Figure 5 rule set against the live
-farm (:mod:`~.controller`) — mechanism/policy separation made concrete.
+Active objects (:mod:`~.active_object`), two real farm substrates with
+the same monitoring/actuator surface as the simulated one — threads
+(:mod:`~.farm_runtime`) and supervised OS processes with crash replay
+(:mod:`~.process_farm`) — both behind the
+:class:`~.backend.FarmBackend` protocol, a thread pipeline
+(:mod:`~.pipeline_runtime`), and a controller that runs the *same*
+Figure 5 rule set against any live backend (:mod:`~.controller`) —
+mechanism/policy separation made concrete.  See ``docs/RUNTIME.md``.
 """
 
 from .active_object import ActiveObject, ActiveObjectError, FutureResult
-from .controller import ThreadFarmController
-from .farm_runtime import RuntimeFarmSnapshot, ThreadFarm, ThreadWorker
+from .backend import FarmBackend, RuntimeFarmSnapshot
+from .controller import FarmController, ThreadFarmController
+from .farm_runtime import ThreadFarm, ThreadWorker
 from .pipeline_runtime import ThreadPipeline, ThreadStage
+from .process_farm import DeadLetter, ProcessFarm, ProcessWorkerHandle
 
 __all__ = [
     "ActiveObject",
     "ActiveObjectError",
     "FutureResult",
+    "FarmBackend",
+    "FarmController",
     "ThreadFarm",
     "ThreadWorker",
     "RuntimeFarmSnapshot",
     "ThreadFarmController",
     "ThreadPipeline",
     "ThreadStage",
+    "ProcessFarm",
+    "ProcessWorkerHandle",
+    "DeadLetter",
 ]

@@ -1,0 +1,99 @@
+"""The substrate contract every live farm backend satisfies.
+
+The paper's behavioural skeletons separate *mechanism* (the pattern
+implementation with its monitoring and actuator interfaces) from
+*policy* (the rule set the autonomic manager evaluates).  This module
+pins down the mechanism side for wall-clock substrates: anything that
+implements :class:`FarmBackend` — today the thread farm
+(:class:`~repro.runtime.farm_runtime.ThreadFarm`) and the process farm
+(:class:`~repro.runtime.process_farm.ProcessFarm`) — can be driven by
+:class:`~repro.runtime.controller.FarmController` with the *unmodified*
+Figure 5 rules, exactly as the simulated
+:class:`~repro.sim.farm.SimFarm` is driven by the simulated managers.
+
+The protocol is structural (:class:`typing.Protocol`): backends do not
+inherit from it, they just provide the surface.  ``ThreadFarm`` predates
+the protocol and conforms unchanged — the protocol was extracted from
+it, not the other way round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Protocol, runtime_checkable
+
+__all__ = ["FarmBackend", "RuntimeFarmSnapshot"]
+
+
+@dataclass(frozen=True)
+class RuntimeFarmSnapshot:
+    """One monitoring sample of a live farm (mirrors the sim's FarmSnapshot).
+
+    This is the monitoring half of the ABC surface: every field maps to
+    one of the beans the Figure 5 rules match on (arrival/departure rate,
+    worker count, queue variance) plus the latency-SLA extension.
+    """
+
+    time: float
+    arrival_rate: float
+    departure_rate: float
+    num_workers: int
+    queue_lengths: tuple
+    queue_variance: float
+    completed: int
+    pending: int
+    #: mean completion latency over the monitoring window (0 if none)
+    mean_latency: float = 0.0
+
+
+@runtime_checkable
+class FarmBackend(Protocol):
+    """Monitoring + actuator surface of a live task farm.
+
+    Monitoring (sampled each MAPE tick)::
+
+        snapshot()     -> RuntimeFarmSnapshot
+        num_workers    -> int (live workers)
+        now()          -> float (seconds since the farm started)
+
+    Actuators (fired by rule actions)::
+
+        add_worker()    grow the farm by one executor
+        remove_worker() retire one executor, preserving its queued tasks
+        balance_load()  redistribute queued tasks across executors
+        secure_all()    switch task channels to encrypted payloads
+
+    Stream interface::
+
+        submit(payload)          dispatch one task
+        drain_results(n, ...)    collect n results (completion order)
+        shutdown()               stop every executor
+    """
+
+    name: str
+
+    # -- time base ------------------------------------------------------
+    def now(self) -> float: ...
+
+    # -- stream ---------------------------------------------------------
+    def submit(self, payload: Any) -> None: ...
+
+    def drain_results(self, count: int, timeout: float = 30.0) -> List[Any]: ...
+
+    # -- monitoring -----------------------------------------------------
+    def snapshot(self) -> RuntimeFarmSnapshot: ...
+
+    @property
+    def num_workers(self) -> int: ...
+
+    # -- actuators ------------------------------------------------------
+    def add_worker(self, *, secured: bool = False) -> Any: ...
+
+    def remove_worker(self) -> Optional[Any]: ...
+
+    def balance_load(self) -> int: ...
+
+    def secure_all(self) -> None: ...
+
+    # -- shutdown -------------------------------------------------------
+    def shutdown(self, timeout: float = 10.0) -> None: ...

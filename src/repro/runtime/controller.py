@@ -1,4 +1,4 @@
-"""Live autonomic control of a thread farm: same rules, real clock.
+"""Live autonomic control of a farm backend: same rules, real clock.
 
 The policies are exactly the Figure 5 rule set built by
 :func:`repro.core.policies.farm_rules` — the same objects that drive the
@@ -6,7 +6,11 @@ simulated farm manager — evaluated here by a wall-clock control loop
 thread against the live farm's monitor snapshot.  This demonstrates the
 paper's separation of mechanism and policy: the rules do not know (or
 care) whether the beans underneath them come from a discrete-event
-simulation or from ``threading`` queues.
+simulation, from ``threading`` queues, or from OS processes — the
+controller sees only the :class:`~repro.runtime.backend.FarmBackend`
+protocol, so :class:`~repro.runtime.farm_runtime.ThreadFarm` and
+:class:`~repro.runtime.process_farm.ProcessFarm` are interchangeable
+underneath it.
 """
 
 from __future__ import annotations
@@ -35,23 +39,28 @@ from ..rules.beans import (
 )
 from ..obs.telemetry import NOOP, Telemetry
 from ..rules.engine import RuleEngine
-from .farm_runtime import ThreadFarm
+from .backend import FarmBackend
 
-__all__ = ["ThreadFarmController"]
+__all__ = ["FarmController", "ThreadFarmController"]
 
 
-class ThreadFarmController:
-    """A wall-clock MAPE loop enforcing a contract on a :class:`ThreadFarm`.
+class FarmController:
+    """A wall-clock MAPE loop enforcing a contract on a :class:`FarmBackend`.
+
+    The backend may be a :class:`~repro.runtime.farm_runtime.ThreadFarm`
+    or a :class:`~repro.runtime.process_farm.ProcessFarm`; the controller
+    never looks past the protocol, so the rule set stays
+    substrate-agnostic.
 
     ``telemetry`` (optional, no-op default) records the same
     ``mape.*`` span hierarchy the simulated managers emit — but on the
     wall clock, since this controller is a real thread: one probe works
-    for both substrates.
+    for every substrate.
     """
 
     def __init__(
         self,
-        farm: ThreadFarm,
+        farm: FarmBackend,
         contract: Contract,
         *,
         control_period: float = 0.5,
@@ -103,7 +112,7 @@ class ThreadFarmController:
     # ------------------------------------------------------------------
     # loop lifecycle
     # ------------------------------------------------------------------
-    def start(self) -> "ThreadFarmController":
+    def start(self) -> "FarmController":
         if self._thread is not None and self._thread.is_alive():
             return self
         self._stop.clear()
@@ -197,3 +206,8 @@ class ThreadFarmController:
                 self.actions.append((now, f"rebalance x{moved}"))
             return
         raise ValueError(f"controller cannot execute {op}")
+
+
+#: Historical name from when the thread farm was the only live backend;
+#: kept as an alias so existing imports keep working.
+ThreadFarmController = FarmController

@@ -23,31 +23,15 @@ import queue
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
 from ..security.crypto import decrypt, encrypt
 from ..sim.metrics import WindowRateEstimator, queue_length_stats
+from .backend import RuntimeFarmSnapshot
 
 __all__ = ["ThreadFarm", "ThreadWorker", "RuntimeFarmSnapshot"]
 
 _SECRET = b"repro-channel-key"
-
-
-@dataclass(frozen=True)
-class RuntimeFarmSnapshot:
-    """One monitoring sample of the live farm (mirrors FarmSnapshot)."""
-
-    time: float
-    arrival_rate: float
-    departure_rate: float
-    num_workers: int
-    queue_lengths: tuple
-    queue_variance: float
-    completed: int
-    pending: int
-    #: mean completion latency over the monitoring window (0 if none)
-    mean_latency: float = 0.0
 
 
 class _Poison:
@@ -109,6 +93,7 @@ class ThreadFarm:
         name: str = "tfarm",
         rate_window: float = 5.0,
         max_workers: int = 64,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if initial_workers < 1:
             raise ValueError("need at least one worker")
@@ -120,7 +105,8 @@ class ThreadFarm:
         self.workers: List[ThreadWorker] = []
         self._next_id = 0
         self._rr = 0
-        self._t0 = time.monotonic()
+        self._clock = clock
+        self._t0 = clock()
         self.arrival_est = WindowRateEstimator(rate_window, start_time=0.0)
         self.departure_est = WindowRateEstimator(rate_window, start_time=0.0)
         self.rate_window = rate_window
@@ -135,7 +121,7 @@ class ThreadFarm:
     # time base
     # ------------------------------------------------------------------
     def now(self) -> float:
-        return time.monotonic() - self._t0
+        return self._clock() - self._t0
 
     # ------------------------------------------------------------------
     # stream

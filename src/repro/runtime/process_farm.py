@@ -1,0 +1,639 @@
+"""Process-based task farm: real parallelism, real crash fault-tolerance.
+
+The third substrate behind the Figure 5 rules, after the deterministic
+simulator (:class:`repro.sim.farm.SimFarm`) and the thread farm
+(:class:`repro.runtime.farm_runtime.ThreadFarm`).  Workers here are OS
+processes, so CPU-bound stages genuinely scale past the GIL — and a
+worker *death* is a real event (``SIGKILL``-able), not a simulated one.
+
+Fault tolerance follows the paper's §2 framing — the manager "takes care
+of performing all those activities needed to restore ... after a fault"
+— split between two layers:
+
+* **mechanism (this module)**: every dispatched task is tracked until a
+  completion ack returns over the result pipe.  Workers are supervised
+  by heartbeats (a daemon thread in each child beats every
+  ``heartbeat_period`` even while the main thread grinds a long task).
+  When a worker dies, its un-acked tasks are *replayed* to survivors
+  with capped exponential backoff; a task that keeps dying is parked in
+  the dead-letter list after ``max_attempts`` dispatches.  Replay is
+  at-least-once — a task whose ack was in flight at crash time runs
+  twice — and the farm dedupes acks by task id, so the *results stream*
+  stays exactly-once.
+* **policy (the unmodified rules)**: a crash shrinks capacity, measured
+  departure rate sags below the contract stripe, and the ordinary
+  ``CheckRateLow`` rule fires ``ADD_EXECUTOR`` through
+  :class:`~repro.runtime.controller.FarmController` — recovery is just
+  contract enforcement, exactly as in the simulated fault experiments.
+
+Telemetry is process-safe by construction: workers only ever *send*
+(acks, heartbeats, per-worker completion counters) over the result
+pipe; the parent's pump thread is the single writer into the shared
+:class:`repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..obs.telemetry import NOOP, Telemetry
+from ..security.crypto import decrypt, encrypt
+from ..sim.metrics import WindowRateEstimator, queue_length_stats
+from .backend import RuntimeFarmSnapshot
+
+__all__ = ["ProcessFarm", "ProcessWorkerHandle", "DeadLetter", "default_start_method"]
+
+_SECRET = b"repro-channel-key"
+
+#: poison sentinel understood by the worker loop
+_POISON = ("__poison__",)
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform offers it (cheap, closures allowed),
+    ``spawn`` otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _worker_main(
+    worker_id: int,
+    fn: Callable[[Any], Any],
+    task_q: "multiprocessing.Queue",
+    result_q: "multiprocessing.Queue",
+    heartbeat_period: float,
+) -> None:
+    """Child-process body: drain the task queue, ack every completion.
+
+    A daemon heartbeat thread beats independently of task execution, so
+    a worker crunching one long CPU-bound task is still visibly alive;
+    only real death (or a wedged process) silences it.
+    """
+    completed = 0
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(heartbeat_period):
+            try:
+                result_q.put(("hb", worker_id, completed))
+            except Exception:  # noqa: BLE001 - parent gone; nothing to report to
+                return
+
+    hb = threading.Thread(target=beat, name=f"pfarm-hb-{worker_id}", daemon=True)
+    hb.start()
+
+    while True:
+        item = task_q.get()
+        if item == _POISON:
+            stop.set()
+            result_q.put(("bye", worker_id, completed))
+            return
+        task_id, payload, enc = item
+        if enc:
+            payload = pickle.loads(decrypt(_SECRET, payload))
+        try:
+            result = fn(payload)
+        except Exception as exc:  # noqa: BLE001 - surfaced via results
+            result = exc
+        if isinstance(result, Exception):
+            try:  # an unpicklable exception must not wedge the ack path
+                pickle.dumps(result)
+            except Exception:  # noqa: BLE001
+                result = RuntimeError(f"worker {worker_id}: {result!r}")
+        completed += 1
+        result_q.put(("done", worker_id, task_id, result, completed))
+
+
+@dataclass
+class _TaskRecord:
+    """Parent-side bookkeeping for one not-yet-acknowledged task."""
+
+    task_id: int
+    payload: Any
+    submitted_at: float
+    attempts: int = 0
+    worker_id: Optional[int] = None  # None: awaiting (re)dispatch
+    next_retry_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """A task abandoned after exhausting its replay budget."""
+
+    task_id: int
+    payload: Any
+    attempts: int
+    last_worker_id: Optional[int]
+
+
+@dataclass
+class ProcessWorkerHandle:
+    """Parent-side handle of one worker process."""
+
+    worker_id: int
+    process: multiprocessing.Process
+    task_queue: "multiprocessing.Queue"
+    secured: bool = False
+    active: bool = True
+    retiring: bool = False
+    last_seen: float = 0.0
+    reported_completed: int = 0
+    outstanding: set = field(default_factory=set)  # task ids awaiting ack
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+
+class ProcessFarm:
+    """A live task farm whose executors are supervised OS processes.
+
+    Satisfies the same :class:`~repro.runtime.backend.FarmBackend`
+    surface as :class:`~repro.runtime.farm_runtime.ThreadFarm`; the
+    extra knobs are all fault-tolerance tuning:
+
+    ``heartbeat_period`` / ``heartbeat_timeout``
+        children beat every period; a worker silent for the timeout (or
+        whose process has exited) is declared dead.
+    ``backoff_base`` / ``backoff_cap``
+        replay delay for attempt *n* is ``min(base * 2**(n-1), cap)``.
+    ``max_attempts``
+        dispatch budget per task before it is dead-lettered.
+    ``start_method``
+        multiprocessing start method; ``fork`` (default on POSIX) allows
+        closures as ``fn``, ``spawn`` needs a module-level callable.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        *,
+        initial_workers: int = 2,
+        name: str = "pfarm",
+        rate_window: float = 5.0,
+        max_workers: int = 64,
+        heartbeat_period: float = 0.1,
+        heartbeat_timeout: float = 2.0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        max_attempts: int = 5,
+        supervise_period: float = 0.05,
+        start_method: Optional[str] = None,
+        telemetry: Optional[Telemetry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if initial_workers < 1:
+            raise ValueError("need at least one worker")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.fn = fn
+        self.name = name
+        self.max_workers = max_workers
+        self.heartbeat_period = heartbeat_period
+        self.heartbeat_timeout = heartbeat_timeout
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.max_attempts = max_attempts
+        self.supervise_period = supervise_period
+        self.telemetry = telemetry if telemetry is not None else NOOP
+        self._ctx = multiprocessing.get_context(start_method or default_start_method())
+        self._clock = clock
+        self._t0 = clock()
+
+        self.results: "queue.Queue[Any]" = queue.Queue()
+        self._lock = threading.RLock()
+        self.workers: List[ProcessWorkerHandle] = []
+        self._next_id = 0
+        self._rr = 0
+        self._result_q: "multiprocessing.Queue" = self._ctx.Queue()
+
+        self.arrival_est = WindowRateEstimator(rate_window, start_time=0.0)
+        self.departure_est = WindowRateEstimator(rate_window, start_time=0.0)
+        self.rate_window = rate_window
+        self._latencies: "deque" = deque()  # (completion_time, latency)
+
+        self._tasks: Dict[int, _TaskRecord] = {}
+        self._completed_ids: set = set()
+        self._task_seq = 0
+        self.submitted = 0
+        self.completed = 0
+        self.dead_letters: List[DeadLetter] = []
+        self.crashes: List[Tuple[float, int]] = []  # (time, worker_id)
+        self.replays = 0
+        self.duplicates = 0
+
+        self._shutdown = threading.Event()
+        for _ in range(initial_workers):
+            self.add_worker()
+        self._pump = threading.Thread(
+            target=self._pump_loop, name=f"{name}-pump", daemon=True
+        )
+        self._pump.start()
+        self._supervisor = threading.Thread(
+            target=self._supervise_loop, name=f"{name}-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    # ------------------------------------------------------------------
+    # time base
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        return self._clock() - self._t0
+
+    # ------------------------------------------------------------------
+    # stream
+    # ------------------------------------------------------------------
+    def submit(self, payload: Any) -> None:
+        """Track one task and dispatch it to a worker (round robin)."""
+        with self._lock:
+            now = self.now()
+            self.arrival_est.mark(now)
+            self.submitted += 1
+            task_id = self._task_seq
+            self._task_seq += 1
+            record = _TaskRecord(task_id=task_id, payload=payload, submitted_at=now)
+            self._tasks[task_id] = record
+            self._dispatch(record)
+
+    def _dispatch(self, record: _TaskRecord) -> None:
+        """Send one tracked task to a live worker (lock held).
+
+        With no live worker (e.g. every process just crashed) the record
+        stays queued with a due retry; the supervisor re-dispatches as
+        soon as capacity returns.
+        """
+        live = [w for w in self.workers if w.active and not w.retiring]
+        if not live:
+            record.worker_id = None
+            record.next_retry_at = self.now()
+            return
+        self._rr = (self._rr + 1) % len(live)
+        worker = live[self._rr]
+        record.attempts += 1
+        record.worker_id = worker.worker_id
+        worker.outstanding.add(record.task_id)
+        if worker.secured:
+            item = (record.task_id, encrypt(_SECRET, pickle.dumps(record.payload)), True)
+        else:
+            item = (record.task_id, record.payload, False)
+        worker.task_queue.put(item)
+
+    def drain_results(self, count: int, timeout: float = 30.0) -> List[Any]:
+        """Collect ``count`` results (order of completion, deduplicated)."""
+        out = []
+        deadline = time.monotonic() + timeout
+        for _ in range(count):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"collected {len(out)}/{count} results")
+            try:
+                out.append(self.results.get(timeout=remaining))
+            except queue.Empty:
+                raise TimeoutError(f"collected {len(out)}/{count} results") from None
+        return out
+
+    # ------------------------------------------------------------------
+    # result pump: the single reader of the result pipe (and the single
+    # writer into the metrics registry)
+    # ------------------------------------------------------------------
+    def _pump_loop(self) -> None:
+        while not self._shutdown.is_set():
+            try:
+                msg = self._result_q.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            except (EOFError, OSError):  # queue closed during shutdown
+                return
+            self._handle_message(msg)
+
+    def _handle_message(self, msg: tuple) -> None:
+        kind, worker_id = msg[0], msg[1]
+        with self._lock:
+            handle = self._find_worker(worker_id)
+            now = self.now()
+            if handle is not None:
+                handle.last_seen = now
+            if kind == "hb":
+                self._note_worker_counter(handle, msg[2])
+                return
+            if kind == "bye":
+                self._note_worker_counter(handle, msg[2])
+                return
+            if kind != "done":
+                return
+            _, _, task_id, result, completed = msg
+            self._note_worker_counter(handle, completed)
+            if task_id in self._completed_ids:
+                # a replayed task also finished on its original worker:
+                # at-least-once underneath, exactly-once outward
+                self.duplicates += 1
+                if self.telemetry.enabled:
+                    self.telemetry.metrics.counter(
+                        "repro_process_duplicate_results_total",
+                        "acks dropped because the task already completed",
+                    ).labels(farm=self.name).inc()
+                return
+            self._completed_ids.add(task_id)
+            record = self._tasks.pop(task_id, None)
+            if handle is not None:
+                handle.outstanding.discard(task_id)
+            mark = max(now, self.departure_est._last_mark or 0.0)
+            self.departure_est.mark(mark)
+            self.completed += 1
+            if record is not None:
+                self._latencies.append((mark, mark - record.submitted_at))
+        self.results.put(result)
+
+    def _note_worker_counter(self, handle: Optional[ProcessWorkerHandle], completed: int) -> None:
+        """Fold a per-worker completion counter into the metrics registry."""
+        if handle is None:
+            return
+        handle.reported_completed = max(handle.reported_completed, completed)
+        if self.telemetry.enabled:
+            self.telemetry.metrics.gauge(
+                "repro_process_worker_completed_tasks",
+                "cumulative tasks completed, as reported by each worker",
+            ).labels(farm=self.name, worker=handle.worker_id).set(
+                handle.reported_completed
+            )
+
+    # ------------------------------------------------------------------
+    # supervision: heartbeat liveness + replay of due retries
+    # ------------------------------------------------------------------
+    def _supervise_loop(self) -> None:
+        while not self._shutdown.wait(self.supervise_period):
+            try:
+                self.supervise_once()
+            except Exception:  # noqa: BLE001 - the supervisor must survive
+                continue
+
+    def supervise_once(self) -> List[int]:
+        """One supervision pass (public so tests can drive it directly).
+
+        Returns the ids of workers declared dead in this pass.
+        """
+        dead: List[int] = []
+        with self._lock:
+            now = self.now()
+            for w in list(self.workers):
+                if not w.active:
+                    continue
+                alive = w.process.is_alive()
+                silent = (
+                    w.last_seen > 0.0 or not alive
+                ) and now - w.last_seen > self.heartbeat_timeout
+                if alive and not silent:
+                    continue
+                if w.retiring and not alive and not w.outstanding:
+                    w.active = False  # clean retirement, nothing to replay
+                    continue
+                self._declare_dead(w, now)
+                dead.append(w.worker_id)
+            self._dispatch_due_retries(now)
+        return dead
+
+    def _declare_dead(self, w: ProcessWorkerHandle, now: float) -> None:
+        """Crash handling: replay every un-acked task of ``w`` (lock held)."""
+        w.active = False
+        if w.process.is_alive():  # wedged, not dead: make it official
+            try:
+                w.process.kill()
+            except Exception:  # noqa: BLE001
+                pass
+        self.crashes.append((now, w.worker_id))
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "repro_process_worker_crashes_total",
+                "workers declared dead by the supervisor",
+            ).labels(farm=self.name).inc()
+        for task_id in sorted(w.outstanding):
+            record = self._tasks.get(task_id)
+            if record is None:
+                continue
+            if record.attempts >= self.max_attempts:
+                del self._tasks[task_id]
+                self.dead_letters.append(
+                    DeadLetter(
+                        task_id=task_id,
+                        payload=record.payload,
+                        attempts=record.attempts,
+                        last_worker_id=w.worker_id,
+                    )
+                )
+                if self.telemetry.enabled:
+                    self.telemetry.metrics.counter(
+                        "repro_process_dead_letter_total",
+                        "tasks abandoned after exhausting the replay budget",
+                    ).labels(farm=self.name).inc()
+                continue
+            delay = min(self.backoff_base * (2 ** (record.attempts - 1)), self.backoff_cap)
+            record.worker_id = None
+            record.next_retry_at = now + delay
+            self.replays += 1
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter(
+                    "repro_process_tasks_replayed_total",
+                    "task dispatches replayed after a worker death",
+                ).labels(farm=self.name).inc()
+        w.outstanding.clear()
+
+    def _dispatch_due_retries(self, now: float) -> None:
+        """Re-dispatch replayed tasks whose backoff has elapsed (lock held)."""
+        if not any(w.active and not w.retiring for w in self.workers):
+            return
+        due = [
+            r
+            for r in self._tasks.values()
+            if r.worker_id is None and r.next_retry_at <= now
+        ]
+        for record in sorted(due, key=lambda r: r.task_id):
+            self._dispatch(record)
+
+    # ------------------------------------------------------------------
+    # monitoring
+    # ------------------------------------------------------------------
+    def snapshot(self) -> RuntimeFarmSnapshot:
+        with self._lock:
+            now = self.now()
+            live = [w for w in self.workers if w.active]
+            lengths = tuple(len(w.outstanding) for w in live)
+            _, var, _, _ = queue_length_stats(lengths)
+            cutoff = now - self.rate_window
+            while self._latencies and self._latencies[0][0] <= cutoff:
+                self._latencies.popleft()
+            mean_lat = (
+                sum(lat for _, lat in self._latencies) / len(self._latencies)
+                if self._latencies
+                else 0.0
+            )
+            return RuntimeFarmSnapshot(
+                time=now,
+                arrival_rate=self.arrival_est.rate(now),
+                departure_rate=self.departure_est.rate(now),
+                num_workers=len(live),
+                queue_lengths=lengths,
+                queue_variance=var,
+                completed=self.completed,
+                pending=len(self._tasks),
+                mean_latency=mean_lat,
+            )
+
+    @property
+    def num_workers(self) -> int:
+        return sum(1 for w in self.workers if w.active)
+
+    def _find_worker(self, worker_id: int) -> Optional[ProcessWorkerHandle]:
+        for w in self.workers:
+            if w.worker_id == worker_id:
+                return w
+        return None
+
+    # ------------------------------------------------------------------
+    # actuators
+    # ------------------------------------------------------------------
+    def add_worker(self, *, secured: bool = False) -> ProcessWorkerHandle:
+        with self._lock:
+            if self.num_workers >= self.max_workers:
+                raise RuntimeError(f"worker limit {self.max_workers} reached")
+            worker_id = self._next_id
+            self._next_id += 1
+            task_q = self._ctx.Queue()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(worker_id, self.fn, task_q, self._result_q, self.heartbeat_period),
+                name=f"{self.name}-w{worker_id}",
+                daemon=True,
+            )
+            handle = ProcessWorkerHandle(
+                worker_id=worker_id,
+                process=proc,
+                task_queue=task_q,
+                secured=secured,
+                last_seen=self.now(),
+            )
+            proc.start()
+            self.workers.append(handle)
+            return handle
+
+    def remove_worker(self) -> Optional[ProcessWorkerHandle]:
+        """Retire the newest worker gracefully.
+
+        The poison sentinel queues *behind* any tasks already dispatched
+        to the victim, so it drains its backlog before exiting; the
+        supervisor replays anything still un-acked if it dies instead.
+        """
+        with self._lock:
+            live = [w for w in self.workers if w.active]
+            if len(live) <= 1:
+                return None
+            victim = live[-1]
+            victim.retiring = True
+            victim.task_queue.put(_POISON)
+            return victim
+
+    def balance_load(self) -> int:
+        """Steal queued (not yet started) tasks from long queues to short.
+
+        The parent is a legitimate extra consumer of a worker's task
+        queue, so stealing is just ``get_nowait`` + re-dispatch; sizes
+        are approximate under concurrency, as on every real runtime.
+        """
+        moved = 0
+        with self._lock:
+            live = [w for w in self.workers if w.active and not w.retiring]
+            if len(live) < 2:
+                return 0
+            for _ in range(1000):
+                live.sort(key=lambda w: len(w.outstanding))
+                shortest, longest = live[0], live[-1]
+                if len(longest.outstanding) - len(shortest.outstanding) <= 1:
+                    break
+                try:
+                    item = longest.task_queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item == _POISON:
+                    longest.task_queue.put(item)
+                    break
+                task_id = item[0]
+                longest.outstanding.discard(task_id)
+                shortest.outstanding.add(task_id)
+                record = self._tasks.get(task_id)
+                if record is not None:
+                    record.worker_id = shortest.worker_id
+                shortest.task_queue.put(item)
+                moved += 1
+        return moved
+
+    def secure_all(self) -> None:
+        with self._lock:
+            for w in self.workers:
+                w.secured = True
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def inject_crash(self, worker_id: Optional[int] = None) -> Optional[int]:
+        """SIGKILL one live worker process (the newest, unless given).
+
+        Returns the killed worker id, or ``None`` if no worker was
+        killable.  Detection, replay and capacity recovery then proceed
+        through the ordinary supervision/rule machinery — nothing is
+        short-circuited for the test.
+        """
+        with self._lock:
+            if worker_id is None:
+                live = [w for w in self.workers if w.active and not w.retiring]
+                if not live:
+                    return None
+                victim = live[-1]
+            else:
+                victim = self._find_worker(worker_id)
+                if victim is None or not victim.active:
+                    return None
+            pid = victim.pid
+        if pid is None:
+            return None
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            return None
+        return victim.worker_id
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop supervision, then every worker (pending tasks abandoned)."""
+        self._shutdown.set()
+        with self._lock:
+            workers = list(self.workers)
+            for w in workers:
+                w.active = False
+        for w in workers:
+            try:
+                w.task_queue.put_nowait(_POISON)
+            except Exception:  # noqa: BLE001 - queue may already be closed
+                pass
+        deadline = time.monotonic() + timeout
+        for w in workers:
+            w.process.join(max(0.0, deadline - time.monotonic()))
+            if w.process.is_alive():
+                w.process.kill()
+                w.process.join(1.0)
+        for t in (self._pump, self._supervisor):
+            t.join(1.0)
+        for w in workers:
+            w.task_queue.close()
+            w.task_queue.cancel_join_thread()
+        self._result_q.close()
+        self._result_q.cancel_join_thread()

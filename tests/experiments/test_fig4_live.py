@@ -1,0 +1,93 @@
+"""FIG4 on the live backends: same rules, measured instead of simulated.
+
+The acceptance bar for the process substrate: the run completes with the
+unmodified Figure 5 rule set, a SIGKILL-injected crash loses zero tasks,
+and throughput returns to contract via ``CheckRateLow``.
+"""
+
+import pytest
+
+from repro.experiments.fig4 import main as fig4_main
+from repro.experiments.fig4_live import (
+    Fig4LiveConfig,
+    make_backend,
+    render_fig4_live,
+    run_fig4_live,
+)
+
+
+def quick_config(backend: str, **overrides) -> Fig4LiveConfig:
+    """A trimmed scenario: same phases, a couple of wall-clock seconds."""
+    defaults = dict(
+        backend=backend,
+        contract_low=30.0,
+        contract_high=90.0,
+        task_work=0.03,
+        starve_rate=15.0,
+        feed_rate=70.0,
+        starve_duration=0.4,
+        total_tasks=120,
+        crash_after=40,
+        control_period=0.15,
+    )
+    defaults.update(overrides)
+    return Fig4LiveConfig(**defaults)
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            make_backend(Fig4LiveConfig(backend="quantum"))
+
+    def test_make_backend_shapes(self):
+        for backend in ("thread", "process"):
+            farm = make_backend(Fig4LiveConfig(backend=backend))
+            try:
+                assert farm.num_workers == 1
+            finally:
+                farm.shutdown()
+
+
+class TestThreadBackend:
+    def test_thread_run_completes_under_the_rules(self):
+        r = run_fig4_live(quick_config("thread"))
+        assert r.backend == "thread"
+        assert r.zero_loss()
+        assert r.completed == r.config.total_tasks
+        assert r.grew(), "CheckRateLow must have added workers"
+        assert r.starved_first(), "phase 1 starvation precedes growth"
+        assert r.crashes == 0  # crash injection is a process-only concept
+
+
+class TestProcessBackend:
+    def test_process_run_survives_sigkill(self):
+        """fig4 --backend=process: crash mid-stream, zero loss, recovery
+        through the same rule set."""
+        r = run_fig4_live(quick_config("process"))
+        assert r.backend == "process"
+        assert r.crashes >= 1, "the SIGKILL must actually have landed"
+        assert r.zero_loss(), "at-least-once replay lost a task"
+        assert r.completed == r.config.total_tasks
+        assert r.grew(), "CheckRateLow must have restored/grown capacity"
+        assert r.dead_letters == 0
+
+    def test_process_run_without_crash(self):
+        r = run_fig4_live(quick_config("process", inject_crash=False))
+        assert r.crashes == 0
+        assert r.zero_loss()
+        assert r.grew()
+
+
+class TestRendering:
+    def test_render_mentions_fault_columns_for_process(self):
+        r = run_fig4_live(quick_config("process", total_tasks=60, crash_after=20))
+        text = render_fig4_live(r)
+        assert "process backend" in text
+        assert "task dispatches replayed" in text
+        assert "zero loss" in text
+
+    def test_cli_flag_runs_thread_backend(self, capsys):
+        # the full CLI path, but on the quicker thread substrate
+        assert fig4_main(["--backend", "thread"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG4-LIVE" in out and "thread backend" in out

@@ -1,0 +1,229 @@
+"""Shutdown and contract-swap paths of the live farm controller.
+
+These are the paths a long-running deployment exercises constantly —
+stopping a controller whose rules are mid-cycle, re-assigning a
+contract while the loop is live, and violations arriving while the
+stream drains — but that the happy-path tests never touch.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.contracts import (
+    BestEffortContract,
+    CompositeContract,
+    MaxLatencyContract,
+    MinThroughputContract,
+    ThroughputRangeContract,
+)
+from repro.runtime.controller import FarmController, ThreadFarmController
+from repro.runtime.farm_runtime import ThreadFarm
+
+from .waiting import wait_until
+
+
+def square(x):
+    return x * x
+
+
+def slow_square(x):
+    time.sleep(0.01)
+    return x * x
+
+
+class TestAlias:
+    def test_thread_farm_controller_is_farm_controller(self):
+        assert ThreadFarmController is FarmController
+
+
+class TestShutdownPaths:
+    def test_stop_while_rules_mid_cycle(self):
+        """stop() called from another thread while control_step is busy
+        firing rules must join cleanly, not deadlock on the farm lock."""
+        farm = ThreadFarm(slow_square, initial_workers=1)
+        ctl = FarmController(
+            farm, MinThroughputContract(500.0), control_period=0.01, max_workers=4
+        ).start()
+        try:
+            # guarantee at least one full cycle has rules to chew on
+            for i in range(100):
+                farm.submit(i)
+            wait_until(
+                lambda: ctl.actions or ctl.violations,
+                message="a mid-cycle rule firing",
+            )
+            ctl.stop(timeout=10.0)
+            assert ctl._thread is not None and not ctl._thread.is_alive()
+        finally:
+            farm.shutdown()
+
+    def test_stop_is_idempotent_and_restartable(self):
+        farm = ThreadFarm(square, initial_workers=1)
+        ctl = FarmController(farm, MinThroughputContract(10.0), control_period=0.02)
+        try:
+            ctl.start()
+            ctl.stop()
+            ctl.stop()  # second stop is a no-op
+            ctl.start()  # the loop may be restarted after a stop
+            wait_until(lambda: ctl.violations, message="post-restart starvation")
+            ctl.stop()
+        finally:
+            farm.shutdown()
+
+    def test_start_twice_keeps_single_loop(self):
+        farm = ThreadFarm(square, initial_workers=1)
+        ctl = FarmController(farm, MinThroughputContract(10.0), control_period=0.02)
+        try:
+            assert ctl.start() is ctl
+            first = ctl._thread
+            assert ctl.start() is ctl
+            assert ctl._thread is first  # no second loop thread spawned
+        finally:
+            ctl.stop()
+            farm.shutdown()
+
+    def test_stop_after_farm_shutdown_is_clean(self):
+        """Stopping the controller after its farm is gone must not raise:
+        the loop only snapshots, and snapshots survive a dead farm."""
+        farm = ThreadFarm(square, initial_workers=1)
+        ctl = FarmController(
+            farm, MinThroughputContract(10.0), control_period=0.02
+        ).start()
+        farm.shutdown()
+        ctl.stop(timeout=10.0)
+        assert not ctl._thread.is_alive()
+
+
+class TestContractSwap:
+    def test_swap_updates_thresholds_in_place(self):
+        farm = ThreadFarm(square, initial_workers=1)
+        try:
+            ctl = FarmController(farm, ThroughputRangeContract(2.0, 5.0))
+            assert ctl.constants.FARM_LOW_PERF_LEVEL == 2.0
+            ctl.assign_contract(ThroughputRangeContract(10.0, 20.0))
+            assert ctl.constants.FARM_LOW_PERF_LEVEL == 10.0
+            assert ctl.constants.FARM_HIGH_PERF_LEVEL == 20.0
+            # the live rule closures read the same constants object
+            assert ctl.engine.rules  # unchanged rule objects
+        finally:
+            farm.shutdown()
+
+    def test_swap_to_best_effort_silences_growth(self):
+        """After swapping to best-effort mid-run, the rules stop firing:
+        the same engine, re-tuned without redeployment."""
+        farm = ThreadFarm(slow_square, initial_workers=1)
+        ctl = FarmController(
+            farm, MinThroughputContract(500.0), control_period=0.05, max_workers=8
+        )
+        try:
+            def pressure():
+                for i in range(40):
+                    farm.submit(i)
+                ctl.control_step()
+
+            wait_until(
+                lambda: farm.num_workers > 1,
+                on_tick=pressure,
+                interval=0.02,
+                message="growth under the strict contract",
+            )
+            ctl.assign_contract(BestEffortContract())
+            before = len(ctl.actions)
+            for _ in range(5):
+                for i in range(40):
+                    farm.submit(i)
+                fired = ctl.control_step()
+                assert "CheckRateLow" not in fired
+            assert all("addWorker" not in a for _, a in ctl.actions[before:])
+        finally:
+            farm.shutdown()
+
+    def test_swap_while_loop_running_is_safe(self):
+        farm = ThreadFarm(square, initial_workers=1)
+        ctl = FarmController(
+            farm, MinThroughputContract(10.0), control_period=0.005
+        ).start()
+        try:
+            stop = threading.Event()
+            errors = []
+
+            def swapper():
+                contracts = [
+                    ThroughputRangeContract(1.0, 2.0),
+                    CompositeContract(
+                        [ThroughputRangeContract(3.0, 6.0), MaxLatencyContract(0.5)]
+                    ),
+                    BestEffortContract(),
+                    MinThroughputContract(10.0),
+                ]
+                i = 0
+                while not stop.is_set():
+                    try:
+                        ctl.assign_contract(contracts[i % len(contracts)])
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(exc)
+                        return
+                    i += 1
+                    time.sleep(0.002)
+
+            t = threading.Thread(target=swapper)
+            t.start()
+            wait_until(lambda: ctl.violations, message="violations under swapping")
+            stop.set()
+            t.join(10.0)
+            assert not errors
+            ctl.stop()
+        finally:
+            farm.shutdown()
+
+    def test_unsupported_contract_rejected(self):
+        farm = ThreadFarm(square, initial_workers=1)
+        try:
+            ctl = FarmController(farm, BestEffortContract())
+            with pytest.raises(ValueError):
+                ctl.assign_contract(object())  # type: ignore[arg-type]
+        finally:
+            farm.shutdown()
+
+
+class TestViolationDuringDrain:
+    def test_starvation_reported_while_stream_drains(self):
+        """End of stream: arrivals cease, the controller keeps ticking and
+        reports notEnoughTasks while the backlog drains — then stops
+        cleanly with the violations on record (the paper's drain phase)."""
+        farm = ThreadFarm(slow_square, initial_workers=2, rate_window=0.2)
+        ctl = FarmController(
+            farm, MinThroughputContract(20.0), control_period=0.02
+        ).start()
+        try:
+            for i in range(50):
+                farm.submit(i)
+            results = farm.drain_results(50, timeout=30.0)
+            assert len(results) == 50
+            # stream over: the loop itself must flag starvation
+            wait_until(
+                lambda: any(v == "notEnoughTasks" for _, v in ctl.violations),
+                message="starvation during drain",
+            )
+            ctl.stop(timeout=10.0)
+            assert not ctl._thread.is_alive()
+        finally:
+            farm.shutdown()
+
+    def test_violation_mid_drain_does_not_block_stop(self):
+        """stop() racing the very tick that appends a violation: the join
+        must win, and the violation list stays consistent."""
+        farm = ThreadFarm(square, initial_workers=1, rate_window=0.1)
+        for _ in range(20):
+            ctl = FarmController(
+                farm, MinThroughputContract(50.0), control_period=0.001
+            ).start()
+            wait_until(lambda: ctl.violations, timeout=10.0, message="first violation")
+            ctl.stop(timeout=10.0)
+            count = len(ctl.violations)
+            # no tick may land after stop() returned
+            time.sleep(0.01)
+            assert len(ctl.violations) == count
+        farm.shutdown()

@@ -8,6 +8,8 @@ from repro.core.contracts import MinThroughputContract, ThroughputRangeContract
 from repro.runtime.controller import ThreadFarmController
 from repro.runtime.farm_runtime import ThreadFarm
 
+from .waiting import wait_until
+
 
 def square(x):
     return x * x
@@ -150,12 +152,17 @@ class TestThreadFarmController:
         )
         try:
             # keep arrival pressure high while ticking the controller
-            for _ in range(10):
+            def pressure():
                 for i in range(60):
                     farm.submit(i)
                 ctl.control_step()
-                time.sleep(0.02)
-            assert farm.num_workers > 1
+
+            wait_until(
+                lambda: farm.num_workers > 1,
+                on_tick=pressure,
+                interval=0.02,
+                message="controller to grow the farm",
+            )
             assert any("addWorker" in a for _, a in ctl.actions)
         finally:
             farm.shutdown()
@@ -164,9 +171,13 @@ class TestThreadFarmController:
         farm = ThreadFarm(square, initial_workers=1)
         ctl = ThreadFarmController(farm, MinThroughputContract(10.0))
         try:
-            time.sleep(0.05)
-            ctl.control_step()  # no arrivals at all -> notEnoughTasks
-            assert ctl.violations
+            # no arrivals at all -> notEnoughTasks, as soon as any wall
+            # time has elapsed for the rate estimator to measure over
+            wait_until(
+                lambda: ctl.violations,
+                on_tick=ctl.control_step,
+                message="starvation violation",
+            )
             assert ctl.violations[0][1] == "notEnoughTasks"
         finally:
             farm.shutdown()
@@ -177,9 +188,10 @@ class TestThreadFarmController:
             farm, MinThroughputContract(10.0), control_period=0.02
         ).start()
         try:
-            time.sleep(0.15)
+            # starvation must be detected by the loop itself, no manual steps
+            wait_until(lambda: ctl.violations, message="loop-detected starvation")
             ctl.stop()
-            assert ctl.violations  # starvation detected by the loop itself
+            assert ctl.violations
         finally:
             farm.shutdown()
 
@@ -203,8 +215,11 @@ class TestLatencyMonitoring:
         try:
             farm.submit(1)
             farm.drain_results(1, timeout=5.0)
-            time.sleep(0.2)  # let the sample age out of the window
-            assert farm.snapshot().mean_latency == 0.0
+            # the sample ages out of the 50 ms window on its own clock
+            wait_until(
+                lambda: farm.snapshot().mean_latency == 0.0,
+                message="latency sample to expire",
+            )
         finally:
             farm.shutdown()
 
@@ -242,9 +257,12 @@ class TestControllerLatencyContract:
             # one worker at ~10ms/task with a deep backlog: latency >> 20ms
             for i in range(80):
                 farm.submit(i)
-            time.sleep(0.3)
-            ctl.control_step()
-            assert farm.num_workers > 1
+            wait_until(
+                lambda: farm.num_workers > 1,
+                on_tick=ctl.control_step,
+                interval=0.02,
+                message="latency breach to grow the farm",
+            )
             assert any("addWorker" in a for _, a in ctl.actions)
         finally:
             farm.shutdown()

@@ -1,0 +1,43 @@
+"""Event-based waiting for the wall-clock runtime tests.
+
+CI runners are slow and noisy; a fixed ``time.sleep`` is either flaky
+(too short) or wasteful (too long).  Every runtime test that used to
+sleep now polls its actual postcondition with a generous deadline and
+returns the moment it holds — the injectable ``clock`` keeps even the
+deadline logic testable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+#: generous ceiling for anything a loaded CI runner must get done
+GENEROUS = 30.0
+
+
+def wait_until(
+    predicate: Callable[[], object],
+    *,
+    timeout: float = GENEROUS,
+    interval: float = 0.01,
+    on_tick: Optional[Callable[[], None]] = None,
+    message: str = "condition",
+    clock: Callable[[], float] = time.monotonic,
+) -> object:
+    """Poll ``predicate`` until truthy; return its value.
+
+    ``on_tick`` runs before each probe (e.g. keep submitting load or
+    drive a controller step).  Raises ``TimeoutError`` with ``message``
+    if the deadline passes first.
+    """
+    deadline = clock() + timeout
+    while True:
+        if on_tick is not None:
+            on_tick()
+        value = predicate()
+        if value:
+            return value
+        if clock() >= deadline:
+            raise TimeoutError(f"timed out after {timeout}s waiting for {message}")
+        time.sleep(interval)

@@ -66,3 +66,9 @@ class TestExamples:
         """Import only: the full run sleeps for real seconds."""
         module = load_example("live_threads")
         assert callable(module.main)
+
+    def test_process_farm_crashes_importable(self):
+        """Import only: the full run feeds a live stream for seconds; the
+        crash-recovery paths themselves are covered in tests/runtime."""
+        module = load_example("process_farm_crashes")
+        assert callable(module.main)
