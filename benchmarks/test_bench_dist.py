@@ -1,0 +1,178 @@
+"""Bench the distributed farm: wire-protocol overhead and recovery latency.
+
+Two measurements land in ``benchmarks/out/BENCH_dist.json``:
+
+* **serialization overhead** — the same stream of compute-free echo
+  tasks (a 64-element JSON payload each) through a 4-worker
+  :class:`ProcessFarm` (pickle over multiprocessing pipes) and a
+  4-worker :class:`DistFarm` (length-prefixed JSON over TCP).  With no
+  real work in the tasks, the wall-clock ratio *is* the price of the
+  wire format plus the socket hop — the number a later sharding PR
+  trades against multi-host capacity.
+* **recovery** — one worker's TCP connection is severed mid-stream (the
+  distributed fault: the process is healthy, the link is gone); we
+  record how long the coordinator takes to declare the death, how long
+  until every task (including replays) is accounted for, and how long
+  throughput needs to re-enter the contract stripe under the unmodified
+  ``CheckRateLow`` rule.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks both workloads to CI-sized
+runs while still writing the artefact.
+"""
+
+import time
+
+import pytest
+
+from repro.core.contracts import MinThroughputContract
+from repro.runtime.controller import FarmController
+from repro.runtime.dist_farm import DistFarm
+from repro.runtime.process_farm import ProcessFarm
+
+WORKERS = 4
+PAYLOAD_ITEMS = 64
+
+
+def echo_task(payload):
+    """Compute-free round trip: the cost measured is pure transport."""
+    return sum(payload)
+
+
+def sleep_task(payload):
+    """Blocking task for the recovery measurement (core-count neutral)."""
+    work, value = payload
+    time.sleep(work)
+    return value
+
+
+def run_echo_farm(farm_cls, n_tasks: int) -> float:
+    """Wall-clock seconds to round-trip ``n_tasks`` echo payloads."""
+    farm = farm_cls(echo_task, initial_workers=WORKERS)
+    try:
+        payload = list(range(PAYLOAD_ITEMS))
+        t0 = time.monotonic()
+        for _ in range(n_tasks):
+            farm.submit(payload)
+        results = farm.drain_results(n_tasks, timeout=600.0)
+        elapsed = time.monotonic() - t0
+        assert all(r == sum(payload) for r in results)
+        return elapsed
+    finally:
+        farm.shutdown()
+
+
+@pytest.mark.benchmark(group="dist")
+def test_dist_serialization_overhead(benchmark, json_sink, smoke_mode):
+    """JSON-over-TCP vs pickle-over-pipe on an identical echo stream."""
+    n_tasks = 60 if smoke_mode else 400
+    rounds = 1 if smoke_mode else 3
+
+    process_times, dist_times = [], []
+
+    def one_round():
+        process_times.append(run_echo_farm(ProcessFarm, n_tasks))
+        dist_times.append(run_echo_farm(DistFarm, n_tasks))
+        return dist_times[-1]
+
+    assert benchmark.pedantic(one_round, rounds=rounds, iterations=1) > 0
+
+    process_s, dist_s = min(process_times), min(dist_times)
+    overhead = dist_s / process_s if process_s > 0 else float("inf")
+
+    payload = {
+        "kernel": "echo (zero compute, transport only)",
+        "workers": WORKERS,
+        "tasks": n_tasks,
+        "payload_items": PAYLOAD_ITEMS,
+        "process_seconds": process_s,
+        "dist_seconds": dist_s,
+        "per_task_process_ms": 1000.0 * process_s / n_tasks,
+        "per_task_dist_ms": 1000.0 * dist_s / n_tasks,
+        "overhead_dist_over_process": overhead,
+        "smoke_mode": smoke_mode,
+    }
+
+    recovery = measure_connection_recovery(smoke_mode)
+    payload["connection_recovery"] = recovery
+    json_sink("dist", payload)
+
+    # the wire may cost, but it must never lose
+    assert recovery["tasks_lost"] == 0
+    if smoke_mode:
+        return
+    # EOF on an aborted connection is observed immediately — detection
+    # must not wait out a heartbeat window, let alone seconds
+    assert recovery["detection_latency_seconds"] is not None
+    assert recovery["detection_latency_seconds"] < 2.0
+
+
+def measure_connection_recovery(smoke_mode: bool) -> dict:
+    """Sever one of four workers' connections mid-stream; time recovery."""
+    n_tasks = 80 if smoke_mode else 400
+    task_work = 0.02
+    # 4 workers at 20 ms/task sustain ~200/s; losing one drops capacity
+    # to ~150/s, below the stripe -> CheckRateLow must add workers back
+    contract_low = 160.0
+
+    farm = DistFarm(
+        sleep_task,
+        initial_workers=WORKERS,
+        heartbeat_period=0.05,
+        heartbeat_timeout=0.5,
+        backoff_base=0.02,
+        backoff_cap=0.2,
+        supervise_period=0.02,
+        rate_window=0.5,
+    )
+    controller = FarmController(
+        farm,
+        MinThroughputContract(contract_low),
+        control_period=0.1,
+        max_workers=WORKERS + 2,
+    ).start()
+    try:
+        cut_at = n_tasks // 4
+        t_cut = None
+        for i in range(n_tasks):
+            farm.submit((task_work, i))
+            if i == cut_at:
+                farm.drop_connection()
+                t_cut = farm.now()
+            time.sleep(task_work / WORKERS)
+        results = farm.drain_results(n_tasks, timeout=300.0)
+        t_drained = farm.now()
+
+        # first time after the cut at which throughput is back in contract
+        t_back = None
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            snap = farm.snapshot()
+            if snap.departure_rate >= contract_low or snap.pending == 0:
+                t_back = farm.now()
+                break
+            time.sleep(0.02)
+
+        detected = farm.crashes[0][0] if farm.crashes else None
+        return {
+            "tasks": n_tasks,
+            "task_work_seconds": task_work,
+            "contract_low": contract_low,
+            "cut_at_seconds": t_cut,
+            "detection_latency_seconds": (
+                detected - t_cut if detected is not None and t_cut is not None else None
+            ),
+            "drain_complete_seconds_after_cut": (
+                t_drained - t_cut if t_cut is not None else None
+            ),
+            "throughput_recovered_seconds_after_cut": (
+                t_back - t_cut if t_back is not None and t_cut is not None else None
+            ),
+            "tasks_lost": n_tasks - len(set(results)),
+            "replays": farm.replays,
+            "duplicates_suppressed": farm.duplicates,
+            "dead_letters": len(farm.dead_letters),
+            "capacity_actions": [a for _, a in controller.actions if "addWorker" in a],
+        }
+    finally:
+        controller.stop()
+        farm.shutdown()

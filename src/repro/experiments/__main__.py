@@ -10,9 +10,9 @@ Usage::
 Experiment keys: fig3, fig4, loadspike, multiconcern (mc), split,
 ablation, faults, stagefarm, patterns.  ``--trace-out PATH`` attaches
 telemetry to the FIG4 run and writes its decision audit as JSONL;
-``--backend {sim,thread,process}`` selects the substrate under the FIG4
-rules (see ``python -m repro.experiments.fig4 --help`` for the full
-option set).
+``--backend {sim,thread,process,dist}`` selects the substrate under the
+FIG4 rules (see ``python -m repro.experiments.fig4 --help`` for the
+full option set).
 """
 
 from __future__ import annotations
@@ -137,14 +137,14 @@ def main(argv: list[str]) -> int:
         elif arg == "--backend":
             backend = next(it, None)
             if backend is None:
-                print("--backend needs a {sim,thread,process} argument")
+                print("--backend needs a {sim,thread,process,dist} argument")
                 return 2
         elif arg.startswith("--backend="):
             backend = arg.split("=", 1)[1]
         else:
             keys.append(arg)
-    if backend not in (None, "sim", "thread", "process"):
-        print(f"unknown backend {backend!r}; choose from sim, thread, process")
+    if backend not in (None, "sim", "thread", "process", "dist"):
+        print(f"unknown backend {backend!r}; choose from sim, thread, process, dist")
         return 2
     keys = keys or list(DEFAULT_ORDER)
     unknown = [k for k in keys if k not in RUNNERS]

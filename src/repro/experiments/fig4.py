@@ -219,8 +219,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     ``--backend`` selects the substrate the Figure 5 rules drive:
     ``sim`` (default, the deterministic DES reproducing the paper's
-    figure), ``thread`` (live threads) or ``process`` (supervised OS
-    processes with SIGKILL fault injection and task replay).
+    figure), ``thread`` (live threads), ``process`` (supervised OS
+    processes with SIGKILL fault injection and task replay) or ``dist``
+    (TCP-connected worker processes behind an asyncio coordinator, with
+    connection-severing fault injection).
     ``--trace-out PATH`` attaches telemetry and writes the full decision
     audit — trace marks, MAPE/rule/violation/intent spans, monitoring
     series — as JSON lines.  ``--metrics-out PATH`` additionally dumps
@@ -230,13 +232,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.experiments.fig4", description=main.__doc__
     )
     parser.add_argument(
-        "--backend", choices=("sim", "thread", "process"), default="sim",
+        "--backend", choices=("sim", "thread", "process", "dist"), default="sim",
         help="substrate under the rules: deterministic sim (default), "
-        "live threads, or crash-supervised OS processes",
+        "live threads, crash-supervised OS processes, or TCP-connected "
+        "distributed workers",
     )
     parser.add_argument(
         "--no-crash", action="store_true",
-        help="process backend: skip the SIGKILL fault injection",
+        help="process/dist backends: skip the fault injection",
     )
     parser.add_argument(
         "--trace-out", metavar="PATH", default=None,

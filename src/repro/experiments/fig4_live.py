@@ -1,6 +1,6 @@
 """Experiment FIG4-LIVE — the Figure 4 farm phases on a real substrate.
 
-``fig4 --backend={thread,process}`` replays the farm-side story of the
+``fig4 --backend={thread,process,dist}`` replays the farm-side story of the
 paper's §4.2 scenario against a *live* backend instead of the
 discrete-event simulator, driven by the very same Figure 5 rule objects
 (:func:`repro.core.policies.farm_rules`) through
@@ -13,11 +13,13 @@ discrete-event simulator, driven by the very same Figure 5 rule objects
 2. **growth** — the feeder jumps above the stripe; departure rate lags
    behind with too few workers, so ``CheckRateLow`` fires
    ``ADD_EXECUTOR`` until throughput re-enters the contract.
-3. **crash** (process backend, optional on thread where it is a no-op)
-   — one worker is SIGKILLed mid-stream; the farm replays its un-acked
-   tasks (at-least-once, deduped to exactly-once outward) while the
-   capacity loss re-triggers ``CheckRateLow``: fault recovery is
-   contract enforcement, as §2 frames it.
+3. **crash** (no-op on the thread backend) — one worker is faulted
+   mid-stream: SIGKILLed on the process backend, its TCP connection
+   severed on the dist backend (the fault a networked deployment
+   actually meets).  The farm replays its un-acked tasks
+   (at-least-once, deduped to exactly-once outward) while the capacity
+   loss re-triggers ``CheckRateLow``: fault recovery is contract
+   enforcement, as §2 frames it.
 4. **drain** — the stream ends; every submitted task must be accounted
    for (zero loss even across the kill).
 
@@ -34,6 +36,7 @@ from typing import Any, List, Optional, Tuple
 from ..core.contracts import ThroughputRangeContract
 from ..runtime.backend import FarmBackend
 from ..runtime.controller import FarmController
+from ..runtime.dist_farm import DistFarm
 from ..runtime.farm_runtime import ThreadFarm
 from ..runtime.process_farm import ProcessFarm
 
@@ -46,7 +49,7 @@ __all__ = [
     "render_fig4_live",
 ]
 
-LIVE_BACKENDS = ("thread", "process")
+LIVE_BACKENDS = ("thread", "process", "dist")
 
 
 @dataclass
@@ -65,8 +68,8 @@ class Fig4LiveConfig:
     max_workers: int = 8
     control_period: float = 0.2
     rate_window: float = 1.5
-    inject_crash: bool = True        # honoured by the process backend only
-    crash_after: int = 60            # tasks fed before the SIGKILL
+    inject_crash: bool = True        # honoured by process (SIGKILL) and dist (cut TCP)
+    crash_after: int = 60            # tasks fed before the fault
     drain_timeout: float = 60.0
 
 
@@ -133,6 +136,14 @@ def make_backend(cfg: Fig4LiveConfig) -> FarmBackend:
             rate_window=cfg.rate_window,
             max_workers=cfg.max_workers,
         )
+    if cfg.backend == "dist":
+        return DistFarm(
+            live_task,
+            initial_workers=cfg.initial_workers,
+            name="fig4-dist",
+            rate_window=cfg.rate_window,
+            max_workers=cfg.max_workers,
+        )
     raise ValueError(f"unknown live backend {cfg.backend!r} (choose from {LIVE_BACKENDS})")
 
 
@@ -177,13 +188,13 @@ def run_fig4_live(config: Optional[Fig4LiveConfig] = None) -> Fig4LiveResult:
         while fed < cfg.total_tasks:
             farm.submit((cfg.task_work, fed))
             fed += 1
-            if (
-                cfg.inject_crash
-                and not crashed
-                and fed >= cfg.crash_after
-                and isinstance(farm, ProcessFarm)
-            ):
-                crashed = farm.inject_crash() is not None
+            if cfg.inject_crash and not crashed and fed >= cfg.crash_after:
+                if isinstance(farm, DistFarm):
+                    # the distributed fault: sever the TCP connection —
+                    # the worker process itself may be perfectly healthy
+                    crashed = farm.drop_connection() is not None
+                elif isinstance(farm, ProcessFarm):
+                    crashed = farm.inject_crash() is not None
             sample()
             time.sleep(1.0 / cfg.feed_rate)
         # phase 4: drain
@@ -254,9 +265,10 @@ def render_fig4_live(r: Fig4LiveResult) -> str:
         ["controller actions", len(r.actions)],
         ["violations reported", len(r.violations)],
     ]
-    if r.backend == "process":
+    if r.backend in ("process", "dist"):
+        fault = "SIGKILL injected" if r.backend == "process" else "connection severed"
         checks += [
-            ["worker crashes (SIGKILL injected)", r.crashes],
+            [f"worker crashes ({fault})", r.crashes],
             ["task dispatches replayed", r.replays],
             ["duplicate acks suppressed", r.duplicates],
             ["dead-lettered tasks", r.dead_letters],

@@ -1,9 +1,10 @@
 """Live (wall-clock) runtime: the ProActive analog.
 
-Active objects (:mod:`~.active_object`), two real farm substrates with
-the same monitoring/actuator surface as the simulated one — threads
-(:mod:`~.farm_runtime`) and supervised OS processes with crash replay
-(:mod:`~.process_farm`) — both behind the
+Active objects (:mod:`~.active_object`), three real farm substrates
+with the same monitoring/actuator surface as the simulated one —
+threads (:mod:`~.farm_runtime`), supervised OS processes with crash
+replay (:mod:`~.process_farm`), and TCP-connected worker processes
+behind an asyncio coordinator (:mod:`~.dist_farm`) — all behind the
 :class:`~.backend.FarmBackend` protocol, a thread pipeline
 (:mod:`~.pipeline_runtime`), and a controller that runs the *same*
 Figure 5 rule set against any live backend (:mod:`~.controller`) —
@@ -13,6 +14,7 @@ mechanism/policy separation made concrete.  See ``docs/RUNTIME.md``.
 from .active_object import ActiveObject, ActiveObjectError, FutureResult
 from .backend import FarmBackend, RuntimeFarmSnapshot
 from .controller import FarmController, ThreadFarmController
+from .dist_farm import DistFarm, DistWorkerHandle
 from .farm_runtime import ThreadFarm, ThreadWorker
 from .pipeline_runtime import ThreadPipeline, ThreadStage
 from .process_farm import DeadLetter, ProcessFarm, ProcessWorkerHandle
@@ -32,4 +34,6 @@ __all__ = [
     "ProcessFarm",
     "ProcessWorkerHandle",
     "DeadLetter",
+    "DistFarm",
+    "DistWorkerHandle",
 ]

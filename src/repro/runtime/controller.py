@@ -8,8 +8,9 @@ paper's separation of mechanism and policy: the rules do not know (or
 care) whether the beans underneath them come from a discrete-event
 simulation, from ``threading`` queues, or from OS processes — the
 controller sees only the :class:`~repro.runtime.backend.FarmBackend`
-protocol, so :class:`~repro.runtime.farm_runtime.ThreadFarm` and
-:class:`~repro.runtime.process_farm.ProcessFarm` are interchangeable
+protocol, so :class:`~repro.runtime.farm_runtime.ThreadFarm`,
+:class:`~repro.runtime.process_farm.ProcessFarm` and
+:class:`~repro.runtime.dist_farm.DistFarm` are interchangeable
 underneath it.
 """
 
@@ -47,10 +48,10 @@ __all__ = ["FarmController", "ThreadFarmController"]
 class FarmController:
     """A wall-clock MAPE loop enforcing a contract on a :class:`FarmBackend`.
 
-    The backend may be a :class:`~repro.runtime.farm_runtime.ThreadFarm`
-    or a :class:`~repro.runtime.process_farm.ProcessFarm`; the controller
-    never looks past the protocol, so the rule set stays
-    substrate-agnostic.
+    The backend may be a :class:`~repro.runtime.farm_runtime.ThreadFarm`,
+    a :class:`~repro.runtime.process_farm.ProcessFarm` or a
+    :class:`~repro.runtime.dist_farm.DistFarm`; the controller never
+    looks past the protocol, so the rule set stays substrate-agnostic.
 
     ``telemetry`` (optional, no-op default) records the same
     ``mape.*`` span hierarchy the simulated managers emit — but on the
@@ -86,28 +87,48 @@ class FarmController:
         self.actions: List[Tuple[float, str]] = []
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        #: serialises contract swaps against in-flight MAPE cycles, so a
+        #: cycle always analyses/plans/executes against ONE contract's
+        #: thresholds — never a half-old, half-new mixture
+        self._cycle_lock = threading.RLock()
         self.assign_contract(contract)
 
     # ------------------------------------------------------------------
     # contract
     # ------------------------------------------------------------------
     def assign_contract(self, contract: Contract) -> None:
-        self.contract = contract
+        """Swap the enforced contract, atomically w.r.t. the MAPE cycle.
+
+        The new thresholds are validated *before* anything mutates and
+        applied under the cycle lock, so a swap arriving mid-cycle takes
+        effect on the next cycle rather than steering half of this one.
+        An unsupported part therefore leaves the previous contract fully
+        in force instead of half-applied.
+        """
         parts = contract.parts if isinstance(contract, CompositeContract) else [contract]
+        supported = (
+            ThroughputRangeContract,
+            MinThroughputContract,
+            MaxLatencyContract,
+            BestEffortContract,
+        )
         for part in parts:
-            if isinstance(part, ThroughputRangeContract):
-                self.constants.FARM_LOW_PERF_LEVEL = part.low
-                self.constants.FARM_HIGH_PERF_LEVEL = part.high
-            elif isinstance(part, MinThroughputContract):
-                self.constants.FARM_LOW_PERF_LEVEL = part.target
-                self.constants.FARM_HIGH_PERF_LEVEL = float("inf")
-            elif isinstance(part, MaxLatencyContract):
-                self.constants.FARM_MAX_LATENCY = part.limit
-            elif isinstance(part, BestEffortContract):
-                self.constants.FARM_LOW_PERF_LEVEL = 0.0
-                self.constants.FARM_HIGH_PERF_LEVEL = float("inf")
-            else:
+            if not isinstance(part, supported):
                 raise ValueError(f"unsupported contract {type(part).__name__}")
+        with self._cycle_lock:
+            self.contract = contract
+            for part in parts:
+                if isinstance(part, ThroughputRangeContract):
+                    self.constants.FARM_LOW_PERF_LEVEL = part.low
+                    self.constants.FARM_HIGH_PERF_LEVEL = part.high
+                elif isinstance(part, MinThroughputContract):
+                    self.constants.FARM_LOW_PERF_LEVEL = part.target
+                    self.constants.FARM_HIGH_PERF_LEVEL = float("inf")
+                elif isinstance(part, MaxLatencyContract):
+                    self.constants.FARM_MAX_LATENCY = part.limit
+                elif isinstance(part, BestEffortContract):
+                    self.constants.FARM_LOW_PERF_LEVEL = 0.0
+                    self.constants.FARM_HIGH_PERF_LEVEL = float("inf")
 
     # ------------------------------------------------------------------
     # loop lifecycle
@@ -136,7 +157,7 @@ class FarmController:
     # ------------------------------------------------------------------
     def control_step(self) -> List[str]:
         tel = self.telemetry
-        with tel.span("mape.cycle", actor=self.name) as cycle:
+        with self._cycle_lock, tel.span("mape.cycle", actor=self.name) as cycle:
             with tel.span("mape.monitor", actor=self.name):
                 snap = self.farm.snapshot()
             with tel.span("mape.analyse", actor=self.name):

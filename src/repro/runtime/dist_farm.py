@@ -1,0 +1,854 @@
+"""Distributed task farm: an asyncio TCP coordinator driving worker processes.
+
+The fourth substrate behind the unmodified Figure 5 rules — after the
+simulator, the thread farm and the process farm — and the first with a
+real *network* boundary between manager and managed, which is the
+platform shape the paper's behavioural skeletons actually target
+(GCM/ProActive components steered across a grid).  The coordinator
+speaks the length-prefixed JSON protocol of :mod:`.dist_proto` over TCP
+to worker processes it spawns locally through
+``python -m repro.runtime.dist_worker`` — and since that entry point is
+just a CLI, extra workers can be attached by hand from any host that
+can reach ``host:port``.
+
+Fault tolerance mirrors :class:`~repro.runtime.process_farm.ProcessFarm`
+semantics exactly, because the conformance suite holds every backend to
+the same bar:
+
+* every dispatched task is tracked until its result frame returns;
+* workers are declared dead on connection EOF, on heartbeat silence
+  beyond ``heartbeat_timeout``, or when their local process exits;
+* a dead worker's un-acked tasks are *replayed* with capped exponential
+  backoff (at-least-once), deduplicated by task id on the way out
+  (exactly-once results), and parked in ``dead_letters`` after
+  ``max_attempts`` dispatches;
+* lost *capacity* is restored by the ordinary ``CheckRateLow`` rule
+  through :class:`~repro.runtime.controller.FarmController` — recovery
+  is contract enforcement, exactly as §2 frames it.
+
+Dispatch is *windowed*: each worker holds at most ``max_inflight``
+un-acked tasks; everything else waits in a coordinator-side ready queue
+and flows to whichever worker frees a slot first.  That keeps the
+replay set per crash small, makes queue lengths self-balancing (so
+``balance_load`` has genuinely nothing to move), and gives backpressure
+a single obvious place to live.
+
+Threading model: one asyncio loop in a daemon thread owns every socket;
+the synchronous :class:`~repro.runtime.backend.FarmBackend` surface is
+called from other threads and communicates with the loop only through
+``call_soon_threadsafe``.  Shared bookkeeping sits behind one re-entrant
+lock, held only for short, non-blocking sections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import threading
+import time
+import queue
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..obs.telemetry import NOOP, Telemetry
+from ..sim.metrics import WindowRateEstimator, queue_length_stats
+from .backend import RuntimeFarmSnapshot
+from .dist_proto import encode_frame, encode_payload, read_frame
+from .process_farm import DeadLetter
+
+__all__ = ["DistFarm", "DistWorkerHandle", "fn_spec"]
+
+
+def fn_spec(fn: Any) -> str:
+    """Derive the ``module:qualname`` spec a worker process can import.
+
+    The task function crosses a process (and potentially host) boundary
+    by *name*, never by value — the same constraint multiprocessing's
+    ``spawn`` start method imposes, made explicit.
+    """
+    if isinstance(fn, str):
+        if ":" not in fn:
+            raise ValueError(f"fn spec must look like 'module:qualname', got {fn!r}")
+        return fn
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname:
+        raise ValueError(f"cannot derive an import spec for {fn!r}")
+    if module == "__main__" or "<locals>" in qualname:
+        raise ValueError(
+            f"DistFarm task functions must be importable module-level callables "
+            f"(got {module}:{qualname}); move the function into a module"
+        )
+    return f"{module}:{qualname}"
+
+
+@dataclass
+class _TaskRecord:
+    """Coordinator-side bookkeeping for one not-yet-acknowledged task."""
+
+    task_id: int
+    payload: Any
+    submitted_at: float
+    attempts: int = 0
+    worker_id: Optional[int] = None  # None: awaiting (re)dispatch
+    next_retry_at: float = 0.0
+
+
+@dataclass
+class DistWorkerHandle:
+    """Coordinator-side view of one worker (spawned or attached)."""
+
+    worker_id: int
+    #: local child process, or None for a remotely attached worker
+    process: Optional[subprocess.Popen] = None
+    writer: Optional[asyncio.StreamWriter] = None
+    connected: bool = False
+    ever_connected: bool = False
+    secured: bool = False
+    active: bool = True
+    retiring: bool = False
+    got_bye: bool = False
+    spawned_at: float = 0.0
+    last_seen: float = 0.0
+    reported_completed: int = 0
+    outstanding: Set[int] = field(default_factory=set)
+    span: Any = None  # detached dist.worker telemetry span
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+
+class DistFarm:
+    """A live task farm whose executors sit across a TCP boundary.
+
+    Satisfies the :class:`~repro.runtime.backend.FarmBackend` surface,
+    so :class:`~repro.runtime.controller.FarmController` drives it with
+    the unmodified Figure 5 rules.  Extra knobs:
+
+    ``host``
+        interface the coordinator binds (default loopback; use
+        ``"0.0.0.0"`` to accept workers from other hosts).
+    ``heartbeat_period`` / ``heartbeat_timeout``
+        workers beat every period; a *connected* worker silent for the
+        timeout is declared dead (wedged or partitioned).
+    ``connect_grace``
+        a spawned worker that never manages to connect within this
+        budget is declared dead (interpreter start + imports happen in
+        here, so it is deliberately generous).
+    ``backoff_base`` / ``backoff_cap`` / ``max_attempts``
+        replay schedule, identical to the process farm's.
+    ``max_inflight``
+        un-acked tasks a worker may hold; the rest queue centrally.
+    ``start_timeout``
+        how long ``__init__`` waits for the initial workers to connect.
+    """
+
+    def __init__(
+        self,
+        fn: Any,
+        *,
+        initial_workers: int = 2,
+        name: str = "dfarm",
+        rate_window: float = 5.0,
+        max_workers: int = 64,
+        host: str = "127.0.0.1",
+        heartbeat_period: float = 0.1,
+        heartbeat_timeout: float = 2.0,
+        connect_grace: float = 15.0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        max_attempts: int = 5,
+        supervise_period: float = 0.05,
+        max_inflight: int = 2,
+        start_timeout: float = 30.0,
+        telemetry: Optional[Telemetry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if initial_workers < 1:
+            raise ValueError("need at least one worker")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        self.fn_spec = fn_spec(fn)
+        self.name = name
+        self.max_workers = max_workers
+        self.heartbeat_period = heartbeat_period
+        self.heartbeat_timeout = heartbeat_timeout
+        self.connect_grace = connect_grace
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.max_attempts = max_attempts
+        self.supervise_period = supervise_period
+        self.max_inflight = max_inflight
+        self.telemetry = telemetry if telemetry is not None else NOOP
+        self._host = host
+        self._clock = clock
+        self._t0 = clock()
+
+        self.results: "queue.Queue[Any]" = queue.Queue()
+        self._lock = threading.RLock()
+        self.workers: List[DistWorkerHandle] = []
+        self._next_id = 0
+
+        self.arrival_est = WindowRateEstimator(rate_window, start_time=0.0)
+        self.departure_est = WindowRateEstimator(rate_window, start_time=0.0)
+        self.rate_window = rate_window
+        self._latencies: "deque" = deque()  # (completion_time, latency)
+
+        self._tasks: Dict[int, _TaskRecord] = {}
+        self._ready: "deque[int]" = deque()
+        self._ready_set: Set[int] = set()
+        self._completed_ids: Set[int] = set()
+        self._task_seq = 0
+        self.submitted = 0
+        self.completed = 0
+        self.dead_letters: List[DeadLetter] = []
+        self.crashes: List[Tuple[float, int]] = []  # (time, worker_id)
+        self.replays = 0
+        self.duplicates = 0
+
+        self._shutdown = threading.Event()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._supervisor_task: Optional[asyncio.Task] = None
+        self.port: int = 0
+
+        self._loop = asyncio.new_event_loop()
+        self._loop_ready = threading.Event()
+        self._loop_thread = threading.Thread(
+            target=self._loop_main, name=f"{name}-loop", daemon=True
+        )
+        self._loop_thread.start()
+        if not self._loop_ready.wait(start_timeout):
+            raise RuntimeError("coordinator event loop failed to start")
+
+        try:
+            for _ in range(initial_workers):
+                self.add_worker()
+            self._wait_for_connections(initial_workers, start_timeout)
+        except Exception:
+            self.shutdown()
+            raise
+
+    # ------------------------------------------------------------------
+    # event-loop thread
+    # ------------------------------------------------------------------
+    def _loop_main(self) -> None:
+        asyncio.set_event_loop(self._loop)
+
+        async def boot() -> None:
+            self._server = await asyncio.start_server(
+                self._on_connection, self._host, 0
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+            self._supervisor_task = self._loop.create_task(self._supervise_coro())
+
+        self._loop.run_until_complete(boot())
+        self._loop_ready.set()
+        self._loop.run_forever()
+        try:
+            self._loop.run_until_complete(self._finalize())
+        finally:
+            self._loop.close()
+
+    async def _finalize(self) -> None:
+        """Post-``loop.stop()`` cleanup: no socket survives shutdown."""
+        if self._server is not None:
+            self._server.close()
+        with self._lock:
+            writers = [w.writer for w in self.workers if w.writer is not None]
+        for writer in writers:
+            try:
+                writer.transport.abort()
+            except Exception:  # noqa: BLE001
+                pass
+        pending = [
+            t for t in asyncio.all_tasks(self._loop) if t is not asyncio.current_task()
+        ]
+        for task in pending:
+            task.cancel()
+        await asyncio.gather(*pending, return_exceptions=True)
+
+    async def _on_connection(self, reader, writer) -> None:
+        """One connected worker: handshake, then pump its frames."""
+        hello = await read_frame(reader)
+        if hello is None or hello.get("type") != "hello":
+            writer.close()
+            return
+        claimed = int(hello.get("worker_id", -1))
+        with self._lock:
+            handle = self._find_worker(claimed) if claimed >= 0 else None
+            if handle is None or handle.connected or not handle.active:
+                # remotely attached (or stale-id) worker: register fresh
+                if self.num_workers >= self.max_workers:
+                    writer.close()
+                    return
+                handle = self._register_worker(process=None)
+            handle.writer = writer
+            handle.connected = True
+            handle.ever_connected = True
+            handle.last_seen = self.now()
+            retiring = handle.retiring
+        writer.write(
+            encode_frame({"type": "welcome", "worker_id": handle.worker_id})
+        )
+        if retiring or self._shutdown.is_set():
+            # retired (or farm torn down) before it finished connecting
+            writer.write(encode_frame({"type": "poison"}))
+        self._count_frame("tx", 0)
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                break
+            self._count_frame("rx", len(frame))
+            self._handle_message(handle, frame)
+        self._on_disconnect(handle)
+
+    def _on_disconnect(self, handle: DistWorkerHandle) -> None:
+        with self._lock:
+            handle.connected = False
+            handle.writer = None
+            if not handle.active:
+                return
+            if handle.retiring and handle.got_bye and not handle.outstanding:
+                handle.active = False  # clean retirement, nothing to replay
+                self._end_worker_span(handle, outcome="retired")
+            else:
+                self._declare_dead(handle, self.now())
+        self._request_fill()
+
+    # ------------------------------------------------------------------
+    # message handling (runs in the loop thread)
+    # ------------------------------------------------------------------
+    def _handle_message(self, handle: DistWorkerHandle, frame: dict) -> None:
+        kind = frame.get("type")
+        with self._lock:
+            now = self.now()
+            handle.last_seen = now
+            if kind == "hb":
+                self._note_worker_counter(handle, int(frame.get("completed", 0)))
+                return
+            if kind == "bye":
+                handle.got_bye = True
+                self._note_worker_counter(handle, int(frame.get("completed", 0)))
+                return
+            if kind != "result":
+                return
+            task_id = int(frame["task_id"])
+            self._note_worker_counter(handle, int(frame.get("completed", 0)))
+            handle.outstanding.discard(task_id)
+            if task_id in self._completed_ids:
+                # a replayed task also finished on its original worker:
+                # at-least-once underneath, exactly-once outward
+                self.duplicates += 1
+                if self.telemetry.enabled:
+                    self.telemetry.metrics.counter(
+                        "repro_dist_duplicate_results_total",
+                        "result frames dropped because the task already completed",
+                    ).labels(farm=self.name).inc()
+                return
+            self._completed_ids.add(task_id)
+            record = self._tasks.pop(task_id, None)
+            if "error" in frame:
+                result: Any = RuntimeError(frame["error"])
+            else:
+                result = frame.get("value")
+            mark = max(now, self.departure_est._last_mark or 0.0)
+            self.departure_est.mark(mark)
+            self.completed += 1
+            if record is not None:
+                self._latencies.append((mark, mark - record.submitted_at))
+        self.results.put(result)
+        self._fill()  # a freed slot may unblock the ready queue
+
+    def _note_worker_counter(self, handle: DistWorkerHandle, completed: int) -> None:
+        handle.reported_completed = max(handle.reported_completed, completed)
+        if self.telemetry.enabled:
+            self.telemetry.metrics.gauge(
+                "repro_dist_worker_completed_tasks",
+                "cumulative tasks completed, as reported by each worker",
+            ).labels(farm=self.name, worker=handle.worker_id).set(
+                handle.reported_completed
+            )
+
+    def _count_frame(self, direction: str, size: int) -> None:
+        if not self.telemetry.enabled:
+            return
+        self.telemetry.metrics.counter(
+            "repro_dist_frames_total", "protocol frames exchanged"
+        ).labels(farm=self.name, direction=direction).inc()
+
+    # ------------------------------------------------------------------
+    # time base
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        return self._clock() - self._t0
+
+    # ------------------------------------------------------------------
+    # stream
+    # ------------------------------------------------------------------
+    def submit(self, payload: Any) -> None:
+        """Track one task and queue it for dispatch."""
+        with self._lock:
+            now = self.now()
+            self.arrival_est.mark(now)
+            self.submitted += 1
+            task_id = self._task_seq
+            self._task_seq += 1
+            self._tasks[task_id] = _TaskRecord(
+                task_id=task_id, payload=payload, submitted_at=now
+            )
+            self._enqueue_ready(task_id)
+        self._request_fill()
+
+    def _enqueue_ready(self, task_id: int) -> None:
+        """Append to the ready queue exactly once (lock held)."""
+        if task_id not in self._ready_set:
+            self._ready.append(task_id)
+            self._ready_set.add(task_id)
+
+    def _request_fill(self) -> None:
+        """Schedule a dispatch pass on the loop thread (thread-safe)."""
+        if self._shutdown.is_set():
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._fill)
+        except RuntimeError:  # loop already closed
+            pass
+
+    def _fill(self) -> None:
+        """Dispatch ready tasks into free worker windows (loop thread only)."""
+        with self._lock:
+            while self._ready:
+                candidates = [
+                    w
+                    for w in self.workers
+                    if w.active
+                    and w.connected
+                    and not w.retiring
+                    and w.writer is not None
+                    and len(w.outstanding) < self.max_inflight
+                ]
+                if not candidates:
+                    return
+                worker = min(
+                    candidates, key=lambda w: (len(w.outstanding), w.worker_id)
+                )
+                task_id = self._ready.popleft()
+                self._ready_set.discard(task_id)
+                record = self._tasks.get(task_id)
+                if record is None or record.worker_id is not None:
+                    continue  # completed or already dispatched meanwhile
+                record.attempts += 1
+                record.worker_id = worker.worker_id
+                worker.outstanding.add(task_id)
+                frame = encode_frame(
+                    {
+                        "type": "task",
+                        "task_id": task_id,
+                        "payload": encode_payload(
+                            record.payload, secured=worker.secured
+                        ),
+                        "enc": worker.secured,
+                    }
+                )
+                try:
+                    worker.writer.write(frame)
+                except Exception:  # noqa: BLE001 - transport died under us
+                    worker.outstanding.discard(task_id)
+                    record.worker_id = None
+                    self._enqueue_ready(task_id)
+                    return
+                self._count_frame("tx", len(frame))
+
+    def drain_results(self, count: int, timeout: float = 30.0) -> List[Any]:
+        """Collect ``count`` results (order of completion, deduplicated)."""
+        out: List[Any] = []
+        deadline = time.monotonic() + timeout
+        for _ in range(count):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"collected {len(out)}/{count} results")
+            try:
+                out.append(self.results.get(timeout=remaining))
+            except queue.Empty:
+                raise TimeoutError(f"collected {len(out)}/{count} results") from None
+        return out
+
+    # ------------------------------------------------------------------
+    # supervision: liveness + replay of due retries
+    # ------------------------------------------------------------------
+    async def _supervise_coro(self) -> None:
+        while True:
+            await asyncio.sleep(self.supervise_period)
+            try:
+                self.supervise_once()
+            except Exception:  # noqa: BLE001 - the supervisor must survive
+                continue
+
+    def supervise_once(self) -> List[int]:
+        """One supervision pass (public so tests can drive it directly).
+
+        Returns the ids of workers declared dead in this pass.
+        """
+        dead: List[int] = []
+        with self._lock:
+            now = self.now()
+            for w in list(self.workers):
+                if not w.active:
+                    continue
+                proc_exited = w.process is not None and w.process.poll() is not None
+                if w.connected:
+                    if now - w.last_seen <= self.heartbeat_timeout and not proc_exited:
+                        continue
+                else:
+                    if w.retiring and w.got_bye and not w.outstanding:
+                        w.active = False  # clean retirement observed late
+                        self._end_worker_span(w, outcome="retired")
+                        continue
+                    grace = self.connect_grace if not w.ever_connected else 0.0
+                    if not proc_exited and now - w.last_seen <= max(
+                        grace, self.heartbeat_timeout
+                    ):
+                        continue
+                self._declare_dead(w, now)
+                dead.append(w.worker_id)
+            self._dispatch_due_retries(now)
+        self._request_fill()
+        return dead
+
+    def _declare_dead(self, w: DistWorkerHandle, now: float) -> None:
+        """Crash handling: replay every un-acked task of ``w`` (lock held)."""
+        w.active = False
+        w.connected = False
+        if w.process is not None and w.process.poll() is None:
+            try:
+                w.process.kill()  # wedged or partitioned: make it official
+            except Exception:  # noqa: BLE001
+                pass
+        if w.writer is not None:
+            writer = w.writer
+            w.writer = None
+            try:
+                self._loop.call_soon_threadsafe(writer.transport.abort)
+            except RuntimeError:
+                pass
+        self.crashes.append((now, w.worker_id))
+        self._end_worker_span(w, outcome="crashed")
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "repro_dist_worker_crashes_total",
+                "workers declared dead by the supervisor",
+            ).labels(farm=self.name).inc()
+        for task_id in sorted(w.outstanding):
+            record = self._tasks.get(task_id)
+            if record is None:
+                continue
+            if record.attempts >= self.max_attempts:
+                del self._tasks[task_id]
+                self.dead_letters.append(
+                    DeadLetter(
+                        task_id=task_id,
+                        payload=record.payload,
+                        attempts=record.attempts,
+                        last_worker_id=w.worker_id,
+                    )
+                )
+                if self.telemetry.enabled:
+                    self.telemetry.metrics.counter(
+                        "repro_dist_dead_letter_total",
+                        "tasks abandoned after exhausting the replay budget",
+                    ).labels(farm=self.name).inc()
+                continue
+            delay = min(
+                self.backoff_base * (2 ** (record.attempts - 1)), self.backoff_cap
+            )
+            record.worker_id = None
+            record.next_retry_at = now + delay
+            self.replays += 1
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter(
+                    "repro_dist_tasks_replayed_total",
+                    "task dispatches replayed after a worker death",
+                ).labels(farm=self.name).inc()
+        w.outstanding.clear()
+
+    def _dispatch_due_retries(self, now: float) -> None:
+        """Queue replayed tasks whose backoff has elapsed (lock held)."""
+        for record in sorted(self._tasks.values(), key=lambda r: r.task_id):
+            if record.worker_id is None and record.next_retry_at <= now:
+                self._enqueue_ready(record.task_id)
+
+    # ------------------------------------------------------------------
+    # monitoring
+    # ------------------------------------------------------------------
+    def snapshot(self) -> RuntimeFarmSnapshot:
+        with self._lock:
+            now = self.now()
+            live = [w for w in self.workers if w.active]
+            lengths = tuple(len(w.outstanding) for w in live)
+            _, var, _, _ = queue_length_stats(lengths)
+            cutoff = now - self.rate_window
+            while self._latencies and self._latencies[0][0] <= cutoff:
+                self._latencies.popleft()
+            mean_lat = (
+                sum(lat for _, lat in self._latencies) / len(self._latencies)
+                if self._latencies
+                else 0.0
+            )
+            return RuntimeFarmSnapshot(
+                time=now,
+                arrival_rate=self.arrival_est.rate(now),
+                departure_rate=self.departure_est.rate(now),
+                num_workers=len(live),
+                queue_lengths=lengths,
+                queue_variance=var,
+                completed=self.completed,
+                pending=len(self._tasks),
+                mean_latency=mean_lat,
+            )
+
+    @property
+    def num_workers(self) -> int:
+        return sum(1 for w in self.workers if w.active)
+
+    def _find_worker(self, worker_id: int) -> Optional[DistWorkerHandle]:
+        for w in self.workers:
+            if w.worker_id == worker_id:
+                return w
+        return None
+
+    # ------------------------------------------------------------------
+    # actuators
+    # ------------------------------------------------------------------
+    def _register_worker(
+        self, *, process: Optional[subprocess.Popen], secured: bool = False
+    ) -> DistWorkerHandle:
+        """Create and track one worker handle (lock held by caller)."""
+        handle = DistWorkerHandle(
+            worker_id=self._next_id,
+            process=process,
+            secured=secured,
+            spawned_at=self.now(),
+            last_seen=self.now(),
+        )
+        self._next_id += 1
+        self.workers.append(handle)
+        if self.telemetry.enabled:
+            handle.span = self.telemetry.start_span(
+                "dist.worker",
+                actor=self.name,
+                worker=handle.worker_id,
+                local=process is not None,
+            )
+        return handle
+
+    def _end_worker_span(self, handle: DistWorkerHandle, *, outcome: str) -> None:
+        if handle.span is not None:
+            self.telemetry.end_span(
+                handle.span, outcome=outcome, completed=handle.reported_completed
+            )
+            handle.span = None
+
+    def add_worker(self, *, secured: bool = False) -> DistWorkerHandle:
+        """Spawn one local worker process and point it at the coordinator."""
+        with self._lock:
+            if self.num_workers >= self.max_workers:
+                raise RuntimeError(f"worker limit {self.max_workers} reached")
+            worker_id = self._next_id  # reserved by _register_worker below
+            cmd = [
+                sys.executable,
+                "-m",
+                "repro.runtime.dist_worker",
+                "--host",
+                self._host,
+                "--port",
+                str(self.port),
+                "--worker-id",
+                str(worker_id),
+                "--fn",
+                self.fn_spec,
+                "--heartbeat-period",
+                str(self.heartbeat_period),
+            ]
+            env = dict(os.environ)
+            # the child must see the parent's exact import surface — the
+            # task function may live in a package only sys.path knows about
+            env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+            process = subprocess.Popen(cmd, env=env, stdout=subprocess.DEVNULL)
+            return self._register_worker(process=process, secured=secured)
+
+    def _wait_for_connections(self, count: int, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if sum(1 for w in self.workers if w.connected) >= count:
+                    return
+                exited = [
+                    w.worker_id
+                    for w in self.workers
+                    if w.process is not None
+                    and w.process.poll() is not None
+                    and not w.ever_connected
+                ]
+            if exited:
+                raise RuntimeError(
+                    f"worker(s) {exited} exited before connecting — is the task "
+                    f"function importable as {self.fn_spec!r}?"
+                )
+            time.sleep(0.01)
+        raise RuntimeError(f"workers failed to connect within {timeout}s")
+
+    def remove_worker(self) -> Optional[DistWorkerHandle]:
+        """Retire the newest worker gracefully.
+
+        The poison frame queues *behind* tasks already sent to the
+        victim, so it drains its window before exiting; the supervisor
+        replays anything still un-acked if it dies instead.
+        """
+        with self._lock:
+            live = [w for w in self.workers if w.active and not w.retiring]
+            if len(live) <= 1:
+                return None
+            victim = live[-1]
+            victim.retiring = True
+            writer = victim.writer
+        if writer is not None:
+            try:
+                self._loop.call_soon_threadsafe(
+                    writer.write, encode_frame({"type": "poison"})
+                )
+            except RuntimeError:
+                pass
+        # not yet connected: _on_connection poisons it right after welcome
+        return victim
+
+    def balance_load(self) -> int:
+        """Nothing to move, by construction.
+
+        Tasks queue centrally and flow into bounded per-worker windows
+        (``max_inflight``), so no worker can hoard a backlog another
+        worker could steal — the imbalance the thread/process farms
+        correct here cannot arise.  Returns 0.
+        """
+        return 0
+
+    def secure_all(self) -> None:
+        """Encrypt every future task payload on the wire."""
+        with self._lock:
+            for w in self.workers:
+                w.secured = True
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def inject_crash(self, worker_id: Optional[int] = None) -> Optional[int]:
+        """SIGKILL one live local worker process (the newest, unless given).
+
+        For an attached worker with no local process, falls back to
+        :meth:`drop_connection` semantics.  Detection, replay and
+        capacity recovery then proceed through the ordinary
+        supervision/rule machinery — nothing is short-circuited.
+        """
+        with self._lock:
+            victim = self._pick_victim(worker_id)
+            if victim is None:
+                return None
+            process = victim.process
+        if process is None:
+            return self.drop_connection(victim.worker_id)
+        try:
+            process.kill()
+        except Exception:  # noqa: BLE001
+            return None
+        return victim.worker_id
+
+    def drop_connection(self, worker_id: Optional[int] = None) -> Optional[int]:
+        """Abort one worker's TCP connection — the network-level fault.
+
+        The coordinator sees EOF and replays; the orphaned worker sees
+        EOF on its side and exits.  This is the fault a real deployment
+        meets most often (a partition, a crashed gateway), and the one
+        the dist benchmarks time recovery for.
+        """
+        with self._lock:
+            if worker_id is None:
+                # the newest worker may not have connected yet; a fault
+                # on a connection that does not exist is a no-op
+                live = [
+                    w
+                    for w in self.workers
+                    if w.active and not w.retiring and w.writer is not None
+                ]
+                victim = live[-1] if live else None
+            else:
+                victim = self._pick_victim(worker_id)
+            if victim is None or victim.writer is None:
+                return None
+            writer = victim.writer
+        try:
+            self._loop.call_soon_threadsafe(writer.transport.abort)
+        except RuntimeError:
+            return None
+        return victim.worker_id
+
+    def _pick_victim(self, worker_id: Optional[int]) -> Optional[DistWorkerHandle]:
+        """Choose a live, non-retiring worker (lock held by caller)."""
+        if worker_id is None:
+            live = [w for w in self.workers if w.active and not w.retiring]
+            return live[-1] if live else None
+        victim = self._find_worker(worker_id)
+        if victim is None or not victim.active:
+            return None
+        return victim
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Poison every worker, close every socket, stop the loop."""
+        if self._shutdown.is_set():
+            return
+        self._shutdown.set()
+        with self._lock:
+            workers = list(self.workers)
+            writers = [w.writer for w in workers if w.writer is not None]
+            for w in workers:
+                w.active = False
+                self._end_worker_span(w, outcome="shutdown")
+
+        def poison_all() -> None:
+            for writer in writers:
+                try:
+                    writer.write(encode_frame({"type": "poison"}))
+                except Exception:  # noqa: BLE001
+                    pass
+
+        if self._loop_ready.is_set() and not self._loop.is_closed():
+            try:
+                self._loop.call_soon_threadsafe(poison_all)
+            except RuntimeError:
+                pass
+        deadline = time.monotonic() + timeout
+        for w in workers:
+            if w.process is None:
+                continue
+            budget = max(0.05, deadline - time.monotonic())
+            try:
+                w.process.wait(budget)
+            except subprocess.TimeoutExpired:
+                w.process.kill()
+                try:
+                    w.process.wait(1.0)
+                except subprocess.TimeoutExpired:
+                    pass
+        if not self._loop.is_closed():
+            try:
+                self._loop.call_soon_threadsafe(self._loop.stop)
+            except RuntimeError:
+                pass
+        self._loop_thread.join(max(1.0, deadline - time.monotonic()))

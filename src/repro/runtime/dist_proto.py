@@ -1,0 +1,106 @@
+"""The DistFarm wire protocol: length-prefixed JSON frames over TCP.
+
+One frame is a 4-byte big-endian unsigned length followed by a UTF-8
+JSON object.  JSON (not pickle) is deliberate: the coordinator accepts
+connections from worker processes it did not spawn — possibly on other
+hosts, possibly not even CPython — and a self-describing, inspectable
+wire format keeps that boundary safe and debuggable (`tcpdump` shows
+the actual protocol).  The cost is that task payloads and results must
+be JSON-serialisable; the farm surfaces a clear error when they are not.
+
+Frame vocabulary (``type`` field):
+
+worker → coordinator
+    ``hello``    first frame; carries the worker id (−1 = "assign me one")
+    ``hb``       heartbeat, with the cumulative completed-task counter
+    ``result``   one task outcome: ``value`` on success, ``error`` text
+                 on failure (the coordinator rehydrates it as an
+                 exception object in the results stream)
+    ``bye``      graceful exit after a poison frame
+
+coordinator → worker
+    ``welcome``  hello ack; carries the (possibly assigned) worker id
+    ``task``     one task: ``task_id``, ``payload``, ``enc`` (when the
+                 channel is secured the payload is the base64 of the
+                 encrypted JSON bytes)
+    ``poison``   finish already-received tasks, send ``bye``, exit
+
+Secured payloads use the same toy cipher as the thread and process
+farms (:mod:`repro.security.crypto`), so ``secure_all()`` has the same
+observable cost on every substrate.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+from typing import Any, Optional
+
+from ..security.crypto import decrypt, encrypt
+
+__all__ = [
+    "MAX_FRAME",
+    "SECRET",
+    "encode_frame",
+    "read_frame",
+    "encode_payload",
+    "decode_payload",
+]
+
+#: shared toy-cipher key (same key the other substrates use)
+SECRET = b"repro-channel-key"
+
+#: refuse frames above this size — a corrupt length prefix must not
+#: make either side try to allocate gigabytes
+MAX_FRAME = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialise one message to a length-prefixed JSON frame."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ValueError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    return _HEADER.pack(len(body)) + body
+
+
+async def read_frame(reader) -> Optional[dict]:
+    """Read one frame from an ``asyncio.StreamReader``.
+
+    Returns ``None`` on a clean or dirty EOF — the caller treats both as
+    "the peer is gone"; distinguishing them is the supervisor's job (a
+    dead connection with outstanding tasks means replay either way).
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME:
+            return None
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError, OSError):
+        return None
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    return message if isinstance(message, dict) else None
+
+
+def encode_payload(payload: Any, *, secured: bool) -> Any:
+    """Prepare a task payload for the wire (encrypt + base64 if secured)."""
+    if not secured:
+        return payload
+    clear = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return base64.b64encode(encrypt(SECRET, clear)).decode("ascii")
+
+
+def decode_payload(payload: Any, *, secured: bool) -> Any:
+    """Inverse of :func:`encode_payload` (runs worker-side)."""
+    if not secured:
+        return payload
+    clear = decrypt(SECRET, base64.b64decode(payload.encode("ascii")))
+    return json.loads(clear.decode("utf-8"))

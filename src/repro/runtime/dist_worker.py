@@ -1,0 +1,211 @@
+"""DistFarm worker process: connect, execute, ack — over plain TCP.
+
+Runnable directly, which is the whole point of the distributed backend::
+
+    python -m repro.runtime.dist_worker \
+        --host 127.0.0.1 --port 40123 --fn mypkg.tasks:render
+
+A worker started this way on *any* host attaches to a listening
+:class:`~repro.runtime.dist_farm.DistFarm` coordinator (``--worker-id``
+defaults to −1, "assign me an id"), receives task frames, executes the
+named function and acks each completion.  The coordinator spawns local
+workers through exactly this entry point, so a locally spawned and a
+remotely attached worker are indistinguishable on the wire.
+
+Structure (one asyncio loop, three coroutines):
+
+* **reader** — drains frames into an in-order queue; EOF means the
+  coordinator is gone, and with nobody left to ack to the worker exits
+  immediately (its in-flight work would be replayed anyway).
+* **executor** — pulls tasks from the queue and runs the (blocking)
+  task function on a single-thread executor, so a long CPU/sleep task
+  never stalls the loop; a ``poison`` frame queues *behind* earlier
+  tasks, which is what makes coordinator-driven retirement graceful.
+* **heartbeat** — beats every ``--heartbeat-period`` independently of
+  task execution, mirroring the process farm's liveness design: only
+  real death (or a wedged interpreter) silences a worker.
+
+Connection establishment retries with capped exponential backoff
+(``--connect-attempts`` / ``--connect-backoff``), so workers can be
+launched *before* the coordinator finishes binding its port.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import concurrent.futures
+import importlib
+import json
+import os
+import sys
+from typing import Any, Callable, Optional, Tuple
+
+from .dist_proto import decode_payload, encode_frame, read_frame
+
+__all__ = ["resolve_fn", "run_worker", "main"]
+
+
+def resolve_fn(spec: str) -> Callable[[Any], Any]:
+    """Import ``module:qualname`` and return the callable it names."""
+    module_name, sep, qualname = spec.partition(":")
+    if not sep or not module_name or not qualname:
+        raise ValueError(f"fn spec must look like 'module:qualname', got {spec!r}")
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    if not callable(obj):
+        raise TypeError(f"{spec} resolved to non-callable {obj!r}")
+    return obj
+
+
+async def _connect(
+    host: str, port: int, attempts: int, backoff: float, backoff_cap: float
+) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Open the coordinator connection, retrying with capped backoff."""
+    delay = backoff
+    for attempt in range(attempts):
+        try:
+            return await asyncio.open_connection(host, port)
+        except OSError:
+            if attempt == attempts - 1:
+                raise
+            await asyncio.sleep(delay)
+            delay = min(delay * 2.0, backoff_cap)
+    raise OSError("unreachable")  # pragma: no cover - loop always returns/raises
+
+
+async def run_worker(
+    host: str,
+    port: int,
+    fn: Callable[[Any], Any],
+    *,
+    worker_id: int = -1,
+    heartbeat_period: float = 0.1,
+    connect_attempts: int = 40,
+    connect_backoff: float = 0.05,
+    connect_backoff_cap: float = 2.0,
+) -> int:
+    """Run one worker until poisoned (returns 0) or orphaned (exits 1)."""
+    reader, writer = await _connect(
+        host, port, connect_attempts, connect_backoff, connect_backoff_cap
+    )
+    writer.write(encode_frame({"type": "hello", "worker_id": worker_id}))
+    welcome = await read_frame(reader)
+    if welcome is None or welcome.get("type") != "welcome":
+        writer.close()
+        return 1
+    worker_id = int(welcome.get("worker_id", worker_id))
+
+    loop = asyncio.get_running_loop()
+    pool = concurrent.futures.ThreadPoolExecutor(
+        max_workers=1, thread_name_prefix=f"dworker-{worker_id}"
+    )
+    tasks: "asyncio.Queue[Optional[dict]]" = asyncio.Queue()
+    completed = 0
+
+    def send(message: dict) -> None:
+        writer.write(encode_frame(message))
+
+    async def reader_loop() -> None:
+        while True:
+            frame = await read_frame(reader)
+            if frame is None:
+                # The coordinator vanished mid-connection.  There is
+                # nobody to ack to and the coordinator replays our
+                # in-flight tasks, so a hard exit is the honest move —
+                # it also guarantees no non-daemon executor thread keeps
+                # an orphan alive for the tail of a long task.
+                os._exit(1)
+            kind = frame.get("type")
+            if kind == "task":
+                await tasks.put(frame)
+            elif kind == "poison":
+                await tasks.put(None)
+                return
+
+    async def executor_loop() -> None:
+        nonlocal completed
+        while True:
+            frame = await tasks.get()
+            if frame is None:
+                send({"type": "bye", "completed": completed})
+                await writer.drain()
+                return
+            task_id = frame["task_id"]
+            try:
+                payload = decode_payload(frame["payload"], secured=frame.get("enc", False))
+                value = await loop.run_in_executor(pool, fn, payload)
+                out = {"type": "result", "task_id": task_id, "value": value}
+                json.dumps(value)  # fail here, not inside encode_frame
+            except Exception as exc:  # noqa: BLE001 - surfaced as an error result
+                out = {
+                    "type": "result",
+                    "task_id": task_id,
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            completed += 1
+            out["completed"] = completed
+            send(out)
+
+    async def heartbeat_loop() -> None:
+        while True:
+            await asyncio.sleep(heartbeat_period)
+            send({"type": "hb", "completed": completed})
+
+    t_reader = asyncio.ensure_future(reader_loop())
+    t_exec = asyncio.ensure_future(executor_loop())
+    t_hb = asyncio.ensure_future(heartbeat_loop())
+    try:
+        await t_exec  # finishes only on poison; EOF hard-exits the process
+    finally:
+        for task in (t_reader, t_hb):
+            task.cancel()
+        await asyncio.gather(t_reader, t_hb, return_exceptions=True)
+        try:
+            writer.close()
+        except Exception:  # noqa: BLE001
+            pass
+        pool.shutdown(wait=False, cancel_futures=True)
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.dist_worker",
+        description="attach one task-farm worker to a DistFarm coordinator",
+    )
+    parser.add_argument("--host", required=True, help="coordinator host")
+    parser.add_argument("--port", type=int, required=True, help="coordinator port")
+    parser.add_argument(
+        "--fn", required=True, metavar="MODULE:QUALNAME",
+        help="importable task function this worker executes",
+    )
+    parser.add_argument(
+        "--worker-id", type=int, default=-1,
+        help="id assigned by a spawning coordinator (-1: ask for one)",
+    )
+    parser.add_argument("--heartbeat-period", type=float, default=0.1)
+    parser.add_argument("--connect-attempts", type=int, default=40)
+    parser.add_argument("--connect-backoff", type=float, default=0.05)
+    args = parser.parse_args(argv)
+
+    fn = resolve_fn(args.fn)
+    try:
+        return asyncio.run(
+            run_worker(
+                args.host,
+                args.port,
+                fn,
+                worker_id=args.worker_id,
+                heartbeat_period=args.heartbeat_period,
+                connect_attempts=args.connect_attempts,
+                connect_backoff=args.connect_backoff,
+            )
+        )
+    except (OSError, KeyboardInterrupt):
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

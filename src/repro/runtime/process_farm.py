@@ -532,7 +532,9 @@ class ProcessFarm:
         supervisor replays anything still un-acked if it dies instead.
         """
         with self._lock:
-            live = [w for w in self.workers if w.active]
+            # a retiring worker is already on its way out: it neither
+            # counts toward the floor nor may be "removed" a second time
+            live = [w for w in self.workers if w.active and not w.retiring]
             if len(live) <= 1:
                 return None
             victim = live[-1]

@@ -385,6 +385,14 @@ class SimFarm:
         for i in range(queued):
             transfer(victim.queue, survivors[i % len(survivors)].queue, 1)
         victim.stop()
+        # The departure window now describes a capacity that no longer
+        # exists; left in place it keeps CheckRateHigh fireable for up to
+        # a full window after the removal, so the manager sheds a second
+        # worker on stale data, undershoots the contract and limit-cycles
+        # around the viable degree.  Measure the shrunk farm from scratch.
+        # (The add path deliberately keeps its window: re-firing on a
+        # still-low reading is Figure 4's published batched growth.)
+        self.departure_est.reset(self.sim.now)
         self._begin_blackout(self.worker_setup_time / 2)
         self.reconfigurations += 1
         return victim

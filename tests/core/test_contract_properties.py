@@ -1,0 +1,176 @@
+"""Hypothesis properties of the P_spl contract-splitting heuristics (§3.1).
+
+``test_contracts.py`` checks the splitting rules on the paper's worked
+examples; this file states them as laws over *arbitrary* skeleton trees
+and contracts, and lets Hypothesis search for the shapes that break
+them:
+
+* splitting always yields exactly one sub-contract per conceptual child
+  (stages for a pipe, the one replicated worker for a farm, none for a
+  leaf);
+* throughput SLAs split into *identical* per-stage SLAs over pipelines
+  ("a throughput SLA for the pipeline may be split into identical SLAs
+  for the pipeline stage AMs");
+* security is boolean and forwarded unchanged — it never weakens or
+  mutates on the way down;
+* composite contracts split/merge round-trip: splitting the composite
+  is the per-child recombination of splitting its parts;
+* degree splits conserve the parent's budget (largest-remainder) while
+  keeping every stage viable (min 1 worker).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.contracts import (
+    BestEffortContract,
+    CompositeContract,
+    MaxLatencyContract,
+    MinThroughputContract,
+    ParallelismDegreeContract,
+    SecurityContract,
+    ThroughputRangeContract,
+    split_contract,
+)
+from repro.skeletons.ast import Farm, Pipe, Seq
+from repro.skeletons.cost import stage_weights
+
+works = st.integers(1, 1000).map(lambda i: i / 10)
+seqs = st.builds(Seq, work=works)
+
+
+def skeletons(max_leaves=8):
+    return st.recursive(
+        seqs,
+        lambda children: st.one_of(
+            st.builds(Farm, worker=children, degree=st.integers(1, 8)),
+            st.lists(children, min_size=2, max_size=4).map(lambda xs: Pipe(*xs)),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+pipes = st.lists(skeletons(max_leaves=4), min_size=2, max_size=5).map(
+    lambda xs: Pipe(*xs)
+)
+
+rates = st.integers(1, 10000).map(lambda i: i / 10)
+
+throughput_contracts = st.one_of(
+    st.builds(MinThroughputContract, target=rates),
+    st.builds(
+        lambda lo, span: ThroughputRangeContract(lo, lo + span), rates, rates
+    ),
+    st.builds(MaxLatencyContract, limit=rates),
+    st.just(BestEffortContract()),
+)
+
+splittable_contracts = st.one_of(throughput_contracts, st.just(SecurityContract()))
+
+
+class TestArity:
+    @settings(max_examples=200, deadline=None)
+    @given(skeletons(), splittable_contracts)
+    def test_one_sub_contract_per_conceptual_child(self, skel, contract):
+        subs = split_contract(contract, skel)
+        if isinstance(skel, Seq):
+            assert subs == []
+        elif isinstance(skel, Farm):
+            assert len(subs) == 1  # the one replicated worker
+        else:
+            assert len(subs) == len(skel.stages)
+
+
+class TestPipelineHeuristics:
+    @settings(max_examples=200, deadline=None)
+    @given(pipes, throughput_contracts)
+    def test_throughput_sla_splits_identically(self, pipe, contract):
+        subs = split_contract(contract, pipe)
+        assert all(sub == contract for sub in subs)
+
+    @settings(max_examples=200, deadline=None)
+    @given(pipes)
+    def test_security_forwarded_unchanged(self, pipe):
+        sec = SecurityContract()
+        subs = split_contract(sec, pipe)
+        assert all(sub is sec for sub in subs)
+
+
+class TestFarmHeuristics:
+    @settings(max_examples=200, deadline=None)
+    @given(skeletons(max_leaves=4), st.integers(1, 8), throughput_contracts)
+    def test_performance_becomes_best_effort_per_worker(
+        self, worker, degree, contract
+    ):
+        farm = Farm(worker=worker, degree=degree)
+        assert split_contract(contract, farm) == [BestEffortContract()]
+
+    @settings(max_examples=200, deadline=None)
+    @given(skeletons(max_leaves=4), st.integers(1, 8))
+    def test_security_pierces_the_farm_unchanged(self, worker, degree):
+        sec = SecurityContract()
+        assert split_contract(sec, Farm(worker=worker, degree=degree)) == [sec]
+
+
+class TestCompositeRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        skeletons(),
+        st.lists(splittable_contracts, min_size=2, max_size=4),
+    )
+    def test_split_of_composite_is_recombination_of_part_splits(
+        self, skel, parts
+    ):
+        """The §3.2 multi-concern law: splitting a conjunction equals
+        splitting each concern and re-conjoining per child — no concern
+        is lost, duplicated or reordered by the composite path."""
+        composite = CompositeContract(parts)
+        subs = split_contract(composite, skel)
+        per_part = [split_contract(p, skel) for p in parts]
+        expected = [
+            [column[i] for column in per_part] for i in range(len(subs))
+        ]
+        assert len(subs) == (len(per_part[0]) if per_part else 0)
+        for sub, exp in zip(subs, expected):
+            if len(exp) == 1:
+                assert sub == exp[0]
+            else:
+                assert isinstance(sub, CompositeContract)
+                assert sub.parts == exp
+
+
+class TestDegreeSplit:
+    @settings(max_examples=300, deadline=None)
+    @given(pipes, st.integers(0, 200))
+    def test_budget_conserved_and_stages_viable(self, pipe, slack):
+        n = len(pipe.stages)
+        parent = ParallelismDegreeContract(min_degree=1, max_degree=n + slack)
+        subs = split_contract(parent, pipe)
+        assert len(subs) == n
+        assert all(isinstance(s, ParallelismDegreeContract) for s in subs)
+        assert all(s.min_degree == 1 for s in subs)  # every stage stays viable
+        assert all(s.max_degree >= 1 for s in subs)
+        total = sum(s.max_degree for s in subs)
+        weights = stage_weights(pipe)
+        floors = [max(1, int(w * parent.max_degree)) for w in weights]
+        if sum(floors) <= parent.max_degree:
+            # feasible split: largest-remainder conserves the budget exactly
+            assert total == parent.max_degree
+        else:
+            # infeasible only because min-1-per-stage overshoots the
+            # budget; the overshoot is bounded by the clamping itself
+            assert parent.max_degree < total <= sum(floors)
+
+    @settings(max_examples=200, deadline=None)
+    @given(pipes)
+    def test_budget_below_stage_count_is_rejected(self, pipe):
+        n = len(pipe.stages)
+        if n < 2:
+            return
+        import pytest
+
+        from repro.core.contracts import ContractError
+
+        parent = ParallelismDegreeContract(min_degree=1, max_degree=n - 1)
+        with pytest.raises(ContractError):
+            split_contract(parent, pipe)

@@ -107,3 +107,45 @@ def test_range_contract_settles_inside_stripe(low, width):
         if e.time > 400.0 and e.name in ("addWorker", "removeWorker")
     ]
     assert late_actions == []
+
+
+def test_shrink_on_stale_window_does_not_limit_cycle():
+    """Regression for a falsifying example Hypothesis found in the
+    stripe property above: after the over-provisioned farm drained its
+    backlog, ``CheckRateHigh`` re-fired on the still-hot departure
+    window, shed a *second* worker, undershot the contract and locked
+    the farm into a permanent 2↔4 worker limit cycle around the viable
+    degree 3.  ``SimFarm.remove_worker`` now resets the departure
+    window so the shrunk farm is measured from scratch."""
+    from repro.core import ThroughputRangeContract
+
+    low, high = 0.4375, 0.7421875
+    sim = Simulator()
+    rm = ResourceManager(make_cluster(24))
+    bs = build_farm_bs(
+        sim,
+        rm,
+        worker_work=5.0,
+        initial_degree=1,
+        control_period=10.0,
+        worker_setup_time=5.0,
+        rate_window=20.0,
+        constants_kwargs={"add_burst": 1, "max_workers": 24},
+        spawn_worker_managers=False,
+    )
+    TaskSource(
+        sim, bs.farm.input, rate=(low + high) / 2, work_model=ConstantWork(5.0)
+    )
+    bs.assign_contract(ThroughputRangeContract(low, high))
+    sim.run(until=500.0)
+
+    removals = [e for e in bs.trace.events if e.name == "removeWorker"]
+    assert len(removals) <= 1, "stale-window shrink must not cascade"
+    late_actions = [
+        e
+        for e in bs.trace.events
+        if e.time > 400.0 and e.name in ("addWorker", "removeWorker")
+    ]
+    assert late_actions == []
+    snap = bs.farm.force_snapshot()
+    assert low * 0.8 <= snap.departure_rate <= high * 1.2

@@ -1,0 +1,230 @@
+"""Cross-backend conformance: every FarmBackend keeps the same promises.
+
+The whole point of PR 2's :class:`~repro.runtime.backend.FarmBackend`
+protocol is that the unmodified Figure 5 rules can drive *any*
+substrate.  That only holds if the substrates are behaviourally
+interchangeable, not just structurally typed — so this suite runs one
+set of invariant checks across all of them:
+
+* **no result loss across grow/shrink** — actuator calls mid-stream
+  never drop a task;
+* **exactly-once results after an injected fault** — a crash (SIGKILL
+  on the process farm, a severed TCP connection on the dist farm) is
+  replayed at-least-once underneath and deduplicated to exactly-once
+  outward;
+* **monotone completed count** — ``snapshot().completed`` never goes
+  backwards, whatever thread observes it;
+* **clean shutdown** — no worker thread, child process or listening
+  socket survives ``shutdown()``.
+
+``sim`` appears in the parameter list for completeness but every test
+skips it: the simulator shares the *rule* surface, not the wall-clock
+``FarmBackend`` one, and its invariants live in ``tests/sim``.  The
+``thread`` backend skips the crash test only — its workers share the
+interpreter, so there is no injectable crash that would not take the
+test process down with it.
+
+Run a single backend with, e.g.::
+
+    PYTHONPATH=src python -m pytest tests/runtime/test_backend_conformance.py -k dist
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.runtime.dist_farm import DistFarm
+from repro.runtime.farm_runtime import ThreadFarm
+from repro.runtime.process_farm import ProcessFarm
+
+from .waiting import wait_until
+
+pytestmark = pytest.mark.conformance
+
+BACKENDS = ("sim", "thread", "process", "dist")
+
+
+def conf_task(payload):
+    """Module-level so it crosses the process/TCP boundary by name."""
+    work, value = payload
+    if work:
+        time.sleep(work)
+    return value * value
+
+
+def make_farm(backend: str, *, initial_workers: int = 2, max_workers: int = 8):
+    """One farm per backend, tuned for fast fault detection in tests."""
+    fault_tuning = dict(
+        heartbeat_period=0.05,
+        heartbeat_timeout=0.5,
+        supervise_period=0.02,
+        backoff_base=0.02,
+        backoff_cap=0.2,
+    )
+    if backend == "thread":
+        return ThreadFarm(
+            conf_task,
+            initial_workers=initial_workers,
+            max_workers=max_workers,
+            rate_window=0.5,
+        )
+    if backend == "process":
+        return ProcessFarm(
+            conf_task,
+            initial_workers=initial_workers,
+            max_workers=max_workers,
+            rate_window=0.5,
+            **fault_tuning,
+        )
+    if backend == "dist":
+        return DistFarm(
+            conf_task,
+            initial_workers=initial_workers,
+            max_workers=max_workers,
+            rate_window=0.5,
+            **fault_tuning,
+        )
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+def inject_fault(farm):
+    """The substrate-appropriate worker fault; None where not injectable."""
+    if isinstance(farm, DistFarm):
+        return farm.drop_connection()
+    if isinstance(farm, ProcessFarm):
+        return farm.inject_crash()
+    return None
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    if request.param == "sim":
+        pytest.skip(
+            "simulated substrate: wall-clock FarmBackend invariants do not "
+            "apply; the simulator's own invariants live in tests/sim"
+        )
+    return request.param
+
+
+class TestNoLossAcrossGrowShrink:
+    def test_actuators_mid_stream_lose_nothing(self, backend):
+        farm = make_farm(backend)
+        try:
+            total = 120
+            for i in range(total):
+                farm.submit((0.003, i))
+                if i in (30, 50):
+                    farm.add_worker()
+                if i == 80:
+                    farm.remove_worker()
+            results = farm.drain_results(total, timeout=60.0)
+            assert sorted(r for r in results if not isinstance(r, Exception)) == [
+                i * i for i in range(total)
+            ]
+            assert farm.snapshot().completed == total
+        finally:
+            farm.shutdown()
+
+    def test_shrink_to_floor_keeps_serving(self, backend):
+        """remove_worker refuses to kill the last worker; the stream
+        keeps flowing at degree one."""
+        farm = make_farm(backend, initial_workers=2)
+        try:
+            assert farm.remove_worker() is not None
+            assert farm.remove_worker() is None  # never below one
+            for i in range(20):
+                farm.submit((0.0, i))
+            results = farm.drain_results(20, timeout=30.0)
+            assert sorted(results) == [i * i for i in range(20)]
+        finally:
+            farm.shutdown()
+
+
+class TestExactlyOnceAfterCrash:
+    def test_injected_fault_dedupes_to_exactly_once(self, backend):
+        if backend == "thread":
+            pytest.skip(
+                "thread workers share the interpreter: no injectable crash "
+                "that would not take the test process down too"
+            )
+        farm = make_farm(backend, initial_workers=3)
+        try:
+            total = 90
+            for i in range(total):
+                farm.submit((0.01, i))
+            # fault once the stream is genuinely in flight
+            wait_until(
+                lambda: farm.snapshot().completed >= 5,
+                message="stream in flight before the fault",
+            )
+            assert inject_fault(farm) is not None
+            results = farm.drain_results(total, timeout=120.0)
+            assert len(results) == total  # exactly-once: no dup padding
+            assert sorted(r for r in results if not isinstance(r, Exception)) == [
+                i * i for i in range(total)
+            ]
+            assert farm.crashes, "the fault must be detected and recorded"
+            assert not farm.dead_letters
+        finally:
+            farm.shutdown()
+
+
+class TestMonotoneCompleted:
+    def test_completed_count_never_decreases(self, backend):
+        farm = make_farm(backend)
+        samples = []
+        try:
+            total = 60
+            for i in range(total):
+                farm.submit((0.002, i))
+
+            def observe():
+                samples.append(farm.snapshot().completed)
+                return samples[-1] >= total
+
+            wait_until(
+                observe, interval=0.005, message="stream completion while sampling"
+            )
+            farm.drain_results(total, timeout=30.0)
+            assert all(b >= a for a, b in zip(samples, samples[1:]))
+            assert samples[-1] == total
+        finally:
+            farm.shutdown()
+
+
+class TestCleanShutdown:
+    def test_no_leaked_threads_processes_or_sockets(self, backend):
+        before = set(threading.enumerate())
+        farm = make_farm(backend)
+        for i in range(20):
+            farm.submit((0.002, i))
+        farm.drain_results(20, timeout=30.0)
+        port = getattr(farm, "port", None)
+        children = [
+            w.process
+            for w in getattr(farm, "workers", [])
+            if getattr(w, "process", None) is not None
+        ]
+        farm.shutdown()
+        # no child process survives (subprocess.Popen or multiprocessing)
+        for proc in children:
+            alive = proc.is_alive() if hasattr(proc, "is_alive") else proc.poll() is None
+            assert not alive, f"worker pid {proc.pid} still alive"
+        # every thread the farm started has retired
+        wait_until(
+            lambda: all(
+                not t.is_alive() for t in set(threading.enumerate()) - before
+            ),
+            message="farm threads retiring after shutdown",
+        )
+        # the coordinator socket no longer accepts connections
+        if port:
+            with pytest.raises(OSError):
+                socket.create_connection(("127.0.0.1", port), timeout=0.5)
+
+    def test_shutdown_is_idempotent(self, backend):
+        farm = make_farm(backend)
+        farm.shutdown()
+        farm.shutdown()  # second call must be a clean no-op

@@ -1,0 +1,143 @@
+"""Hypothesis properties of the skeleton cost models (§3.1).
+
+``test_cost.py`` pins the models to the paper's worked numbers; this
+file states the *laws* those numbers are instances of, and lets
+Hypothesis hunt the tree shapes that would break them:
+
+* a pipeline's service time is exactly the max of its stages' (the
+  "bounded by the slowest stage" model, for arbitrary nesting);
+* farm throughput is monotone non-decreasing in the parallelism degree
+  — the precondition for ``CheckRateLow``'s "add a worker" to ever be
+  a sound plan;
+* ``optimal_degree`` is both sufficient (the farm it sizes meets the
+  target) and minimal (one worker fewer would not);
+* stage weights are a probability vector aligned with the bottleneck.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.skeletons.ast import Farm, Pipe, Seq
+from repro.skeletons.cost import (
+    bottleneck_stage,
+    optimal_degree,
+    resource_count,
+    scalability_limit,
+    service_time,
+    stage_weights,
+    throughput,
+)
+
+# work values are short decimals: the laws under test are about tree
+# *structure*, so keep float noise below the tolerance of the asserts
+works = st.integers(1, 1000).map(lambda i: i / 10)
+degrees = st.integers(1, 32)
+seqs = st.builds(Seq, work=works)
+
+
+def skeletons(max_leaves=8):
+    return st.recursive(
+        seqs,
+        lambda children: st.one_of(
+            st.builds(Farm, worker=children, degree=degrees),
+            st.lists(children, min_size=2, max_size=4).map(lambda xs: Pipe(*xs)),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+pipes = st.lists(skeletons(max_leaves=4), min_size=2, max_size=5).map(
+    lambda xs: Pipe(*xs)
+)
+
+
+class TestPipelineLaw:
+    @settings(max_examples=200, deadline=None)
+    @given(pipes)
+    def test_pipe_service_time_is_max_of_stages(self, pipe):
+        assert service_time(pipe) == max(service_time(s) for s in pipe.stages)
+
+    @settings(max_examples=200, deadline=None)
+    @given(pipes)
+    def test_bottleneck_stage_attains_the_bound(self, pipe):
+        i = bottleneck_stage(pipe)
+        assert service_time(pipe.stages[i]) == service_time(pipe)
+
+    @settings(max_examples=200, deadline=None)
+    @given(pipes)
+    def test_adding_a_stage_never_raises_throughput(self, pipe):
+        """A pipeline can only be as fast as its slowest stage, so
+        appending any stage can never make it faster."""
+        longer = Pipe(*(pipe.stages + (Seq(work=7.7),)))
+        assert throughput(longer) <= throughput(pipe)
+
+
+class TestFarmLaw:
+    @settings(max_examples=200, deadline=None)
+    @given(skeletons(max_leaves=4), st.integers(1, 31))
+    def test_throughput_monotone_in_degree(self, worker, degree):
+        """More workers never slow a farm down (in the analytical model
+        — the live emitter bound is scalability_limit's business)."""
+        lo = Farm(worker=worker, degree=degree)
+        hi = Farm(worker=worker, degree=degree + 1)
+        assert throughput(hi) >= throughput(lo)
+
+    @settings(max_examples=200, deadline=None)
+    @given(skeletons(max_leaves=4), st.integers(1, 64))
+    def test_degree_divides_service_time_exactly(self, worker, degree):
+        farm = Farm(worker=worker, degree=degree)
+        assert service_time(farm) == service_time(worker) / degree
+
+    @settings(max_examples=200, deadline=None)
+    @given(skeletons(max_leaves=4), st.integers(1, 64))
+    def test_resource_count_scales_with_degree(self, worker, degree):
+        farm = Farm(worker=worker, degree=degree)
+        assert resource_count(farm) == degree * resource_count(worker)
+
+
+class TestOptimalDegree:
+    # targets with short decimal forms, same rationale as `works`
+    targets = st.integers(1, 5000).map(lambda i: i / 100)
+
+    @settings(max_examples=300, deadline=None)
+    @given(skeletons(max_leaves=4), targets)
+    def test_sized_farm_meets_the_target(self, worker, target):
+        d = optimal_degree(worker, target)
+        assert d >= 1
+        got = throughput(Farm(worker=worker, degree=d))
+        assert got >= target * (1 - 1e-9)
+
+    @settings(max_examples=300, deadline=None)
+    @given(skeletons(max_leaves=4), targets)
+    def test_one_worker_fewer_would_miss(self, worker, target):
+        """Minimality: the manager never over-provisions its initial
+        degree (resources are the §3 power/cost concern's currency)."""
+        d = optimal_degree(worker, target)
+        if d > 1:
+            under = throughput(Farm(worker=worker, degree=d - 1))
+            assert under < target * (1 + 1e-9)
+
+
+class TestStageWeights:
+    @settings(max_examples=200, deadline=None)
+    @given(pipes)
+    def test_weights_form_a_probability_vector(self, pipe):
+        weights = stage_weights(pipe)
+        assert len(weights) == len(pipe.stages)
+        assert all(w >= 0 for w in weights)
+        assert abs(sum(weights) - 1.0) < 1e-9
+
+    @settings(max_examples=200, deadline=None)
+    @given(pipes)
+    def test_bottleneck_carries_the_largest_weight(self, pipe):
+        weights = stage_weights(pipe)
+        assert weights[bottleneck_stage(pipe)] == max(weights)
+
+
+class TestScalabilityLimit:
+    @settings(max_examples=200, deadline=None)
+    @given(skeletons(max_leaves=4), st.integers(1, 1000))
+    def test_limit_is_a_positive_degree(self, worker, overhead_tenths):
+        farm = Farm(worker=worker, degree=1)
+        limit = scalability_limit(farm, overhead_tenths / 10)
+        assert limit >= 1

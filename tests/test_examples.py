@@ -72,3 +72,9 @@ class TestExamples:
         crash-recovery paths themselves are covered in tests/runtime."""
         module = load_example("process_farm_crashes")
         assert callable(module.main)
+
+    def test_dist_farm_importable(self):
+        """Import only: the full run feeds a live stream for seconds; the
+        wire-level recovery paths are covered in tests/runtime."""
+        module = load_example("dist_farm")
+        assert callable(module.main)
