@@ -39,7 +39,13 @@ from ..sim.trace import TraceRecorder
 from .events import Events
 from .manager import AutonomicManager, ManagerError
 
-__all__ = ["CoordinationMode", "ConcernReview", "GeneralManager", "IntentRecord"]
+__all__ = [
+    "CoordinationMode",
+    "ConcernReview",
+    "GeneralManager",
+    "IntentRecord",
+    "review_plan",
+]
 
 
 class CoordinationMode(enum.Enum):
@@ -60,6 +66,55 @@ class ConcernReview:
         self, originator: AutonomicManager, plan: PlannedReconfiguration
     ) -> bool:
         return True
+
+
+def review_plan(
+    originator: Any,
+    plan: PlannedReconfiguration,
+    reviewers: Any,
+    *,
+    telemetry: Telemetry = NOOP,
+    on_amend: Any = None,
+    on_veto: Any = None,
+) -> Tuple[bool, int, Tuple[str, ...]]:
+    """Phase one of the intent protocol: run every reviewer over ``plan``.
+
+    Shared by the simulated :class:`GeneralManager` and the live
+    :class:`~repro.runtime.multiconcern.LiveGeneralManager`, so the
+    review semantics — priority order, amendment detection, first veto
+    wins — cannot drift between substrates.  ``on_amend(reviewer,
+    secured_nodes)`` and ``on_veto(reviewer)`` are optional hooks for
+    caller-specific bookkeeping (trace marks, plan abort).
+
+    Returns ``(ok, amendments, reviewer_names)``; ``ok`` is False the
+    moment any reviewer vetoes.
+    """
+    amendments = 0
+    names: list = []
+    for reviewer in reviewers:
+        if reviewer is originator:
+            continue
+        if not isinstance(reviewer, ConcernReview) and not hasattr(
+            reviewer, "review_intent"
+        ):
+            continue
+        names.append(reviewer.name)
+        before = dict(plan.secured)
+        verdict = reviewer.review_intent(originator, plan)
+        telemetry.event(
+            "intent.review", reviewer=reviewer.name, verdict=verdict is not False
+        )
+        if plan.secured != before:
+            amendments += 1
+            if on_amend is not None:
+                on_amend(reviewer, [n for n in plan.secured if plan.secured[n]])
+            telemetry.event("intent.amend", reviewer=reviewer.name)
+        if verdict is False:
+            if on_veto is not None:
+                on_veto(reviewer)
+            telemetry.event("intent.veto", reviewer=reviewer.name)
+            return False, amendments, tuple(names)
+    return True, amendments, tuple(names)
 
 
 @dataclass
@@ -159,48 +214,39 @@ class GeneralManager:
                 self._record(originator, op, "committed", reviewers=())
                 return True
 
-            amendments = 0
-            reviewers: List[str] = []
-            for reviewer in self.managers:
-                if reviewer is originator:
-                    continue
-                if not isinstance(reviewer, ConcernReview) and not hasattr(
-                    reviewer, "review_intent"
-                ):
-                    continue
-                reviewers.append(reviewer.name)
-                before = dict(plan.secured)
-                verdict = reviewer.review_intent(originator, plan)
-                tel.event(
-                    "intent.review", reviewer=reviewer.name, verdict=verdict is not False
+            def on_amend(reviewer: AutonomicManager, secured_nodes: List[str]) -> None:
+                self.trace.mark(
+                    originator.sim.now,
+                    reviewer.name,
+                    Events.INTENT_AMENDED,
+                    nodes=secured_nodes,
                 )
-                if plan.secured != before:
-                    amendments += 1
-                    self.trace.mark(
-                        originator.sim.now,
-                        reviewer.name,
-                        Events.INTENT_AMENDED,
-                        nodes=[n for n in plan.secured if plan.secured[n]],
-                    )
-                    tel.event("intent.amend", reviewer=reviewer.name)
-                if verdict is False:
-                    abc.abort_plan(plan)
-                    self.trace.mark(
-                        originator.sim.now, reviewer.name, Events.INTENT_VETOED
-                    )
-                    tel.event("intent.veto", reviewer=reviewer.name)
-                    round_span.set_attribute("outcome", "vetoed")
-                    self._record(
-                        originator, op, "vetoed", amendments=amendments,
-                        reviewers=tuple(reviewers),
-                    )
-                    return False
+
+            def on_veto(reviewer: AutonomicManager) -> None:
+                abc.abort_plan(plan)
+                self.trace.mark(originator.sim.now, reviewer.name, Events.INTENT_VETOED)
+
+            ok, amendments, reviewers = review_plan(
+                originator,
+                plan,
+                self.managers,
+                telemetry=tel,
+                on_amend=on_amend,
+                on_veto=on_veto,
+            )
+            if not ok:
+                round_span.set_attribute("outcome", "vetoed")
+                self._record(
+                    originator, op, "vetoed", amendments=amendments,
+                    reviewers=reviewers,
+                )
+                return False
             abc.commit_plan(plan)
             tel.event("intent.commit", reviewers=len(reviewers), amendments=amendments)
             round_span.set_attribute("outcome", "committed")
             self._record(
                 originator, op, "committed", amendments=amendments,
-                reviewers=tuple(reviewers),
+                reviewers=reviewers,
             )
             return True
 

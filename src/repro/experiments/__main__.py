@@ -6,13 +6,16 @@ Usage::
     python -m repro.experiments fig4 mc    # run a subset
     python -m repro.experiments fig4 --trace-out audit.jsonl
     python -m repro.experiments fig4 --backend=process
+    python -m repro.experiments fig4 --backend=dist --with-security
 
 Experiment keys: fig3, fig4, loadspike, multiconcern (mc), split,
 ablation, faults, stagefarm, patterns.  ``--trace-out PATH`` attaches
 telemetry to the FIG4 run and writes its decision audit as JSONL;
 ``--backend {sim,thread,process,dist}`` selects the substrate under the
-FIG4 rules (see ``python -m repro.experiments.fig4 --help`` for the
-full option set).
+FIG4 rules; ``--with-security`` (live backends) runs the multi-concern
+story — live GM + security manager, quarantine → secure → admit — and
+``--coordination naive`` is its leak-window ablation (see
+``python -m repro.experiments.fig4 --help`` for the full option set).
 """
 
 from __future__ import annotations
@@ -124,6 +127,8 @@ DEFAULT_ORDER = (
 def main(argv: list[str]) -> int:
     trace_out = None
     backend = None
+    with_security = False
+    coordination = None
     keys = []
     it = iter(argv)
     for arg in it:
@@ -141,10 +146,22 @@ def main(argv: list[str]) -> int:
                 return 2
         elif arg.startswith("--backend="):
             backend = arg.split("=", 1)[1]
+        elif arg == "--with-security":
+            with_security = True
+        elif arg == "--coordination":
+            coordination = next(it, None)
+            if coordination is None:
+                print("--coordination needs a {two-phase,naive} argument")
+                return 2
+        elif arg.startswith("--coordination="):
+            coordination = arg.split("=", 1)[1]
         else:
             keys.append(arg)
     if backend not in (None, "sim", "thread", "process", "dist"):
         print(f"unknown backend {backend!r}; choose from sim, thread, process, dist")
+        return 2
+    if with_security and backend in (None, "sim"):
+        print("--with-security needs a live backend (--backend thread/process/dist)")
         return 2
     keys = keys or list(DEFAULT_ORDER)
     unknown = [k for k in keys if k not in RUNNERS]
@@ -160,6 +177,10 @@ def main(argv: list[str]) -> int:
             fig4_argv += ["--trace-out", trace_out]
         if backend is not None:
             fig4_argv += ["--backend", backend]
+        if with_security:
+            fig4_argv += ["--with-security"]
+        if coordination is not None:
+            fig4_argv += ["--coordination", coordination]
         runners["fig4"] = lambda: (fig4_main(fig4_argv), "")[1]
     for key in keys:
         print(runners[key]())

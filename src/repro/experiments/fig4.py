@@ -242,6 +242,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="process/dist backends: skip the fault injection",
     )
     parser.add_argument(
+        "--with-security", action="store_true",
+        help="live backends: run the §3.2 multi-concern story — growth "
+        "routes through a live GM + security manager, every new worker "
+        "is quarantined until its channel is secured",
+    )
+    parser.add_argument(
+        "--coordination", choices=("two-phase", "naive"), default="two-phase",
+        help="with --with-security: intent protocol (default) or the "
+        "naive ablation that measures the insecure-dispatch leak window",
+    )
+    parser.add_argument(
         "--trace-out", metavar="PATH", default=None,
         help="write the decision audit (spans + events + series) as JSONL",
     )
@@ -262,10 +273,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .fig4_live import Fig4LiveConfig, render_fig4_live, run_fig4_live
 
         live_cfg = Fig4LiveConfig(
-            backend=args.backend, inject_crash=not args.no_crash
+            backend=args.backend,
+            inject_crash=not args.no_crash,
+            with_security=args.with_security,
+            coordination=args.coordination,
         )
         print(render_fig4_live(run_fig4_live(live_cfg)))
         return 0
+    if args.with_security:
+        parser.error("--with-security needs a live backend (thread/process/dist)")
 
     cfg = Fig4Config(with_coordinator=args.with_coordinator)
     if args.duration is not None:

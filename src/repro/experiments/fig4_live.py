@@ -23,6 +23,17 @@ discrete-event simulator, driven by the very same Figure 5 rule objects
 4. **drain** — the stream ends; every submitted task must be accounted
    for (zero loss even across the kill).
 
+With ``--with-security`` the same run becomes the §3.2 *multi-concern*
+story: the controller's grow actuations route through a live
+:class:`~repro.runtime.multiconcern.LiveGeneralManager` coordinating it
+with a :class:`~repro.security.LiveSecurityManager` over a pool of
+**untrusted** nodes.  Every growth then follows grow → quarantine →
+secure → admit, and the run asserts its own invariant from the farm's
+dispatch counters: zero tasks ever handed to an unsecured channel
+(``repro_mc_insecure_dispatch_total == 0``), still with zero loss.
+``coordination="naive"`` is the ablation: same pool, no intent
+protocol, so the insecure-dispatch counter measures the leak window.
+
 The sim backend (default) remains byte-identical to the regenerated
 Figure 4 artefacts — this module never touches it.
 """
@@ -34,11 +45,16 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
 from ..core.contracts import ThroughputRangeContract
+from ..core.multiconcern import CoordinationMode
+from ..obs.telemetry import Telemetry
 from ..runtime.backend import FarmBackend
 from ..runtime.controller import FarmController
 from ..runtime.dist_farm import DistFarm
 from ..runtime.farm_runtime import ThreadFarm
+from ..runtime.multiconcern import LiveGeneralManager, WorkerPlacement
 from ..runtime.process_farm import ProcessFarm
+from ..security.manager import LiveSecurityManager
+from ..sim.resources import Domain, ResourceManager, make_cluster
 
 __all__ = [
     "Fig4LiveConfig",
@@ -71,6 +87,9 @@ class Fig4LiveConfig:
     inject_crash: bool = True        # honoured by process (SIGKILL) and dist (cut TCP)
     crash_after: int = 60            # tasks fed before the fault
     drain_timeout: float = 60.0
+    with_security: bool = False      # run the §3.2 multi-concern story
+    untrusted_nodes: int = 16        # growth pool size (all untrusted)
+    coordination: str = "two-phase"  # or "naive": the leak-window ablation
 
 
 @dataclass
@@ -92,6 +111,14 @@ class Fig4LiveResult:
     replays: int = 0
     duplicates: int = 0
     dead_letters: int = 0
+    # -- multi-concern story (populated by --with-security runs) -------
+    mc_committed: int = 0
+    mc_vetoed: int = 0
+    mc_admitted: int = 0
+    mc_amendments: int = 0
+    insecure_dispatches: int = 0
+    secured_workers: int = 0
+    quarantined_at_end: int = 0
 
     # -- figure-level checks -------------------------------------------
     def grew(self) -> bool:
@@ -106,6 +133,17 @@ class Fig4LiveResult:
     def zero_loss(self) -> bool:
         return self.results_ok and self.dead_letters == 0
 
+    def security_story_ok(self) -> bool:
+        """The --with-security invariant: growth happened through the
+        gate, nothing leaked, nothing lost, nobody stuck in quarantine."""
+        return (
+            self.mc_committed > 0
+            and self.mc_admitted > 0
+            and self.insecure_dispatches == 0
+            and self.quarantined_at_end == 0
+            and self.zero_loss()
+        )
+
 
 def live_task(payload: Any) -> Any:
     """The stage function: ``task_work`` seconds of blocking work.
@@ -119,7 +157,9 @@ def live_task(payload: Any) -> Any:
     return value * value
 
 
-def make_backend(cfg: Fig4LiveConfig) -> FarmBackend:
+def make_backend(
+    cfg: Fig4LiveConfig, telemetry: Optional[Telemetry] = None
+) -> FarmBackend:
     if cfg.backend == "thread":
         return ThreadFarm(
             live_task,
@@ -127,6 +167,7 @@ def make_backend(cfg: Fig4LiveConfig) -> FarmBackend:
             name="fig4-thread",
             rate_window=cfg.rate_window,
             max_workers=cfg.max_workers,
+            telemetry=telemetry,
         )
     if cfg.backend == "process":
         return ProcessFarm(
@@ -135,6 +176,7 @@ def make_backend(cfg: Fig4LiveConfig) -> FarmBackend:
             name="fig4-process",
             rate_window=cfg.rate_window,
             max_workers=cfg.max_workers,
+            telemetry=telemetry,
         )
     if cfg.backend == "dist":
         return DistFarm(
@@ -143,21 +185,60 @@ def make_backend(cfg: Fig4LiveConfig) -> FarmBackend:
             name="fig4-dist",
             rate_window=cfg.rate_window,
             max_workers=cfg.max_workers,
+            telemetry=telemetry,
         )
     raise ValueError(f"unknown live backend {cfg.backend!r} (choose from {LIVE_BACKENDS})")
 
 
-def run_fig4_live(config: Optional[Fig4LiveConfig] = None) -> Fig4LiveResult:
+def run_fig4_live(
+    config: Optional[Fig4LiveConfig] = None, *, telemetry: Optional[Telemetry] = None
+) -> Fig4LiveResult:
     """Run the live scenario and return its measured traces."""
     cfg = config or Fig4LiveConfig()
-    farm = make_backend(cfg)
+    if cfg.with_security and telemetry is None:
+        # the security story proves itself via the dispatch counters, so
+        # it always runs with metrics on
+        telemetry = Telemetry()
+    farm = make_backend(cfg, telemetry)
     controller = FarmController(
         farm,
         ThroughputRangeContract(cfg.contract_low, cfg.contract_high),
         control_period=cfg.control_period,
         max_workers=cfg.max_workers,
+        telemetry=telemetry,
         name=f"AM_{cfg.backend}",
-    ).start()
+    )
+    security: Optional[LiveSecurityManager] = None
+    gm: Optional[LiveGeneralManager] = None
+    if cfg.with_security:
+        # every channel starts secured; every *new* worker lands on
+        # untrusted ground, so the intent protocol must secure it before
+        # the dispatcher may touch it
+        farm.secure_all()
+        pool = make_cluster(
+            cfg.untrusted_nodes,
+            prefix="u",
+            domain=Domain("untrusted_ip_domain_A", trusted=False),
+        )
+        placement = WorkerPlacement(ResourceManager(pool))
+        security = LiveSecurityManager(
+            farm,
+            placement,
+            control_period=cfg.control_period,
+            telemetry=telemetry,
+            name=f"AM_sec_{cfg.backend}",
+        )
+        gm = LiveGeneralManager(
+            farm,
+            placement,
+            mode=CoordinationMode(cfg.coordination),
+            telemetry=telemetry,
+            name=f"GM_{cfg.backend}",
+        )
+        gm.register(security)
+        gm.register(controller, priority=0)
+        security.start()
+    controller.start()
 
     worker_series: List[Tuple[float, float]] = []
     throughput_series: List[Tuple[float, float]] = []
@@ -203,9 +284,11 @@ def run_fig4_live(config: Optional[Fig4LiveConfig] = None) -> Fig4LiveResult:
         expected = sorted(i * i for i in range(fed))
         results_ok = sorted(results) == expected
         duration = farm.now()
+        if security is not None:
+            security.stop()
         controller.stop()
         snap = farm.snapshot()
-        return Fig4LiveResult(
+        result = Fig4LiveResult(
             config=cfg,
             backend=cfg.backend,
             completed=snap.completed,
@@ -222,7 +305,28 @@ def run_fig4_live(config: Optional[Fig4LiveConfig] = None) -> Fig4LiveResult:
             duplicates=getattr(farm, "duplicates", 0),
             dead_letters=len(getattr(farm, "dead_letters", [])),
         )
+        if gm is not None and telemetry is not None:
+            outcomes = gm.outcomes()
+            result.mc_committed = outcomes.get("committed", 0) + outcomes.get("partial", 0)
+            result.mc_vetoed = outcomes.get("vetoed", 0)
+            result.mc_amendments = sum(r.amendments for r in gm.intents)
+            metrics = telemetry.metrics
+            result.mc_admitted = int(
+                metrics.counter("repro_mc_admitted_workers_total", "")
+                .labels(gm=gm.name).value
+            )
+            result.insecure_dispatches = int(
+                metrics.counter("repro_mc_insecure_dispatch_total", "")
+                .labels(farm=farm.name).value
+            )
+            result.secured_workers = sum(
+                1 for w in farm.workers if getattr(w, "active", True) and w.secured
+            )
+            result.quarantined_at_end = snap.quarantined
+        return result
     finally:
+        if security is not None:
+            security.stop()
         controller.stop()
         farm.shutdown()
 
@@ -272,6 +376,17 @@ def render_fig4_live(r: Fig4LiveResult) -> str:
             ["task dispatches replayed", r.replays],
             ["duplicate acks suppressed", r.duplicates],
             ["dead-lettered tasks", r.dead_letters],
+        ]
+    if cfg.with_security:
+        checks += [
+            [f"intents committed ({cfg.coordination})", r.mc_committed],
+            ["intents vetoed", r.mc_vetoed],
+            ["plan amendments (secure before admit)", r.mc_amendments],
+            ["workers admitted through the gate", r.mc_admitted],
+            ["insecure dispatches (the leak window)", r.insecure_dispatches],
+            ["secured workers at end", r.secured_workers],
+            ["still quarantined at end", r.quarantined_at_end],
+            ["security story holds", r.security_story_ok()],
         ]
     out.append(table(["checkpoint", "measured"], checks))
     out.append(f"wall-clock duration: {r.duration:.2f}s")

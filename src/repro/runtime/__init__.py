@@ -6,9 +6,12 @@ threads (:mod:`~.farm_runtime`), supervised OS processes with crash
 replay (:mod:`~.process_farm`), and TCP-connected worker processes
 behind an asyncio coordinator (:mod:`~.dist_farm`) — all behind the
 :class:`~.backend.FarmBackend` protocol, a thread pipeline
-(:mod:`~.pipeline_runtime`), and a controller that runs the *same*
+(:mod:`~.pipeline_runtime`), a controller that runs the *same*
 Figure 5 rule set against any live backend (:mod:`~.controller`) —
-mechanism/policy separation made concrete.  See ``docs/RUNTIME.md``.
+mechanism/policy separation made concrete — and live multi-concern
+coordination (:mod:`~.multiconcern`): a general manager running the
+two-phase intent protocol over any backend's admission gate.  See
+``docs/RUNTIME.md`` and ``docs/MULTICONCERN.md``.
 """
 
 from .active_object import ActiveObject, ActiveObjectError, FutureResult
@@ -16,6 +19,7 @@ from .backend import FarmBackend, RuntimeFarmSnapshot
 from .controller import FarmController, ThreadFarmController
 from .dist_farm import DistFarm, DistWorkerHandle
 from .farm_runtime import ThreadFarm, ThreadWorker
+from .multiconcern import LiveGeneralManager, WorkerPlacement
 from .pipeline_runtime import ThreadPipeline, ThreadStage
 from .process_farm import DeadLetter, ProcessFarm, ProcessWorkerHandle
 
@@ -36,4 +40,6 @@ __all__ = [
     "DeadLetter",
     "DistFarm",
     "DistWorkerHandle",
+    "LiveGeneralManager",
+    "WorkerPlacement",
 ]

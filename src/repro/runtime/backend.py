@@ -44,6 +44,10 @@ class RuntimeFarmSnapshot:
     pending: int
     #: mean completion latency over the monitoring window (0 if none)
     mean_latency: float = 0.0
+    #: workers admitted to the farm but held out of dispatch (the
+    #: admission gate of the two-phase intent protocol; not counted in
+    #: ``num_workers``, which is serving capacity)
+    quarantined: int = 0
 
 
 @runtime_checkable
@@ -62,6 +66,21 @@ class FarmBackend(Protocol):
         remove_worker() retire one executor, preserving its queued tasks
         balance_load()  redistribute queued tasks across executors
         secure_all()    switch task channels to encrypted payloads
+
+    Admission gate (the mechanism half of the two-phase intent
+    protocol — see docs/MULTICONCERN.md)::
+
+        add_worker(quarantined=True)  executor joins held out of dispatch
+        secure_worker(worker_id)      secure one executor's channel
+        admit_worker(worker_id)       lift the gate; dispatch may begin
+        quarantined_workers           how many executors sit at the gate
+
+    A quarantined executor is alive (connected, heart-beating) but the
+    dispatcher never selects it — not for fresh submits, not for
+    rebalancing, not for fault replays — until ``admit_worker`` commits
+    it.  That is the window in which a coordinator secures the channel,
+    so no task can ever travel to an executor the security concern has
+    not signed off on.
 
     Stream interface::
 
@@ -87,13 +106,21 @@ class FarmBackend(Protocol):
     def num_workers(self) -> int: ...
 
     # -- actuators ------------------------------------------------------
-    def add_worker(self, *, secured: bool = False) -> Any: ...
+    def add_worker(self, *, secured: bool = False, quarantined: bool = False) -> Any: ...
 
     def remove_worker(self) -> Optional[Any]: ...
 
     def balance_load(self) -> int: ...
 
     def secure_all(self) -> None: ...
+
+    # -- admission gate -------------------------------------------------
+    def secure_worker(self, worker_id: int) -> bool: ...
+
+    def admit_worker(self, worker_id: int) -> bool: ...
+
+    @property
+    def quarantined_workers(self) -> int: ...
 
     # -- shutdown -------------------------------------------------------
     def shutdown(self, timeout: float = 10.0) -> None: ...

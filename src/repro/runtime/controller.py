@@ -57,7 +57,16 @@ class FarmController:
     ``mape.*`` span hierarchy the simulated managers emit — but on the
     wall clock, since this controller is a real thread: one probe works
     for every substrate.
+
+    When a :class:`~repro.runtime.multiconcern.LiveGeneralManager` has
+    registered this controller (setting :attr:`coordinator`), grow
+    actuations become *intents*: they route through the GM's two-phase
+    protocol, where other concern managers may amend or veto them,
+    instead of calling ``farm.add_worker()`` directly.
     """
+
+    #: quantitative concern — reviews after boolean concerns in the GM
+    concern = "performance"
 
     def __init__(
         self,
@@ -85,6 +94,8 @@ class FarmController:
         self.engine.add_rule(latency_rule(self.constants))
         self.violations: List[Tuple[float, str]] = []
         self.actions: List[Tuple[float, str]] = []
+        #: set by LiveGeneralManager.register(); routes grow intents
+        self.coordinator: Optional[Any] = None
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         #: serialises contract swaps against in-flight MAPE cycles, so a
@@ -205,6 +216,15 @@ class FarmController:
             return
         if op is ManagerOperation.ADD_EXECUTOR:
             count = int(data.get("count", 1)) if isinstance(data, Mapping) else 1
+            if self.coordinator is not None:
+                # multi-concern mode: express the *intent* and let the GM
+                # run plan → review → commit (other concerns may amend or
+                # veto before any worker is instantiated)
+                if self.coordinator.execute_intent(self, op, data):
+                    self.actions.append((now, f"addWorker x{count} (intent)"))
+                else:
+                    self.violations.append((now, ViolationKind.NO_LOCAL_PLAN))
+                return
             added = 0
             for _ in range(count):
                 try:

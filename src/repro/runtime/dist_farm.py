@@ -56,7 +56,13 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 from ..obs.telemetry import NOOP, Telemetry
 from ..sim.metrics import WindowRateEstimator, queue_length_stats
 from .backend import RuntimeFarmSnapshot
-from .dist_proto import encode_frame, encode_payload, read_frame
+from .dist_proto import (
+    encode_frame,
+    encode_payload,
+    make_challenge,
+    read_frame,
+    verify_proof,
+)
 from .process_farm import DeadLetter
 
 __all__ = ["DistFarm", "DistWorkerHandle", "fn_spec"]
@@ -108,14 +114,19 @@ class DistWorkerHandle:
     connected: bool = False
     ever_connected: bool = False
     secured: bool = False
+    quarantined: bool = False
     active: bool = True
     retiring: bool = False
     got_bye: bool = False
     spawned_at: float = 0.0
     last_seen: float = 0.0
     reported_completed: int = 0
+    dispatched: int = 0
     outstanding: Set[int] = field(default_factory=set)
     span: Any = None  # detached dist.worker telemetry span
+    #: in-flight secure handshake state (challenge sent, waiter to wake)
+    secure_challenge: Optional[str] = None
+    secure_waiter: Optional[threading.Event] = None
 
     @property
     def pid(self) -> Optional[int]:
@@ -146,6 +157,11 @@ class DistFarm:
     ``start_timeout``
         how long ``__init__`` waits for the initial workers to connect.
     """
+
+    #: ``add_worker`` accepts ``require_secure=True``, spawning workers
+    #: that enforce the admission gate on their own side of the wire
+    #: (coordinators without the capability simply rely on quarantine)
+    SUPPORTS_REQUIRE_SECURE = True
 
     def __init__(
         self,
@@ -284,7 +300,7 @@ class DistFarm:
             handle = self._find_worker(claimed) if claimed >= 0 else None
             if handle is None or handle.connected or not handle.active:
                 # remotely attached (or stale-id) worker: register fresh
-                if self.num_workers >= self.max_workers:
+                if sum(1 for w in self.workers if w.active) >= self.max_workers:
                     writer.close()
                     return
                 handle = self._register_worker(process=None)
@@ -326,6 +342,12 @@ class DistFarm:
     # ------------------------------------------------------------------
     def _handle_message(self, handle: DistWorkerHandle, frame: dict) -> None:
         kind = frame.get("type")
+        if kind == "secured":
+            self._handle_secured(handle, frame)
+            return
+        if kind == "refused":
+            self._handle_refused(handle, frame)
+            return
         with self._lock:
             now = self.now()
             handle.last_seen = now
@@ -364,6 +386,61 @@ class DistFarm:
                 self._latencies.append((mark, mark - record.submitted_at))
         self.results.put(result)
         self._fill()  # a freed slot may unblock the ready queue
+
+    def _handle_secured(self, handle: DistWorkerHandle, frame: dict) -> None:
+        """A worker answered a ``secure`` challenge (loop thread)."""
+        with self._lock:
+            handle.last_seen = self.now()
+            challenge = handle.secure_challenge
+            ok = challenge is not None and verify_proof(
+                challenge, str(frame.get("proof", ""))
+            )
+            if ok:
+                handle.secured = True
+            handle.secure_challenge = None
+            waiter = handle.secure_waiter
+            handle.secure_waiter = None
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "repro_dist_secure_handshakes_total",
+                "secure-channel handshake answers, by outcome",
+            ).labels(farm=self.name, outcome="ok" if ok else "bad-proof").inc()
+        if waiter is not None:
+            waiter.set()
+
+    def _handle_refused(self, handle: DistWorkerHandle, frame: dict) -> None:
+        """A ``--require-secure`` worker bounced a task (loop thread).
+
+        The bounce counts as a failed dispatch attempt: the task is
+        replayed elsewhere, and a task that only ever meets refusals is
+        dead-lettered rather than ping-ponged forever.
+        """
+        with self._lock:
+            handle.last_seen = self.now()
+            task_id = int(frame.get("task_id", -1))
+            handle.outstanding.discard(task_id)
+            record = self._tasks.get(task_id)
+            if record is not None and task_id not in self._completed_ids:
+                record.worker_id = None
+                if record.attempts >= self.max_attempts:
+                    del self._tasks[task_id]
+                    self.dead_letters.append(
+                        DeadLetter(
+                            task_id=task_id,
+                            payload=record.payload,
+                            attempts=record.attempts,
+                            last_worker_id=handle.worker_id,
+                        )
+                    )
+                else:
+                    self.replays += 1
+                    self._enqueue_ready(task_id)
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "repro_dist_refused_frames_total",
+                "task frames bounced by workers awaiting the handshake",
+            ).labels(farm=self.name).inc()
+        self._fill()
 
     def _note_worker_counter(self, handle: DistWorkerHandle, completed: int) -> None:
         handle.reported_completed = max(handle.reported_completed, completed)
@@ -430,6 +507,7 @@ class DistFarm:
                     if w.active
                     and w.connected
                     and not w.retiring
+                    and not w.quarantined
                     and w.writer is not None
                     and len(w.outstanding) < self.max_inflight
                 ]
@@ -464,6 +542,22 @@ class DistFarm:
                     self._enqueue_ready(task_id)
                     return
                 self._count_frame("tx", len(frame))
+                self._count_dispatch(worker)
+
+    def _count_dispatch(self, worker: DistWorkerHandle) -> None:
+        """Account one task frame written to ``worker`` (lock held)."""
+        worker.dispatched += 1
+        if not self.telemetry.enabled:
+            return
+        metrics = self.telemetry.metrics
+        metrics.counter(
+            "repro_mc_dispatch_total", "tasks handed to a worker queue"
+        ).labels(farm=self.name).inc()
+        if not worker.secured:
+            metrics.counter(
+                "repro_mc_insecure_dispatch_total",
+                "tasks handed to a worker over an unsecured channel",
+            ).labels(farm=self.name).inc()
 
     def drain_results(self, count: int, timeout: float = 30.0) -> List[Any]:
         """Collect ``count`` results (order of completion, deduplicated)."""
@@ -525,6 +619,13 @@ class DistFarm:
         """Crash handling: replay every un-acked task of ``w`` (lock held)."""
         w.active = False
         w.connected = False
+        self._gauge_quarantined()
+        if w.secure_waiter is not None:
+            # a secure_worker() caller is blocked on this handshake;
+            # wake it so it reports failure instead of timing out
+            w.secure_challenge = None
+            w.secure_waiter.set()
+            w.secure_waiter = None
         if w.process is not None and w.process.poll() is None:
             try:
                 w.process.kill()  # wedged or partitioned: make it official
@@ -589,7 +690,8 @@ class DistFarm:
     def snapshot(self) -> RuntimeFarmSnapshot:
         with self._lock:
             now = self.now()
-            live = [w for w in self.workers if w.active]
+            live = [w for w in self.workers if w.active and not w.quarantined]
+            quarantined = sum(1 for w in self.workers if w.active and w.quarantined)
             lengths = tuple(len(w.outstanding) for w in live)
             _, var, _, _ = queue_length_stats(lengths)
             cutoff = now - self.rate_window
@@ -610,11 +712,17 @@ class DistFarm:
                 completed=self.completed,
                 pending=len(self._tasks),
                 mean_latency=mean_lat,
+                quarantined=quarantined,
             )
 
     @property
     def num_workers(self) -> int:
-        return sum(1 for w in self.workers if w.active)
+        """Serving capacity: live workers past the admission gate."""
+        return sum(1 for w in self.workers if w.active and not w.quarantined)
+
+    @property
+    def quarantined_workers(self) -> int:
+        return sum(1 for w in self.workers if w.active and w.quarantined)
 
     def _find_worker(self, worker_id: int) -> Optional[DistWorkerHandle]:
         for w in self.workers:
@@ -626,18 +734,24 @@ class DistFarm:
     # actuators
     # ------------------------------------------------------------------
     def _register_worker(
-        self, *, process: Optional[subprocess.Popen], secured: bool = False
+        self,
+        *,
+        process: Optional[subprocess.Popen],
+        secured: bool = False,
+        quarantined: bool = False,
     ) -> DistWorkerHandle:
         """Create and track one worker handle (lock held by caller)."""
         handle = DistWorkerHandle(
             worker_id=self._next_id,
             process=process,
             secured=secured,
+            quarantined=quarantined,
             spawned_at=self.now(),
             last_seen=self.now(),
         )
         self._next_id += 1
         self.workers.append(handle)
+        self._gauge_quarantined()
         if self.telemetry.enabled:
             handle.span = self.telemetry.start_span(
                 "dist.worker",
@@ -654,10 +768,25 @@ class DistFarm:
             )
             handle.span = None
 
-    def add_worker(self, *, secured: bool = False) -> DistWorkerHandle:
-        """Spawn one local worker process and point it at the coordinator."""
+    def add_worker(
+        self,
+        *,
+        secured: bool = False,
+        quarantined: bool = False,
+        require_secure: bool = False,
+    ) -> DistWorkerHandle:
+        """Spawn one local worker process and point it at the coordinator.
+
+        ``require_secure`` spawns the worker with ``--require-secure``,
+        so the admission gate is enforced on *both* ends of the wire:
+        the coordinator never dispatches to a quarantined worker, and
+        the worker itself bounces any task frame (e.g. from a hand-
+        rolled client) that beats the handshake.
+        """
         with self._lock:
-            if self.num_workers >= self.max_workers:
+            # quarantined workers count against the limit: they hold a
+            # real executor slot even while held out of dispatch
+            if sum(1 for w in self.workers if w.active) >= self.max_workers:
                 raise RuntimeError(f"worker limit {self.max_workers} reached")
             worker_id = self._next_id  # reserved by _register_worker below
             cmd = [
@@ -675,12 +804,103 @@ class DistFarm:
                 "--heartbeat-period",
                 str(self.heartbeat_period),
             ]
+            if require_secure:
+                cmd.append("--require-secure")
             env = dict(os.environ)
             # the child must see the parent's exact import surface — the
             # task function may live in a package only sys.path knows about
             env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
             process = subprocess.Popen(cmd, env=env, stdout=subprocess.DEVNULL)
-            return self._register_worker(process=process, secured=secured)
+            return self._register_worker(
+                process=process, secured=secured, quarantined=quarantined
+            )
+
+    def secure_worker(self, worker_id: int, timeout: float = 10.0) -> bool:
+        """Secure one worker's channel via the wire-level handshake.
+
+        Blocks (off the loop thread) until the worker proves possession
+        of the shared key, then flips ``secured`` so every subsequent
+        task payload to it travels encrypted.  Returns ``False`` on an
+        unknown/dead worker, a connection that never appears, a bad
+        proof, or timeout — the caller must *not* admit the worker in
+        that case.
+        """
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            w = self._find_worker(worker_id)
+            if w is None or not w.active:
+                return False
+            if w.secured:
+                return True
+        # wait for the connection: a just-spawned worker may still be
+        # importing its task function
+        while True:
+            with self._lock:
+                if not w.active:
+                    return False
+                if w.connected and w.writer is not None:
+                    break
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.01)
+        waiter = threading.Event()
+        frame = None
+        with self._lock:
+            if not (w.active and w.connected and w.writer is not None):
+                return False
+            if w.secured:
+                return True
+            if w.secure_waiter is not None:
+                # another thread's handshake is already in flight (e.g.
+                # the GM commit racing the reactive security tick): join
+                # it instead of overwriting its challenge — a second
+                # challenge would make the first proof verify against the
+                # wrong nonce
+                waiter = w.secure_waiter
+            else:
+                w.secure_challenge = make_challenge()
+                w.secure_waiter = waiter
+                frame = encode_frame(
+                    {"type": "secure", "challenge": w.secure_challenge}
+                )
+            writer = w.writer
+        if frame is not None:
+            try:
+                self._loop.call_soon_threadsafe(writer.write, frame)
+            except RuntimeError:  # loop already closed
+                return False
+            self._count_frame("tx", len(frame))
+        if not waiter.wait(max(0.0, deadline - time.monotonic())):
+            with self._lock:
+                # only the handshake owner tears the state down, and only
+                # if it is still the current handshake — a joiner timing
+                # out early must not yank a live exchange out from under
+                # the owner (or a proof still in flight)
+                if frame is not None and w.secure_waiter is waiter:
+                    w.secure_challenge = None
+                    w.secure_waiter = None
+            return False
+        with self._lock:
+            return w.secured
+
+    def admit_worker(self, worker_id: int) -> bool:
+        """Lift the admission gate: the worker joins the dispatch set."""
+        with self._lock:
+            w = self._find_worker(worker_id)
+            if w is None or not w.active:
+                return False
+            w.quarantined = False
+            self._gauge_quarantined()
+        self._request_fill()
+        return True
+
+    def _gauge_quarantined(self) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.metrics.gauge(
+                "repro_mc_quarantined_workers", "workers held at the admission gate"
+            ).labels(farm=self.name).set(
+                sum(1 for w in self.workers if w.active and w.quarantined)
+            )
 
     def _wait_for_connections(self, count: int, timeout: float) -> None:
         deadline = time.monotonic() + timeout
@@ -711,7 +931,9 @@ class DistFarm:
         replays anything still un-acked if it dies instead.
         """
         with self._lock:
-            live = [w for w in self.workers if w.active and not w.retiring]
+            live = [
+                w for w in self.workers if w.active and not w.retiring and not w.quarantined
+            ]
             if len(live) <= 1:
                 return None
             victim = live[-1]
@@ -782,7 +1004,10 @@ class DistFarm:
                 live = [
                     w
                     for w in self.workers
-                    if w.active and not w.retiring and w.writer is not None
+                    if w.active
+                    and not w.retiring
+                    and not w.quarantined
+                    and w.writer is not None
                 ]
                 victim = live[-1] if live else None
             else:
@@ -797,9 +1022,16 @@ class DistFarm:
         return victim.worker_id
 
     def _pick_victim(self, worker_id: Optional[int]) -> Optional[DistWorkerHandle]:
-        """Choose a live, non-retiring worker (lock held by caller)."""
+        """Choose a live, serving worker (lock held by caller).
+
+        Default victims are never quarantined: fault tests target
+        workers that actually carry load.  An explicit id may name any
+        live worker, quarantined or not.
+        """
         if worker_id is None:
-            live = [w for w in self.workers if w.active and not w.retiring]
+            live = [
+                w for w in self.workers if w.active and not w.retiring and not w.quarantined
+            ]
             return live[-1] if live else None
         victim = self._find_worker(worker_id)
         if victim is None or not victim.active:

@@ -16,6 +16,12 @@ worker → coordinator
     ``result``   one task outcome: ``value`` on success, ``error`` text
                  on failure (the coordinator rehydrates it as an
                  exception object in the results stream)
+    ``secured``  answer to a ``secure`` challenge; carries ``proof``,
+                 the base64 of the challenge encrypted under the shared
+                 key — only a holder of the key can produce it
+    ``refused``  a task bounced by a worker running ``--require-secure``
+                 before the handshake completed; carries ``task_id`` and
+                 ``reason`` (the coordinator replays it elsewhere)
     ``bye``      graceful exit after a poison frame
 
 coordinator → worker
@@ -23,6 +29,8 @@ coordinator → worker
     ``task``     one task: ``task_id``, ``payload``, ``enc`` (when the
                  channel is secured the payload is the base64 of the
                  encrypted JSON bytes)
+    ``secure``   secure-channel handshake: carries a fresh ``challenge``
+                 the worker must prove it can encrypt
     ``poison``   finish already-received tasks, send ``bye``, exit
 
 Secured payloads use the same toy cipher as the thread and process
@@ -34,10 +42,11 @@ from __future__ import annotations
 
 import base64
 import json
+import os
 import struct
 from typing import Any, Optional
 
-from ..security.crypto import decrypt, encrypt
+from ..security.crypto import CryptoError, decrypt, encrypt
 
 __all__ = [
     "MAX_FRAME",
@@ -46,6 +55,9 @@ __all__ = [
     "read_frame",
     "encode_payload",
     "decode_payload",
+    "make_challenge",
+    "prove_challenge",
+    "verify_proof",
 ]
 
 #: shared toy-cipher key (same key the other substrates use)
@@ -104,3 +116,35 @@ def decode_payload(payload: Any, *, secured: bool) -> Any:
         return payload
     clear = decrypt(SECRET, base64.b64decode(payload.encode("ascii")))
     return json.loads(clear.decode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# secure-channel handshake (challenge/response under the shared key)
+# ----------------------------------------------------------------------
+#
+# The coordinator sends a fresh random ``challenge`` in a ``secure``
+# frame; the worker answers with ``prove_challenge(challenge)`` in a
+# ``secured`` frame; the coordinator checks it with ``verify_proof``.
+# Only a peer holding :data:`SECRET` can produce a valid proof, so a
+# completed handshake demonstrates both ends share the key *before* any
+# encrypted task payload travels — the mechanism the two-phase intent
+# protocol's commit step waits on (see docs/MULTICONCERN.md).
+
+
+def make_challenge() -> str:
+    """A fresh random challenge (base64 text, safe inside JSON)."""
+    return base64.b64encode(os.urandom(16)).decode("ascii")
+
+
+def prove_challenge(challenge: str) -> str:
+    """Worker-side: prove key possession by encrypting the challenge."""
+    return base64.b64encode(encrypt(SECRET, challenge.encode("ascii"))).decode("ascii")
+
+
+def verify_proof(challenge: str, proof: str) -> bool:
+    """Coordinator-side: does ``proof`` decrypt back to ``challenge``?"""
+    try:
+        clear = decrypt(SECRET, base64.b64decode(proof.encode("ascii")))
+    except (CryptoError, ValueError, UnicodeEncodeError):
+        return False
+    return clear == challenge.encode("ascii")

@@ -41,7 +41,7 @@ import os
 import sys
 from typing import Any, Callable, Optional, Tuple
 
-from .dist_proto import decode_payload, encode_frame, read_frame
+from .dist_proto import decode_payload, encode_frame, prove_challenge, read_frame
 
 __all__ = ["resolve_fn", "run_worker", "main"]
 
@@ -85,8 +85,16 @@ async def run_worker(
     connect_attempts: int = 40,
     connect_backoff: float = 0.05,
     connect_backoff_cap: float = 2.0,
+    require_secure: bool = False,
 ) -> int:
-    """Run one worker until poisoned (returns 0) or orphaned (exits 1)."""
+    """Run one worker until poisoned (returns 0) or orphaned (exits 1).
+
+    With ``require_secure`` the worker enforces the admission gate on
+    its *own* side of the wire: any ``task`` frame arriving before the
+    ``secure`` handshake completes is bounced with a ``refused`` frame,
+    never executed — so even a hand-rolled client speaking the raw
+    protocol cannot push work onto an unsecured channel.
+    """
     reader, writer = await _connect(
         host, port, connect_attempts, connect_backoff, connect_backoff_cap
     )
@@ -107,7 +115,10 @@ async def run_worker(
     def send(message: dict) -> None:
         writer.write(encode_frame(message))
 
+    secured = False
+
     async def reader_loop() -> None:
+        nonlocal secured
         while True:
             frame = await read_frame(reader)
             if frame is None:
@@ -119,7 +130,26 @@ async def run_worker(
                 os._exit(1)
             kind = frame.get("type")
             if kind == "task":
+                if require_secure and not secured:
+                    # the worker-side half of the admission gate: bounce,
+                    # never execute, until the channel handshake is done
+                    send(
+                        {
+                            "type": "refused",
+                            "task_id": frame.get("task_id"),
+                            "reason": "security handshake required",
+                        }
+                    )
+                    continue
                 await tasks.put(frame)
+            elif kind == "secure":
+                send(
+                    {
+                        "type": "secured",
+                        "proof": prove_challenge(str(frame.get("challenge", ""))),
+                    }
+                )
+                secured = True
             elif kind == "poison":
                 await tasks.put(None)
                 return
@@ -188,6 +218,10 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--heartbeat-period", type=float, default=0.1)
     parser.add_argument("--connect-attempts", type=int, default=40)
     parser.add_argument("--connect-backoff", type=float, default=0.05)
+    parser.add_argument(
+        "--require-secure", action="store_true",
+        help="refuse task frames until the secure-channel handshake completes",
+    )
     args = parser.parse_args(argv)
 
     fn = resolve_fn(args.fn)
@@ -201,6 +235,7 @@ def main(argv: Optional[list] = None) -> int:
                 heartbeat_period=args.heartbeat_period,
                 connect_attempts=args.connect_attempts,
                 connect_backoff=args.connect_backoff,
+                require_secure=args.require_secure,
             )
         )
     except (OSError, KeyboardInterrupt):

@@ -25,6 +25,7 @@ import time
 from collections import deque
 from typing import Any, Callable, List, Optional
 
+from ..obs.telemetry import NOOP, Telemetry
 from ..security.crypto import decrypt, encrypt
 from ..sim.metrics import WindowRateEstimator, queue_length_stats
 from .backend import RuntimeFarmSnapshot
@@ -47,12 +48,15 @@ class ThreadWorker:
         worker_id: int,
         *,
         secured: bool = False,
+        quarantined: bool = False,
     ) -> None:
         self.farm = farm
         self.worker_id = worker_id
         self.secured = secured
+        self.quarantined = quarantined
         self.queue: "queue.Queue[Any]" = queue.Queue()
         self.completed = 0
+        self.dispatched = 0
         self.active = True
         self._thread = threading.Thread(
             target=self._run, name=f"{farm.name}-w{worker_id}", daemon=True
@@ -94,12 +98,14 @@ class ThreadFarm:
         rate_window: float = 5.0,
         max_workers: int = 64,
         clock: Callable[[], float] = time.monotonic,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if initial_workers < 1:
             raise ValueError("need at least one worker")
         self.fn = fn
         self.name = name
         self.max_workers = max_workers
+        self.telemetry = telemetry if telemetry is not None else NOOP
         self.results: "queue.Queue[Any]" = queue.Queue()
         self._lock = threading.Lock()
         self.workers: List[ThreadWorker] = []
@@ -127,13 +133,13 @@ class ThreadFarm:
     # stream
     # ------------------------------------------------------------------
     def submit(self, payload: Any) -> None:
-        """Dispatch one task to a worker (round robin)."""
+        """Dispatch one task to an admitted worker (round robin)."""
         with self._lock:
             self.arrival_est.mark(self.now())
             self.submitted += 1
-            live = [w for w in self.workers if w.active]
+            live = [w for w in self.workers if w.active and not w.quarantined]
             if not live:
-                raise RuntimeError("farm has no active workers")
+                raise RuntimeError("farm has no admitted workers")
             self._rr = (self._rr + 1) % len(live)
             worker = live[self._rr]
             now = self.now()
@@ -141,6 +147,22 @@ class ThreadFarm:
                 worker.queue.put((encrypt(_SECRET, pickle.dumps(payload)), True, now))
             else:
                 worker.queue.put((payload, False, now))
+            self._count_dispatch(worker)
+
+    def _count_dispatch(self, worker: ThreadWorker) -> None:
+        """Account one task entering ``worker``'s queue (lock held)."""
+        worker.dispatched += 1
+        if not self.telemetry.enabled:
+            return
+        metrics = self.telemetry.metrics
+        metrics.counter(
+            "repro_mc_dispatch_total", "tasks handed to a worker queue"
+        ).labels(farm=self.name).inc()
+        if not worker.secured:
+            metrics.counter(
+                "repro_mc_insecure_dispatch_total",
+                "tasks handed to a worker over an unsecured channel",
+            ).labels(farm=self.name).inc()
 
     def _deliver(self, result: Any, *, secured: bool, submitted_at: float = 0.0) -> None:
         with self._lock:
@@ -170,7 +192,8 @@ class ThreadFarm:
     def snapshot(self) -> RuntimeFarmSnapshot:
         with self._lock:
             now = self.now()
-            live = [w for w in self.workers if w.active]
+            live = [w for w in self.workers if w.active and not w.quarantined]
+            quarantined = sum(1 for w in self.workers if w.active and w.quarantined)
             lengths = tuple(w.queue.qsize() for w in live)
             _, var, _, _ = queue_length_stats(lengths)
             cutoff = now - self.rate_window
@@ -191,28 +214,69 @@ class ThreadFarm:
                 completed=self.completed,
                 pending=self.submitted - self.completed,
                 mean_latency=mean_lat,
+                quarantined=quarantined,
             )
 
     @property
     def num_workers(self) -> int:
-        return sum(1 for w in self.workers if w.active)
+        """Serving capacity: live workers past the admission gate."""
+        return sum(1 for w in self.workers if w.active and not w.quarantined)
+
+    @property
+    def quarantined_workers(self) -> int:
+        return sum(1 for w in self.workers if w.active and w.quarantined)
 
     # ------------------------------------------------------------------
     # actuators
     # ------------------------------------------------------------------
-    def add_worker(self, *, secured: bool = False) -> ThreadWorker:
+    def add_worker(self, *, secured: bool = False, quarantined: bool = False) -> ThreadWorker:
         with self._lock:
-            if self.num_workers >= self.max_workers:
+            # quarantined workers count against the limit: they hold a
+            # real executor slot even while held out of dispatch
+            if sum(1 for w in self.workers if w.active) >= self.max_workers:
                 raise RuntimeError(f"worker limit {self.max_workers} reached")
-            w = ThreadWorker(self, self._next_id, secured=secured)
+            w = ThreadWorker(self, self._next_id, secured=secured, quarantined=quarantined)
             self._next_id += 1
             self.workers.append(w)
+            self._gauge_quarantined()
             return w
 
-    def remove_worker(self) -> Optional[ThreadWorker]:
-        """Retire the newest worker; its queued tasks are re-dispatched."""
+    def secure_worker(self, worker_id: int) -> bool:
+        """Switch one worker's channel to encrypted payloads.
+
+        In-process queues have no wire to handshake over; securing a
+        thread worker is flipping the emitter-side cipher on, exactly
+        what :meth:`secure_all` does farm-wide.
+        """
         with self._lock:
-            live = [w for w in self.workers if w.active]
+            for w in self.workers:
+                if w.worker_id == worker_id and w.active:
+                    w.secured = True
+                    return True
+        return False
+
+    def admit_worker(self, worker_id: int) -> bool:
+        """Lift the admission gate: the worker joins the dispatch set."""
+        with self._lock:
+            for w in self.workers:
+                if w.worker_id == worker_id and w.active:
+                    w.quarantined = False
+                    self._gauge_quarantined()
+                    return True
+        return False
+
+    def _gauge_quarantined(self) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.metrics.gauge(
+                "repro_mc_quarantined_workers", "workers held at the admission gate"
+            ).labels(farm=self.name).set(
+                sum(1 for w in self.workers if w.active and w.quarantined)
+            )
+
+    def remove_worker(self) -> Optional[ThreadWorker]:
+        """Retire the newest admitted worker; its queued tasks are re-dispatched."""
+        with self._lock:
+            live = [w for w in self.workers if w.active and not w.quarantined]
             if len(live) <= 1:
                 return None
             victim = live[-1]
@@ -227,9 +291,12 @@ class ThreadFarm:
             if not isinstance(item, _Poison):
                 leftovers.append(item)
         victim.queue.put(_Poison())
-        survivors = [w for w in self.workers if w.active]
-        for i, item in enumerate(leftovers):
-            survivors[i % len(survivors)].queue.put(item)
+        with self._lock:
+            survivors = [w for w in self.workers if w.active and not w.quarantined]
+            for i, item in enumerate(leftovers):
+                target = survivors[i % len(survivors)]
+                target.queue.put(item)
+                self._count_dispatch(target)
         return victim
 
     def balance_load(self) -> int:
@@ -241,7 +308,7 @@ class ThreadFarm:
         """
         moved = 0
         with self._lock:
-            live = [w for w in self.workers if w.active]
+            live = [w for w in self.workers if w.active and not w.quarantined]
             if len(live) < 2:
                 return 0
             for _ in range(1000):
@@ -257,6 +324,7 @@ class ThreadFarm:
                     longest.queue.put(item)
                     break
                 shortest.queue.put(item)
+                self._count_dispatch(shortest)
                 moved += 1
         return moved
 

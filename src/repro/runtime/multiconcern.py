@@ -1,0 +1,337 @@
+"""Live multi-concern coordination: the GM over a real :class:`FarmBackend`.
+
+Section 3.2's coordination design — multiple per-concern autonomic
+managers plus a general super-AM running the two-phase intent protocol —
+exists in the simulator as :class:`repro.core.multiconcern.GeneralManager`.
+This module is the same protocol executed against *wall-clock* substrates:
+the thread, process and dist farms, all behind the
+:class:`~repro.runtime.backend.FarmBackend` admission gate.
+
+The moving parts:
+
+* :class:`WorkerPlacement` maps live farm workers onto the nodes of a
+  :class:`~repro.sim.resources.ResourceManager`, so the domain/trust
+  model (which node sits on untrusted ground) drives live securing
+  decisions exactly as it drives simulated ones.
+* :class:`LiveGeneralManager` coordinates a performance
+  :class:`~repro.runtime.controller.FarmController` and a live security
+  manager (:class:`~repro.security.manager.LiveSecurityManager`) over
+  one farm.  A grow intent runs plan → review → commit:
+
+  1. **plan** — reserve nodes from the placement pool;
+  2. **review** — every registered concern manager, in priority order
+     (boolean concerns such as security outrank quantitative ones), may
+     *amend* the plan (``require_secure``) or *veto* it — the shared
+     :func:`repro.core.multiconcern.review_plan` phase, so sim and live
+     review semantics cannot drift;
+  3. **commit** — each worker is instantiated **quarantined** (the
+     backend's admission gate guarantees no task is dispatched to it),
+     its channel is secured where the plan demands it (a real wire
+     handshake on the dist farm), and only then is it admitted into the
+     dispatch set.
+
+  The ``NAIVE`` mode is the ablation baseline: workers are instantiated
+  immediately, unsecured and admitted — the leak window §3.2 warns
+  about, measurable live as a non-zero
+  ``repro_mc_insecure_dispatch_total``.
+
+Telemetry: one ``mc.intent`` span per review round and one ``mc.commit``
+span per commit, with ``mc.quarantine``/``mc.secured``/``mc.admit``
+events per worker, plus ``repro_mc_*`` counters — the observable account
+of "no task ever reached an unsecured worker".
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..core.multiconcern import CoordinationMode, IntentRecord, review_plan
+from ..gcm.abc_controller import PlannedReconfiguration
+from ..obs.telemetry import NOOP, Telemetry
+from ..rules.beans import ManagerOperation
+from ..sim.resources import Node, NodePredicate, ResourceManager, any_node
+
+__all__ = ["WorkerPlacement", "LiveGeneralManager"]
+
+
+class WorkerPlacement:
+    """Binds live farm worker ids to resource-manager nodes.
+
+    The farm knows workers; the security policy knows nodes and domains.
+    This is the joint between them: the GM reserves nodes here before
+    growing, binds each new worker id to its node, and the security
+    manager consults the binding to decide which live channels cross
+    untrusted ground.
+    """
+
+    def __init__(self, resources: ResourceManager) -> None:
+        self.resources = resources
+        self._bindings: Dict[int, Node] = {}
+        self._lock = threading.Lock()
+
+    def reserve(
+        self, count: int, predicate: NodePredicate = any_node
+    ) -> Optional[List[Node]]:
+        """Allocate ``count`` nodes, or None if the pool cannot satisfy it."""
+        nodes = self.resources.try_recruit(count, predicate)
+        return nodes or None
+
+    def release(self, nodes: List[Node]) -> None:
+        self.resources.release_all(nodes)
+
+    def bind(self, worker_id: int, node: Node) -> None:
+        with self._lock:
+            self._bindings[worker_id] = node
+
+    def unbind(self, worker_id: int) -> Optional[Node]:
+        """Drop a binding (worker retired/dead) and free its node."""
+        with self._lock:
+            node = self._bindings.pop(worker_id, None)
+        if node is not None:
+            self.resources.release(node)
+        return node
+
+    def node_of(self, worker_id: int) -> Optional[Node]:
+        with self._lock:
+            return self._bindings.get(worker_id)
+
+    def bound(self) -> Dict[int, Node]:
+        """A snapshot of the worker → node map."""
+        with self._lock:
+            return dict(self._bindings)
+
+
+class LiveGeneralManager:
+    """The super-AM coordinating concern managers over one live farm.
+
+    Counterpart of the simulated
+    :class:`~repro.core.multiconcern.GeneralManager`; registration and
+    review semantics are identical (boolean concerns default to priority
+    10, reviews run in priority order, first veto wins), but commit is
+    the live three-step: quarantine → secure → admit through the
+    backend's admission gate.
+    """
+
+    #: concerns that are boolean and therefore outrank quantitative ones
+    BOOLEAN_CONCERNS = frozenset({"security"})
+
+    def __init__(
+        self,
+        farm: Any,
+        placement: WorkerPlacement,
+        *,
+        mode: CoordinationMode = CoordinationMode.TWO_PHASE,
+        telemetry: Optional[Telemetry] = None,
+        name: str = "GM_live",
+    ) -> None:
+        self.farm = farm
+        self.placement = placement
+        self.mode = mode
+        self.telemetry = telemetry if telemetry is not None else NOOP
+        self.name = name
+        self._managers: List[Tuple[int, Any]] = []
+        self.intents: List[IntentRecord] = []
+        #: one intent round at a time: concurrent controllers must not
+        #: interleave their reserve/review/commit sequences
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, manager: Any, *, priority: Optional[int] = None) -> None:
+        """Attach a concern manager; boolean concerns default to priority 10.
+
+        Registration installs this GM as the manager's coordinator, so
+        its grow actuations route through :meth:`execute_intent`.
+        """
+        if priority is None:
+            concern = getattr(manager, "concern", "")
+            priority = 10 if concern in self.BOOLEAN_CONCERNS else 0
+        self._managers.append((priority, manager))
+        self._managers.sort(key=lambda t: -t[0])
+        manager.coordinator = self
+
+    @property
+    def managers(self) -> List[Any]:
+        """Registered managers in review (priority) order."""
+        return [m for _, m in self._managers]
+
+    # ------------------------------------------------------------------
+    # the intent protocol, live
+    # ------------------------------------------------------------------
+    def execute_intent(
+        self, originator: Any, op: ManagerOperation, data: Any = None
+    ) -> bool:
+        """Run one grow intent through plan → review → commit.
+
+        Only ``ADD_EXECUTOR`` has a plan/commit split; anything else is
+        refused (the caller falls back to its local actuator path).
+        Returns True iff at least one worker was admitted.
+        """
+        if op is not ManagerOperation.ADD_EXECUTOR:
+            return False
+        count = int(data.get("count", 1)) if isinstance(data, Mapping) else 1
+        tel = self.telemetry
+        originator_name = getattr(originator, "name", str(originator))
+        with self._lock:
+            with tel.span(
+                "mc.intent",
+                actor=self.name,
+                originator=originator_name,
+                operation=op.value,
+                mode=self.mode.value,
+            ) as intent_span:
+                nodes = self.placement.reserve(count)
+                tel.event("intent.plan", count=count, ok=nodes is not None)
+                if nodes is None:
+                    intent_span.set_attribute("outcome", "no-plan")
+                    self._record(originator_name, op, "no-plan")
+                    return False
+                plan = PlannedReconfiguration(nodes)
+                amendments = 0
+                reviewers: Tuple[str, ...] = ()
+                if self.mode is CoordinationMode.TWO_PHASE:
+                    ok, amendments, reviewers = review_plan(
+                        originator, plan, self.managers, telemetry=tel
+                    )
+                    if not ok:
+                        plan.aborted = True
+                        self.placement.release(nodes)
+                        intent_span.set_attribute("outcome", "vetoed")
+                        self._record(
+                            originator_name,
+                            op,
+                            "vetoed",
+                            amendments=amendments,
+                            reviewers=reviewers,
+                        )
+                        return False
+                intent_span.set_attribute("outcome", "committed")
+            with tel.span(
+                "mc.commit",
+                actor=self.name,
+                originator=originator_name,
+                nodes=[n.name for n in plan.nodes],
+            ) as commit_span:
+                admitted, failures = self._commit(plan)
+                commit_span.set_attribute("admitted", admitted)
+                commit_span.set_attribute("failures", failures)
+            plan.committed = True
+            if failures == 0:
+                outcome = "committed"
+            elif admitted:
+                outcome = "partial"
+            else:
+                outcome = "failed"
+            self._record(
+                originator_name,
+                op,
+                outcome,
+                amendments=amendments,
+                reviewers=reviewers,
+            )
+            if amendments and tel.enabled:
+                tel.metrics.counter(
+                    "repro_mc_amendments_total", "plan amendments applied by reviewers"
+                ).labels(gm=self.name).inc(amendments)
+            return admitted > 0
+
+    def _commit(self, plan: PlannedReconfiguration) -> Tuple[int, int]:
+        """Phase two: instantiate each planned worker through the gate.
+
+        Two-phase order per node: ``add_worker(quarantined=True)`` (the
+        backend dispatcher cannot touch it), then — where the plan was
+        amended — ``secure_worker`` (a real handshake on the dist farm),
+        then ``admit_worker``.  A worker whose securing fails is *left
+        quarantined*: it holds a slot but can never receive a task,
+        which is the safe failure mode.
+
+        Returns ``(admitted, failures)``.
+        """
+        tel = self.telemetry
+        naive = self.mode is CoordinationMode.NAIVE
+        admitted = 0
+        failures = 0
+        for node in plan.nodes:
+            needs_secure = bool(plan.secured.get(node.name))
+            kwargs: Dict[str, Any] = {}
+            if not naive:
+                kwargs["quarantined"] = True
+                if needs_secure and getattr(self.farm, "SUPPORTS_REQUIRE_SECURE", False):
+                    # double-ended gate: the dist worker itself bounces
+                    # any task frame that beats the handshake
+                    kwargs["require_secure"] = True
+            try:
+                handle = self.farm.add_worker(**kwargs)
+            except RuntimeError:
+                # substrate capacity exhausted: hand the node back
+                self.placement.release([node])
+                failures += 1
+                tel.event("mc.no_capacity", node=node.name)
+                continue
+            worker_id = handle.worker_id
+            self.placement.bind(worker_id, node)
+            if naive:
+                # phase-less instantiation: live and dispatchable right
+                # away, unsecured — the §3.2 leak window, on purpose
+                admitted += 1
+                tel.event("mc.admit", worker=worker_id, node=node.name, naive=True)
+                continue
+            tel.event("mc.quarantine", worker=worker_id, node=node.name)
+            if needs_secure:
+                if not self.farm.secure_worker(worker_id):
+                    failures += 1
+                    tel.event("mc.secure_failed", worker=worker_id, node=node.name)
+                    if tel.enabled:
+                        tel.metrics.counter(
+                            "repro_mc_secure_failures_total",
+                            "commit steps aborted by a failed channel handshake",
+                        ).labels(gm=self.name).inc()
+                    continue
+                tel.event("mc.secured", worker=worker_id, node=node.name)
+            if self.farm.admit_worker(worker_id):
+                admitted += 1
+                tel.event("mc.admit", worker=worker_id, node=node.name)
+                if tel.enabled:
+                    tel.metrics.counter(
+                        "repro_mc_admitted_workers_total",
+                        "workers committed through the admission gate",
+                    ).labels(gm=self.name).inc()
+            else:
+                failures += 1
+        return admitted, failures
+
+    # ------------------------------------------------------------------
+    # audit
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        originator: str,
+        op: ManagerOperation,
+        outcome: str,
+        *,
+        amendments: int = 0,
+        reviewers: Tuple[str, ...] = (),
+    ) -> None:
+        self.intents.append(
+            IntentRecord(
+                time=self.farm.now(),
+                originator=originator,
+                operation=op.value,
+                outcome=outcome,
+                amendments=amendments,
+                reviewers=reviewers,
+            )
+        )
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "repro_mc_intent_rounds_total", "intent rounds through the GM, by outcome"
+            ).labels(gm=self.name, outcome=outcome).inc()
+
+    def outcomes(self) -> Dict[str, int]:
+        """Intent outcome histogram (committed/vetoed/no-plan/...)."""
+        out: Dict[str, int] = {}
+        for rec in self.intents:
+            out[rec.outcome] = out.get(rec.outcome, 0) + 1
+        return out

@@ -143,10 +143,12 @@ class ProcessWorkerHandle:
     process: multiprocessing.Process
     task_queue: "multiprocessing.Queue"
     secured: bool = False
+    quarantined: bool = False
     active: bool = True
     retiring: bool = False
     last_seen: float = 0.0
     reported_completed: int = 0
+    dispatched: int = 0
     outstanding: set = field(default_factory=set)  # task ids awaiting ack
 
     @property
@@ -269,9 +271,11 @@ class ProcessFarm:
 
         With no live worker (e.g. every process just crashed) the record
         stays queued with a due retry; the supervisor re-dispatches as
-        soon as capacity returns.
+        soon as capacity returns.  Quarantined workers are never
+        candidates — fresh submits and fault replays alike wait for
+        admitted capacity.
         """
-        live = [w for w in self.workers if w.active and not w.retiring]
+        live = [w for w in self.workers if w.active and not w.retiring and not w.quarantined]
         if not live:
             record.worker_id = None
             record.next_retry_at = self.now()
@@ -286,6 +290,22 @@ class ProcessFarm:
         else:
             item = (record.task_id, record.payload, False)
         worker.task_queue.put(item)
+        self._count_dispatch(worker)
+
+    def _count_dispatch(self, worker: ProcessWorkerHandle) -> None:
+        """Account one task entering ``worker``'s queue (lock held)."""
+        worker.dispatched += 1
+        if not self.telemetry.enabled:
+            return
+        metrics = self.telemetry.metrics
+        metrics.counter(
+            "repro_mc_dispatch_total", "tasks handed to a worker queue"
+        ).labels(farm=self.name).inc()
+        if not worker.secured:
+            metrics.counter(
+                "repro_mc_insecure_dispatch_total",
+                "tasks handed to a worker over an unsecured channel",
+            ).labels(farm=self.name).inc()
 
     def drain_results(self, count: int, timeout: float = 30.0) -> List[Any]:
         """Collect ``count`` results (order of completion, deduplicated)."""
@@ -404,6 +424,7 @@ class ProcessFarm:
     def _declare_dead(self, w: ProcessWorkerHandle, now: float) -> None:
         """Crash handling: replay every un-acked task of ``w`` (lock held)."""
         w.active = False
+        self._gauge_quarantined()
         if w.process.is_alive():  # wedged, not dead: make it official
             try:
                 w.process.kill()
@@ -464,7 +485,8 @@ class ProcessFarm:
     def snapshot(self) -> RuntimeFarmSnapshot:
         with self._lock:
             now = self.now()
-            live = [w for w in self.workers if w.active]
+            live = [w for w in self.workers if w.active and not w.quarantined]
+            quarantined = sum(1 for w in self.workers if w.active and w.quarantined)
             lengths = tuple(len(w.outstanding) for w in live)
             _, var, _, _ = queue_length_stats(lengths)
             cutoff = now - self.rate_window
@@ -485,11 +507,17 @@ class ProcessFarm:
                 completed=self.completed,
                 pending=len(self._tasks),
                 mean_latency=mean_lat,
+                quarantined=quarantined,
             )
 
     @property
     def num_workers(self) -> int:
-        return sum(1 for w in self.workers if w.active)
+        """Serving capacity: live workers past the admission gate."""
+        return sum(1 for w in self.workers if w.active and not w.quarantined)
+
+    @property
+    def quarantined_workers(self) -> int:
+        return sum(1 for w in self.workers if w.active and w.quarantined)
 
     def _find_worker(self, worker_id: int) -> Optional[ProcessWorkerHandle]:
         for w in self.workers:
@@ -500,9 +528,13 @@ class ProcessFarm:
     # ------------------------------------------------------------------
     # actuators
     # ------------------------------------------------------------------
-    def add_worker(self, *, secured: bool = False) -> ProcessWorkerHandle:
+    def add_worker(
+        self, *, secured: bool = False, quarantined: bool = False
+    ) -> ProcessWorkerHandle:
         with self._lock:
-            if self.num_workers >= self.max_workers:
+            # quarantined workers count against the limit: they hold a
+            # real executor slot even while held out of dispatch
+            if sum(1 for w in self.workers if w.active) >= self.max_workers:
                 raise RuntimeError(f"worker limit {self.max_workers} reached")
             worker_id = self._next_id
             self._next_id += 1
@@ -518,11 +550,47 @@ class ProcessFarm:
                 process=proc,
                 task_queue=task_q,
                 secured=secured,
+                quarantined=quarantined,
                 last_seen=self.now(),
             )
             proc.start()
             self.workers.append(handle)
+            self._gauge_quarantined()
             return handle
+
+    def secure_worker(self, worker_id: int) -> bool:
+        """Switch one worker's channel to encrypted payloads.
+
+        The task pipe is parent-local, so as on the thread farm securing
+        is flipping the emitter-side cipher on; the worker decrypts per
+        item via the ``enc`` flag it already honours.
+        """
+        with self._lock:
+            w = self._find_worker(worker_id)
+            if w is None or not w.active:
+                return False
+            w.secured = True
+            return True
+
+    def admit_worker(self, worker_id: int) -> bool:
+        """Lift the admission gate: the worker joins the dispatch set."""
+        with self._lock:
+            w = self._find_worker(worker_id)
+            if w is None or not w.active:
+                return False
+            w.quarantined = False
+            self._gauge_quarantined()
+            # capacity just appeared: anything parked for retry can go now
+            self._dispatch_due_retries(self.now())
+            return True
+
+    def _gauge_quarantined(self) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.metrics.gauge(
+                "repro_mc_quarantined_workers", "workers held at the admission gate"
+            ).labels(farm=self.name).set(
+                sum(1 for w in self.workers if w.active and w.quarantined)
+            )
 
     def remove_worker(self) -> Optional[ProcessWorkerHandle]:
         """Retire the newest worker gracefully.
@@ -533,8 +601,10 @@ class ProcessFarm:
         """
         with self._lock:
             # a retiring worker is already on its way out: it neither
-            # counts toward the floor nor may be "removed" a second time
-            live = [w for w in self.workers if w.active and not w.retiring]
+            # counts toward the floor nor may be "removed" a second time;
+            # quarantined workers are not serving capacity, so they are
+            # neither victims nor part of the floor
+            live = [w for w in self.workers if w.active and not w.retiring and not w.quarantined]
             if len(live) <= 1:
                 return None
             victim = live[-1]
@@ -551,7 +621,9 @@ class ProcessFarm:
         """
         moved = 0
         with self._lock:
-            live = [w for w in self.workers if w.active and not w.retiring]
+            live = [
+                w for w in self.workers if w.active and not w.retiring and not w.quarantined
+            ]
             if len(live) < 2:
                 return 0
             for _ in range(1000):
@@ -573,6 +645,7 @@ class ProcessFarm:
                 if record is not None:
                     record.worker_id = shortest.worker_id
                 shortest.task_queue.put(item)
+                self._count_dispatch(shortest)
                 moved += 1
         return moved
 
@@ -594,7 +667,13 @@ class ProcessFarm:
         """
         with self._lock:
             if worker_id is None:
-                live = [w for w in self.workers if w.active and not w.retiring]
+                # default victims are serving workers: killing a
+                # quarantined one proves nothing about fault recovery
+                live = [
+                    w
+                    for w in self.workers
+                    if w.active and not w.retiring and not w.quarantined
+                ]
                 if not live:
                     return None
                 victim = live[-1]

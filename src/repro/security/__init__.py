@@ -8,7 +8,13 @@ review inside the two-phase protocol).
 
 from .crypto import CryptoCostModel, CryptoError, decrypt, encrypt, keystream_xor
 from .domains import SecurityPolicy, TrustRegistry
-from .manager import ExposureBean, LeakBean, SecurityABC, SecurityManager
+from .manager import (
+    ExposureBean,
+    LeakBean,
+    LiveSecurityManager,
+    SecurityABC,
+    SecurityManager,
+)
 
 __all__ = [
     "CryptoCostModel",
@@ -20,6 +26,7 @@ __all__ = [
     "TrustRegistry",
     "SecurityABC",
     "SecurityManager",
+    "LiveSecurityManager",
     "ExposureBean",
     "LeakBean",
 ]

@@ -19,24 +19,33 @@ multi-concern coordination in two ways:
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, List, Mapping, Optional
+import threading
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from ..gcm.abc_controller import (
     AutonomicBehaviourController,
     FarmABC,
     PlannedReconfiguration,
 )
+from ..obs.telemetry import NOOP, Telemetry
 from ..rules.beans import Bean, ManagerOperation
 from ..rules.dsl import rule, value_gt
 from ..sim.engine import Simulator
 from ..sim.network import Network
+from ..sim.resources import TRUSTED_DEFAULT, Node
 from ..core.contracts import Contract, SecurityContract
 from ..core.events import Events
 from ..core.manager import AutonomicManager
 from ..core.multiconcern import ConcernReview
 from .domains import SecurityPolicy
 
-__all__ = ["SecurityABC", "SecurityManager", "ExposureBean", "LeakBean"]
+__all__ = [
+    "SecurityABC",
+    "SecurityManager",
+    "LiveSecurityManager",
+    "ExposureBean",
+    "LeakBean",
+]
 
 
 class ExposureBean(Bean):
@@ -181,5 +190,158 @@ class SecurityManager(AutonomicManager, ConcernReview):
                 plan.require_secure(node)
                 amended.append(node)
         if amended and self.telemetry.enabled:
+            self.telemetry.event("security.amend", nodes=amended)
+        return True
+
+
+class LiveSecurityManager(ConcernReview):
+    """AM_sec over a live :class:`~repro.runtime.backend.FarmBackend`.
+
+    The wall-clock counterpart of :class:`SecurityManager`, built for
+    the live GM (:class:`~repro.runtime.multiconcern.LiveGeneralManager`)
+    rather than the simulator.  Same two faces:
+
+    * **reactively** — :meth:`control_step` (run by its own thread, like
+      the performance :class:`~repro.runtime.controller.FarmController`)
+      scans the farm for exposed workers — unsecured channels whose
+      bound node sits on untrusted ground, per the
+      :class:`~repro.runtime.multiconcern.WorkerPlacement` binding — and
+      secures them on the spot.  On the dist farm that is a real wire
+      handshake.  This path alone is the late defence; under naive
+      coordination, tasks dispatched before this tick travel plaintext.
+    * **proactively** — :meth:`review_intent` amends grow plans so every
+      untrusted node is secured *before* admission, and can veto
+      outright when a reserved node belongs to a domain in
+      ``veto_domains`` (e.g. a domain whose trust was revoked mid-run
+      and must not host workers at all).
+    """
+
+    #: boolean concern → the GM defaults this manager to priority 10
+    concern = "security"
+
+    def __init__(
+        self,
+        farm: Any,
+        placement: Any,
+        *,
+        policy: Optional[SecurityPolicy] = None,
+        emitter_node: Optional[Node] = None,
+        veto_domains: Tuple[str, ...] = (),
+        control_period: float = 0.25,
+        telemetry: Optional[Telemetry] = None,
+        name: str = "AM_sec_live",
+    ) -> None:
+        if control_period <= 0:
+            raise ValueError("control_period must be positive")
+        self.farm = farm
+        self.placement = placement
+        self.policy = policy if policy is not None else SecurityPolicy()
+        #: where the emitter/collector run — one end of every channel
+        self.emitter_node = emitter_node or Node("emitter", domain=TRUSTED_DEFAULT)
+        self.veto_domains = frozenset(veto_domains)
+        self.control_period = control_period
+        self.telemetry = telemetry if telemetry is not None else NOOP
+        self.name = name
+        self.coordinator: Optional[Any] = None
+        self.secured_actions = 0
+        self.amendments = 0
+        self.vetoes = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- monitoring --------------------------------------------------------
+    def exposed_workers(self) -> List[Tuple[int, Node]]:
+        """``(worker_id, node)`` for every live channel violating policy.
+
+        Only workers with a placement binding are considered: a worker
+        the GM never placed has no node identity, hence no domain to
+        distrust.  Quarantined workers are skipped — the admission gate
+        already guarantees they receive no tasks, and the GM commit that
+        owns them is securing their channel; a reactive handshake here
+        would just race it.
+        """
+        exposed: List[Tuple[int, Node]] = []
+        for w in self.farm.workers:
+            if not getattr(w, "active", True) or getattr(w, "retiring", False):
+                continue
+            if getattr(w, "quarantined", False):
+                continue
+            node = self.placement.node_of(w.worker_id)
+            if node is None:
+                continue
+            if self.policy.worker_exposed(self.emitter_node, node, w.secured):
+                exposed.append((w.worker_id, node))
+        return exposed
+
+    # -- MAPE tick (public so tests can drive it deterministically) --------
+    def control_step(self) -> List[int]:
+        """One reactive tick: find exposed workers, secure their channels."""
+        tel = self.telemetry
+        secured: List[int] = []
+        with tel.span("mape.cycle", actor=self.name) as cycle:
+            exposed = self.exposed_workers()
+            if tel.enabled:
+                tel.metrics.gauge(
+                    "repro_security_exposed_workers",
+                    "workers with unsecured channels to untrusted nodes",
+                ).labels(manager=self.name).set(len(exposed))
+                cycle.set_attribute("exposed", len(exposed))
+            for worker_id, node in exposed:
+                if self.farm.secure_worker(worker_id):
+                    secured.append(worker_id)
+                    self.secured_actions += 1
+                    tel.event(
+                        "security.secure", worker=worker_id, node=node.name
+                    )
+                    if tel.enabled:
+                        tel.metrics.counter(
+                            "repro_mc_reactive_secured_total",
+                            "channels secured reactively, after instantiation",
+                        ).labels(manager=self.name).inc()
+        return secured
+
+    # -- loop lifecycle ----------------------------------------------------
+    def start(self) -> "LiveSecurityManager":
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="security-manager", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.control_period):
+            self.control_step()
+
+    # -- two-phase protocol (phase 2) --------------------------------------
+    def review_intent(self, originator: Any, plan: PlannedReconfiguration) -> bool:
+        """Amend untrusted nodes to run secured; veto forbidden domains.
+
+        Unlike the simulated manager this one *can* veto: a node in one
+        of ``veto_domains`` must not host a worker even over a secured
+        channel (trust was revoked outright), so the whole plan dies and
+        the originator's grow intent fails closed.
+        """
+        for node in plan.nodes:
+            if node.domain.name in self.veto_domains:
+                self.vetoes += 1
+                self.telemetry.event(
+                    "security.veto", node=node.name, domain=node.domain.name
+                )
+                return False
+        amended = []
+        for node in plan.nodes:
+            if not self.policy.node_trusted(node):
+                plan.require_secure(node)
+                amended.append(node.name)
+        if amended:
+            self.amendments += len(amended)
             self.telemetry.event("security.amend", nodes=amended)
         return True

@@ -14,6 +14,9 @@ set of invariant checks across all of them:
   outward;
 * **monotone completed count** — ``snapshot().completed`` never goes
   backwards, whatever thread observes it;
+* **admission gate holds under pressure** — a worker added quarantined
+  receives not a single task, through fresh submits, rebalances and
+  fault replays alike, until ``admit_worker`` lifts the gate;
 * **clean shutdown** — no worker thread, child process or listening
   socket survives ``shutdown()``.
 
@@ -190,6 +193,59 @@ class TestMonotoneCompleted:
             farm.drain_results(total, timeout=30.0)
             assert all(b >= a for a, b in zip(samples, samples[1:]))
             assert samples[-1] == total
+        finally:
+            farm.shutdown()
+
+
+class TestAdmissionGate:
+    def test_quarantined_worker_never_dispatched(self, backend):
+        """The multi-concern invariant at substrate level: a quarantined
+        worker is live but invisible to every dispatch path — fresh
+        submits, rebalancing, and the replay traffic of an injected
+        fault — until admit_worker lifts the gate."""
+        farm = make_farm(backend, initial_workers=2, max_workers=8)
+        try:
+            gated = farm.add_worker(quarantined=True)
+            assert farm.quarantined_workers == 1
+            assert farm.num_workers == 2  # serving capacity excludes the gate
+            total = 60
+            for i in range(total):
+                farm.submit((0.005, i))
+                if i == 20 and backend != "thread":
+                    wait_until(
+                        lambda: farm.snapshot().completed >= 5,
+                        message="stream in flight before the fault",
+                    )
+                    assert inject_fault(farm) is not None
+                if i == 40:
+                    farm.balance_load()
+            results = farm.drain_results(total, timeout=120.0)
+            assert sorted(r for r in results if not isinstance(r, Exception)) == [
+                i * i for i in range(total)
+            ]
+            assert gated.dispatched == 0, (
+                "a task crossed the admission gate"
+            )
+            # lifting the gate makes the worker a normal dispatch target
+            assert farm.admit_worker(gated.worker_id)
+            assert farm.quarantined_workers == 0
+            more = 40
+            for i in range(total, total + more):
+                farm.submit((0.005, i))
+            results = farm.drain_results(more, timeout=60.0)
+            assert sorted(r for r in results if not isinstance(r, Exception)) == [
+                i * i for i in range(total, total + more)
+            ]
+            assert gated.dispatched > 0, "admitted worker never served"
+            assert not getattr(farm, "dead_letters", [])
+        finally:
+            farm.shutdown()
+
+    def test_admitted_unknown_worker_is_refused(self, backend):
+        farm = make_farm(backend, initial_workers=1)
+        try:
+            assert farm.admit_worker(999) is False
+            assert farm.secure_worker(999) is False
         finally:
             farm.shutdown()
 

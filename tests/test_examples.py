@@ -50,6 +50,14 @@ class TestExamples:
         assert "plaintext over a non-private link" in out
         assert "amendment" in out
 
+    def test_multiconcern_live(self, capsys):
+        load_example("multiconcern_live").main()
+        out = capsys.readouterr().out
+        assert "MC-LIVE" in out
+        assert "two-phase leak window: 0 tasks" in out
+        assert "vetoed" in out
+        assert "no task ever reached an unsecured worker" in out
+
     def test_dataparallel_map(self, capsys):
         load_example("dataparallel_map").main()
         out = capsys.readouterr().out
