@@ -1,0 +1,118 @@
+"""Bench the tracing overhead: the same stream with telemetry on vs off.
+
+The trace-context machinery rides inside every task envelope — root
+span, chained dispatch spans, a worker-side execution record shipped
+back on the ack — so its cost is paid per task, on the hot path.  This
+bench measures that cost where it is most visible (the thread farm,
+whose per-task overhead is otherwise tiny) and where it crosses a real
+process boundary (the process farm), and lands both in
+``benchmarks/out/BENCH_obs.json``:
+
+* **throughput ratio** — tasks/s with a real :class:`Telemetry`
+  attached over tasks/s with the no-op ``NullTelemetry``, for two task
+  shapes: zero-work tasks (the *worst case*, where the envelope cost is
+  all there is — recorded, never asserted) and 1 ms blocking tasks (the
+  realistic shape the assertion guards);
+* **span accounting** — how many spans one traced stream records, so a
+  regression that starts over-recording shows up as a count, not just
+  as lost throughput.
+
+The assertion is deliberately loose (tracing may cost, it must not
+*multiply*): overhead on 1 ms tasks stays under ``OVERHEAD_CEILING``x
+on the thread farm.  Smoke mode shrinks the stream and skips that
+assertion while still writing the artefact.
+"""
+
+import time
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.runtime.farm_runtime import ThreadFarm
+from repro.runtime.process_farm import ProcessFarm
+
+WORKERS = 4
+
+#: tracing-on wall time may be at most this multiple of tracing-off
+OVERHEAD_CEILING = 1.6
+
+
+def quick_task(payload):
+    """A near-zero-work task: makes the per-task envelope cost dominate."""
+    return payload * 2
+
+
+def sleep_task(payload):
+    """1 ms of blocking work: the realistic mixed-cost shape."""
+    work, value = payload
+    time.sleep(work)
+    return value
+
+
+def run_stream(farm_cls, fn, payloads, telemetry):
+    """Wall-clock seconds to drain ``payloads`` through a 4-worker farm."""
+    farm = farm_cls(fn, initial_workers=WORKERS, telemetry=telemetry)
+    try:
+        t0 = time.monotonic()
+        for p in payloads:
+            farm.submit(p)
+        farm.drain_results(len(payloads), timeout=600.0)
+        return time.monotonic() - t0
+    finally:
+        farm.shutdown()
+
+
+def measure(farm_cls, fn, payloads, rounds):
+    """Best-of-``rounds`` seconds for traced and untraced runs, plus the
+    span count one traced stream records."""
+    traced, untraced = [], []
+    spans = 0
+    for _ in range(rounds):
+        tel = Telemetry()
+        traced.append(run_stream(farm_cls, fn, payloads, tel))
+        spans = len(tel.spans.spans)
+        untraced.append(run_stream(farm_cls, fn, payloads, None))
+    return min(traced), min(untraced), spans
+
+
+@pytest.mark.benchmark(group="obs")
+def test_tracing_overhead(benchmark, json_sink, smoke_mode):
+    n_tasks = 200 if smoke_mode else 2000
+    rounds = 1 if smoke_mode else 3
+
+    zero_payloads = list(range(n_tasks))
+    sleep_payloads = [(0.001, i) for i in range(max(100, n_tasks // 2))]
+    process_payloads = [(0.001, i) for i in range(max(50, n_tasks // 4))]
+
+    def one_round():
+        return measure(ThreadFarm, quick_task, zero_payloads, 1)[0]
+
+    assert benchmark.pedantic(one_round, rounds=rounds, iterations=1) > 0
+
+    z_on, z_off, z_spans = measure(ThreadFarm, quick_task, zero_payloads, rounds)
+    s_on, s_off, s_spans = measure(ThreadFarm, sleep_task, sleep_payloads, rounds)
+    p_on, p_off, p_spans = measure(ProcessFarm, sleep_task, process_payloads, rounds)
+
+    def shape(tasks, on, off, spans):
+        return {
+            "tasks": tasks,
+            "traced_seconds": on,
+            "untraced_seconds": off,
+            "overhead_x": on / off if off > 0 else float("inf"),
+            "spans_recorded": spans,
+        }
+
+    payload = {
+        "workers": WORKERS,
+        "thread_zero_work": shape(len(zero_payloads), z_on, z_off, z_spans),
+        "thread_1ms": shape(len(sleep_payloads), s_on, s_off, s_spans),
+        "process_1ms": shape(len(process_payloads), p_on, p_off, p_spans),
+        "overhead_ceiling_x": OVERHEAD_CEILING,
+        "smoke_mode": smoke_mode,
+    }
+    json_sink("obs", payload)
+
+    # a traced task records at least root + dispatch + exec
+    assert z_spans >= 3 * len(zero_payloads)
+    if not smoke_mode:
+        assert payload["thread_1ms"]["overhead_x"] < OVERHEAD_CEILING

@@ -19,9 +19,15 @@ honoured.  The script
 * shows a veto: when a domain's trust is revoked outright, a grow
   intent reserving its nodes dies in review and no worker appears.
 
-Run:  python examples/multiconcern_live.py
+With ``--serve-telemetry`` the two-phase episode additionally exposes
+its telemetry live over HTTP (``/metrics``, ``/traces``,
+``/trace/<id>``, ``/healthz``) and pauses at the end so you can point
+``curl`` at the intent/commit trace while the store is still warm.
+
+Run:  python examples/multiconcern_live.py [--serve-telemetry [PORT]]
 """
 
+import sys
 import time
 
 from repro.core.multiconcern import CoordinationMode
@@ -44,9 +50,14 @@ class Orchestrator:
     name = "AM_perf"
 
 
-def run_mode(mode: CoordinationMode) -> tuple:
+def run_mode(mode: CoordinationMode, serve_port: int = None) -> tuple:
     """One growth episode under ``mode``; returns (insecure, total) dispatches."""
     tel = Telemetry()
+    server = None
+    if serve_port is not None:
+        server = tel.serve(port=serve_port)
+        print(f"  live telemetry on http://{server.host}:{server.port} "
+              "(/metrics, /traces, /trace/<id>, /healthz)")
     farm = ThreadFarm(render_image, initial_workers=2, max_workers=12,
                       name=f"farm-{mode.value}", telemetry=tel)
     farm.secure_all()  # the bootstrap workers' channels are already safe
@@ -76,14 +87,24 @@ def run_mode(mode: CoordinationMode) -> tuple:
         .labels(farm=farm.name).value
     print(f"  {mode.value:9s}: {gm.outcomes()} -> {final_workers} workers, "
           f"{insecure:.0f}/{dispatched:.0f} dispatches insecure")
+    if server is not None:
+        try:
+            input("  telemetry still being served — press Enter to continue...")
+        except EOFError:
+            pass
+        server.close()
     return insecure, dispatched
 
 
 def main() -> None:
+    serve_port = None
+    if "--serve-telemetry" in sys.argv[1:]:
+        rest = [a for a in sys.argv[1:] if a != "--serve-telemetry"]
+        serve_port = int(rest[0]) if rest else 0
     print("=== MC-LIVE: two-phase intent protocol on the thread farm ===")
     print()
     print("growth over untrusted nodes, 120 tasks in flight:")
-    secure_leaks, _ = run_mode(CoordinationMode.TWO_PHASE)
+    secure_leaks, _ = run_mode(CoordinationMode.TWO_PHASE, serve_port=serve_port)
     naive_leaks, _ = run_mode(CoordinationMode.NAIVE)
     print()
     print(f"two-phase leak window: {secure_leaks:.0f} tasks "

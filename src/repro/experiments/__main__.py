@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments fig4 --trace-out audit.jsonl
     python -m repro.experiments fig4 --backend=process
     python -m repro.experiments fig4 --backend=dist --with-security
+    python -m repro.experiments fig4 --backend=thread --serve-telemetry
 
 Experiment keys: fig3, fig4, loadspike, multiconcern (mc), split,
 ablation, faults, stagefarm, patterns.  ``--trace-out PATH`` attaches
@@ -14,7 +15,9 @@ telemetry to the FIG4 run and writes its decision audit as JSONL;
 ``--backend {sim,thread,process,dist}`` selects the substrate under the
 FIG4 rules; ``--with-security`` (live backends) runs the multi-concern
 story — live GM + security manager, quarantine → secure → admit — and
-``--coordination naive`` is its leak-window ablation (see
+``--coordination naive`` is its leak-window ablation;
+``--serve-telemetry`` (live backends) exposes /metrics and /trace over
+HTTP while the run is in flight (see
 ``python -m repro.experiments.fig4 --help`` for the full option set).
 """
 
@@ -129,10 +132,21 @@ def main(argv: list[str]) -> int:
     backend = None
     with_security = False
     coordination = None
+    serve_telemetry = False
+    telemetry_port = None
     keys = []
     it = iter(argv)
     for arg in it:
-        if arg == "--trace-out":
+        if arg == "--serve-telemetry":
+            serve_telemetry = True
+        elif arg == "--telemetry-port":
+            telemetry_port = next(it, None)
+            if telemetry_port is None:
+                print("--telemetry-port needs a PORT argument")
+                return 2
+        elif arg.startswith("--telemetry-port="):
+            telemetry_port = arg.split("=", 1)[1]
+        elif arg == "--trace-out":
             trace_out = next(it, None)
             if trace_out is None:
                 print("--trace-out needs a PATH argument")
@@ -163,6 +177,12 @@ def main(argv: list[str]) -> int:
     if with_security and backend in (None, "sim"):
         print("--with-security needs a live backend (--backend thread/process/dist)")
         return 2
+    if serve_telemetry and backend in (None, "sim"):
+        print("--serve-telemetry needs a live backend (--backend thread/process/dist)")
+        return 2
+    if telemetry_port is not None and not serve_telemetry:
+        print("--telemetry-port only makes sense with --serve-telemetry")
+        return 2
     keys = keys or list(DEFAULT_ORDER)
     unknown = [k for k in keys if k not in RUNNERS]
     if unknown:
@@ -181,6 +201,10 @@ def main(argv: list[str]) -> int:
             fig4_argv += ["--with-security"]
         if coordination is not None:
             fig4_argv += ["--coordination", coordination]
+        if serve_telemetry:
+            fig4_argv += ["--serve-telemetry"]
+        if telemetry_port is not None:
+            fig4_argv += ["--telemetry-port", str(telemetry_port)]
         runners["fig4"] = lambda: (fig4_main(fig4_argv), "")[1]
     for key in keys:
         print(runners[key]())

@@ -253,6 +253,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "naive ablation that measures the insecure-dispatch leak window",
     )
     parser.add_argument(
+        "--serve-telemetry", action="store_true",
+        help="live backends: serve /metrics, /traces, /trace/<id> and "
+        "/healthz over HTTP for the duration of the run",
+    )
+    parser.add_argument(
+        "--telemetry-port", type=int, default=0, metavar="PORT",
+        help="with --serve-telemetry: bind this port (default: pick a free one)",
+    )
+    parser.add_argument(
         "--trace-out", metavar="PATH", default=None,
         help="write the decision audit (spans + events + series) as JSONL",
     )
@@ -277,11 +286,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             inject_crash=not args.no_crash,
             with_security=args.with_security,
             coordination=args.coordination,
+            serve_telemetry=args.serve_telemetry,
+            telemetry_port=args.telemetry_port,
         )
-        print(render_fig4_live(run_fig4_live(live_cfg)))
+        live_telemetry = None
+        if args.trace_out or args.metrics_out:
+            live_telemetry = Telemetry()
+        print(render_fig4_live(run_fig4_live(live_cfg, telemetry=live_telemetry)))
+        if args.trace_out:
+            from ..obs.export import write_trace_jsonl
+
+            n = write_trace_jsonl(args.trace_out, live_telemetry)
+            print(f"wrote {n} trace records to {args.trace_out}")
+        if args.metrics_out:
+            from ..obs.export import prometheus_text
+
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(prometheus_text(live_telemetry.metrics))
+            print(f"wrote metrics to {args.metrics_out}")
         return 0
     if args.with_security:
         parser.error("--with-security needs a live backend (thread/process/dist)")
+    if args.serve_telemetry:
+        parser.error("--serve-telemetry needs a live backend (thread/process/dist)")
 
     cfg = Fig4Config(with_coordinator=args.with_coordinator)
     if args.duration is not None:

@@ -90,6 +90,8 @@ class Fig4LiveConfig:
     with_security: bool = False      # run the §3.2 multi-concern story
     untrusted_nodes: int = 16        # growth pool size (all untrusted)
     coordination: str = "two-phase"  # or "naive": the leak-window ablation
+    serve_telemetry: bool = False    # expose /metrics + /trace live over HTTP
+    telemetry_port: int = 0          # 0 = pick a free port
 
 
 @dataclass
@@ -119,6 +121,8 @@ class Fig4LiveResult:
     insecure_dispatches: int = 0
     secured_workers: int = 0
     quarantined_at_end: int = 0
+    #: base URL the live telemetry endpoint served on (when enabled)
+    telemetry_url: str = ""
 
     # -- figure-level checks -------------------------------------------
     def grew(self) -> bool:
@@ -195,10 +199,18 @@ def run_fig4_live(
 ) -> Fig4LiveResult:
     """Run the live scenario and return its measured traces."""
     cfg = config or Fig4LiveConfig()
-    if cfg.with_security and telemetry is None:
-        # the security story proves itself via the dispatch counters, so
-        # it always runs with metrics on
+    if telemetry is None and (cfg.with_security or cfg.serve_telemetry):
+        # the security story proves itself via the dispatch counters, and
+        # the live endpoint has nothing to serve without a store — either
+        # way the run needs real telemetry, not the null object
         telemetry = Telemetry()
+    server = None
+    if cfg.serve_telemetry:
+        server = telemetry.serve(port=cfg.telemetry_port)
+        print(
+            f"live telemetry on http://{server.host}:{server.port} "
+            "(/metrics, /traces, /trace/<id>, /healthz)"
+        )
     farm = make_backend(cfg, telemetry)
     controller = FarmController(
         farm,
@@ -323,12 +335,16 @@ def run_fig4_live(
                 1 for w in farm.workers if getattr(w, "active", True) and w.secured
             )
             result.quarantined_at_end = snap.quarantined
+        if server is not None:
+            result.telemetry_url = f"http://{server.host}:{server.port}"
         return result
     finally:
         if security is not None:
             security.stop()
         controller.stop()
         farm.shutdown()
+        if server is not None:
+            server.close()
 
 
 def render_fig4_live(r: Fig4LiveResult) -> str:

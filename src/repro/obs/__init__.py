@@ -16,7 +16,17 @@ One substrate-agnostic telemetry spine for the whole stack:
   gauges and fixed-bucket histograms: control-loop latency, queue
   variance, per-worker service time, reconfiguration blackout duration;
 * **exporters** (:mod:`repro.obs.export`) — JSONL decision audits,
-  Prometheus text exposition, ASCII timeline/series figures.
+  Prometheus text exposition, ASCII timeline/series figures;
+* **propagation** (:mod:`repro.obs.propagation`) — W3C-traceparent-style
+  trace context carried inside every task envelope, across process
+  queues and TCP frames, so a task's submit → dispatch → (crash →
+  replay)* → exec → result is one causal tree on every backend;
+* **live surface** (:mod:`repro.obs.live`) — a stdlib ``http.server``
+  endpoint (``Telemetry.serve(port)``) exposing ``/metrics``,
+  ``/trace/<trace_id>``, ``/traces`` and ``/healthz`` while a farm runs;
+* **explain** (:mod:`repro.obs.explain`) — ``python -m repro.obs.explain
+  audit.jsonl`` reconstructs the causal chain of an actuation or task
+  from an exported trace.
 
 Everything hangs off a :class:`Telemetry` object that instrumented
 layers accept optionally; the :data:`NOOP` null telemetry is the
@@ -29,9 +39,21 @@ from .export import (
     ascii_series,
     ascii_timeline,
     prometheus_text,
+    read_trace_jsonl,
+    span_from_dict,
     span_to_dict,
     trace_jsonl,
     write_trace_jsonl,
+)
+from .live import TelemetryServer
+from .propagation import (
+    TraceContext,
+    build_trace_tree,
+    list_traces,
+    make_span_record,
+    stable_span_id,
+    stable_trace_id,
+    task_context,
 )
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -70,9 +92,21 @@ __all__ = [
     "NOOP",
     # export
     "span_to_dict",
+    "span_from_dict",
     "trace_jsonl",
     "write_trace_jsonl",
+    "read_trace_jsonl",
     "prometheus_text",
     "ascii_timeline",
     "ascii_series",
+    # propagation
+    "TraceContext",
+    "task_context",
+    "stable_trace_id",
+    "stable_span_id",
+    "make_span_record",
+    "build_trace_tree",
+    "list_traces",
+    # live surface
+    "TelemetryServer",
 ]

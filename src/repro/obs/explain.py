@@ -1,0 +1,485 @@
+"""``python -m repro.obs.explain`` — causal-chain reconstruction from traces.
+
+The span store answers "what happened"; this CLI answers "*why* did
+that happen".  Given a JSONL trace export (``export_jsonl`` or the
+``/trace`` endpoint's source data), it reconstructs the causal chain
+behind a chosen actuation or task and pretty-prints it:
+
+* for an **actuation** — which MAPE cycle decided it, which rules
+  matched and fired on which metric window, how the intent fared under
+  the two-phase protocol (what the security manager amended, who
+  vetoed), and what the commit actually did to each worker
+  (quarantine → secure → admit);
+* for a **task** — its full dispatch history as one tree: submit, each
+  dispatch attempt (and why the superseded ones ended: crashed,
+  refused, redispatched, rebalanced), the worker-side execution spans
+  shipped back across the process/TCP boundary, and the final outcome.
+
+Usage::
+
+    python -m repro.obs.explain trace.jsonl                # overview
+    python -m repro.obs.explain trace.jsonl --list-traces  # trace index
+    python -m repro.obs.explain trace.jsonl --trace 3f2a   # one tree (id prefix ok)
+    python -m repro.obs.explain trace.jsonl --task 17      # one task's causal chain
+    python -m repro.obs.explain trace.jsonl --actuations   # actuation index
+    python -m repro.obs.explain trace.jsonl --actuation 2  # one actuation's chain
+
+Everything here is read-only over a list of :class:`~repro.obs.spans.Span`
+objects, so the same functions also serve tests and notebooks directly
+(`load`, `find_actuations`, `explain_task`, `explain_actuation`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence, TextIO
+
+from .export import read_trace_jsonl
+from .propagation import list_traces
+from .spans import Span
+
+__all__ = [
+    "load",
+    "children_index",
+    "find_actuations",
+    "explain_task",
+    "explain_actuation",
+    "explain_trace",
+    "main",
+]
+
+#: span names that mark a dispatch attempt ending without a result
+_SUPERSEDED = ("crashed", "refused", "redispatched", "rebalanced", "write-failed")
+
+
+def load(path: str) -> List[Span]:
+    """Read a JSONL trace export back into Span objects."""
+    return read_trace_jsonl(path)
+
+
+def children_index(spans: Sequence[Span]) -> Dict[Optional[str], List[Span]]:
+    """parent span id → children, each list in recording order."""
+    index: Dict[Optional[str], List[Span]] = {}
+    for span in spans:
+        index.setdefault(span.parent_id, []).append(span)
+    return index
+
+
+def _fmt_duration(span: Span) -> str:
+    if span.duration is None:
+        return "open"
+    return f"{span.duration * 1000.0:.1f} ms"
+
+
+def _fmt_attrs(span: Span, skip: Sequence[str] = ()) -> str:
+    parts = [
+        f"{k}={v!r}"
+        for k, v in span.attributes.items()
+        if k not in skip and k != "flushed"
+    ]
+    return " ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# trace tree rendering
+# ----------------------------------------------------------------------
+
+
+def explain_trace(
+    spans: Sequence[Span], trace_id: str, *, out: TextIO
+) -> bool:
+    """Pretty-print one trace as an indented tree; False if unknown.
+
+    ``trace_id`` may be a unique prefix of the full 32-hex id.
+    """
+    matches = sorted({s.trace_id for s in spans if s.trace_id.startswith(trace_id)})
+    if not matches:
+        print(f"no trace matches {trace_id!r}", file=out)
+        return False
+    if len(matches) > 1:
+        print(f"ambiguous prefix {trace_id!r}; candidates:", file=out)
+        for tid in matches:
+            print(f"  {tid}", file=out)
+        return False
+    full = matches[0]
+    members = [s for s in spans if s.trace_id == full]
+    index = children_index(members)
+    member_ids = {s.span_id for s in members}
+    roots = [s for s in members if s.parent_id is None or s.parent_id not in member_ids]
+    print(f"trace {full} — {len(members)} span(s)", file=out)
+
+    def walk(span: Span, prefix: str, last: bool) -> None:
+        branch = "└─ " if last else "├─ "
+        attrs = _fmt_attrs(span)
+        line = f"{prefix}{branch}{span.name} [{span.actor}] ({_fmt_duration(span)})"
+        if attrs:
+            line += f"  {attrs}"
+        print(line, file=out)
+        deeper = prefix + ("   " if last else "│  ")
+        for event in span.events:
+            eattrs = " ".join(f"{k}={v!r}" for k, v in event.attributes.items())
+            print(f"{deeper}· {event.name}" + (f"  {eattrs}" if eattrs else ""), file=out)
+        kids = sorted(index.get(span.span_id, []), key=lambda s: (s.start, s.span_id))
+        for i, kid in enumerate(kids):
+            walk(kid, deeper, i == len(kids) - 1)
+
+    for i, root in enumerate(sorted(roots, key=lambda s: (s.start, s.span_id))):
+        walk(root, "", i == len(roots) - 1)
+    return True
+
+
+# ----------------------------------------------------------------------
+# task causal chains
+# ----------------------------------------------------------------------
+
+
+def explain_task(
+    spans: Sequence[Span], task_id: int, *, out: TextIO
+) -> bool:
+    """Narrate every trace of ``task_id`` as a dispatch chain; False if none."""
+    roots = [
+        s
+        for s in spans
+        if s.name == "task" and s.attributes.get("task_id") == task_id
+    ]
+    if not roots:
+        print(f"no 'task' span carries task_id={task_id}", file=out)
+        return False
+    index = children_index(spans)
+    for root in roots:
+        outcome = root.attributes.get("outcome", "open")
+        print(
+            f"task {task_id} on farm '{root.actor}' — trace {root.trace_id} — "
+            f"{outcome}, {_fmt_duration(root)}",
+            file=out,
+        )
+        # the dispatch attempts form a parent chain starting at the root
+        dispatch = next(
+            (s for s in index.get(root.span_id, []) if s.name == "task.dispatch"),
+            None,
+        )
+        while dispatch is not None:
+            attempt = dispatch.attributes.get("attempt")
+            worker = dispatch.attributes.get("worker")
+            secured = dispatch.attributes.get("secured")
+            d_outcome = dispatch.attributes.get("outcome", "open")
+            line = f"  attempt {attempt}: dispatched to worker {worker}"
+            if secured:
+                line += " (secured channel)"
+            line += f" — {d_outcome} after {_fmt_duration(dispatch)}"
+            print(line, file=out)
+            execs = [
+                s for s in index.get(dispatch.span_id, []) if s.name == "task.exec"
+            ]
+            for ex in execs:
+                pid = ex.attributes.get("pid")
+                where = f" (pid {pid})" if pid is not None else ""
+                print(
+                    f"    executed on {ex.actor}{where} — "
+                    f"{ex.attributes.get('outcome', 'ok')}, {_fmt_duration(ex)}",
+                    file=out,
+                )
+            if d_outcome in _SUPERSEDED:
+                reason = {
+                    "crashed": "the worker died; the supervisor replayed the task",
+                    "refused": "the worker refused it pre-handshake; replayed elsewhere",
+                    "redispatched": "the worker retired; its backlog was redispatched",
+                    "rebalanced": "load balancing stole the queued task",
+                    "write-failed": "the connection broke mid-send; replayed",
+                }.get(d_outcome, "superseded")
+                print(f"    ↳ {reason}", file=out)
+            dispatch = next(
+                (
+                    s
+                    for s in index.get(dispatch.span_id, [])
+                    if s.name == "task.dispatch"
+                ),
+                None,
+            )
+        print(f"  result: {outcome}", file=out)
+    return True
+
+
+# ----------------------------------------------------------------------
+# actuation causal chains
+# ----------------------------------------------------------------------
+
+
+def find_actuations(spans: Sequence[Span]) -> List[Span]:
+    """Every span that *decided* something: MAPE cycles that fired at
+    least one rule, plus intent rounds not already under such a cycle."""
+    index = children_index(spans)
+
+    def descendants(span: Span):
+        for kid in index.get(span.span_id, []):
+            yield kid
+            yield from descendants(kid)
+
+    cycles = []
+    covered = set()
+    for span in spans:
+        if span.name != "mape.cycle":
+            continue
+        fired = False
+        for d in descendants(span):
+            if d.name == "mape.execute" and d.attributes.get("fired"):
+                fired = True
+            if d.name in ("mc.intent", "mc.commit"):
+                fired = True
+                covered.add(d.span_id)
+        if fired:
+            cycles.append(span)
+    orphan_intents = [
+        s for s in spans if s.name == "mc.intent" and s.span_id not in covered
+    ]
+    return sorted(cycles + orphan_intents, key=lambda s: (s.start, s.span_id))
+
+
+def _explain_intent(span: Span, index, out: TextIO, indent: str) -> None:
+    originator = span.attributes.get("originator", "?")
+    operation = span.attributes.get("operation", "?")
+    mode = span.attributes.get("mode", "?")
+    outcome = span.attributes.get("outcome", "open")
+    print(
+        f"{indent}intent: {originator} asked for {operation} "
+        f"(mode {mode}) → {outcome}",
+        file=out,
+    )
+    for event in span.events:
+        if event.name == "intent.plan":
+            ok = event.attributes.get("ok")
+            print(
+                f"{indent}  planned {event.attributes.get('count')} node(s): "
+                f"{'placement reserved' if ok else 'no capacity — no local plan'}",
+                file=out,
+            )
+        elif event.name == "intent.amend":
+            print(
+                f"{indent}  amended by reviewer "
+                f"{event.attributes.get('reviewer')} (plan changed before commit)",
+                file=out,
+            )
+        elif event.name == "intent.veto":
+            print(
+                f"{indent}  VETOED by reviewer {event.attributes.get('reviewer')} "
+                f"— plan aborted, reservation released",
+                file=out,
+            )
+        elif event.name == "intent.commit":
+            print(
+                f"{indent}  commit round: {event.attributes.get('reviewers')} "
+                f"reviewer(s), {event.attributes.get('amendments', 0)} amendment(s)",
+                file=out,
+            )
+        elif event.name == "security.amend":
+            print(
+                f"{indent}  security manager amended nodes: "
+                f"{event.attributes.get('nodes')}",
+                file=out,
+            )
+
+
+def _explain_commit(span: Span, out: TextIO, indent: str) -> None:
+    nodes = span.attributes.get("nodes")
+    print(f"{indent}commit on nodes {nodes}:", file=out)
+    # reconstruct each worker's admission path from the point events
+    steps: Dict[Any, List[str]] = {}
+    for event in span.events:
+        worker = event.attributes.get("worker")
+        if worker is None:
+            continue
+        label = {
+            "mc.quarantine": "quarantined on arrival",
+            "mc.secured": "channel secured",
+            "mc.secure_failed": "secure handshake FAILED",
+            "mc.admit": "admitted to the dispatch pool",
+        }.get(event.name)
+        if label is None:
+            continue
+        if event.name == "mc.admit" and event.attributes.get("naive"):
+            label = "admitted immediately (naive mode — no gate)"
+        steps.setdefault(worker, []).append(label)
+    for worker, path in steps.items():
+        print(f"{indent}  worker {worker}: " + " → ".join(path), file=out)
+    print(
+        f"{indent}  admitted={span.attributes.get('admitted')} "
+        f"failures={span.attributes.get('failures')}",
+        file=out,
+    )
+
+
+def explain_actuation(
+    spans: Sequence[Span], number: int, *, out: TextIO
+) -> bool:
+    """Narrate actuation ``number`` (1-based, as listed); False if absent."""
+    actuations = find_actuations(spans)
+    if not 1 <= number <= len(actuations):
+        print(
+            f"no actuation #{number}; {len(actuations)} found "
+            f"(list them with --actuations)",
+            file=out,
+        )
+        return False
+    span = actuations[number - 1]
+    index = children_index(spans)
+
+    def kids(parent: Span, name: str) -> List[Span]:
+        return [s for s in index.get(parent.span_id, []) if s.name == name]
+
+    print(
+        f"actuation #{number} — {span.name} by {span.actor} "
+        f"at t={span.start:.3f} (trace {span.trace_id})",
+        file=out,
+    )
+    if span.name == "mc.intent":
+        _explain_intent(span, index, out, "  ")
+        # the commit round opens as the intent span's *sibling* (the
+        # intent closes before the commit starts); narrate the first
+        # commit that follows it under the same parent
+        siblings = index.get(span.parent_id, [])
+        commit = next(
+            (
+                s
+                for s in sorted(siblings, key=lambda s: (s.start, s.span_id))
+                if s.name == "mc.commit"
+                and s.start >= span.start
+                and s.attributes.get("originator") == span.attributes.get("originator")
+            ),
+            None,
+        )
+        if commit is not None:
+            _explain_commit(commit, out, "  ")
+        return True
+    # a MAPE cycle: monitor → analyse → plan → execute, with any intent
+    # protocol rounds nested under execute
+    for plan in kids(span, "mape.plan"):
+        matched = plan.attributes.get("matched") or []
+        if matched:
+            print("  plan: rules matched on this metric window:", file=out)
+            for entry in matched:
+                try:
+                    name, salience = entry
+                except (TypeError, ValueError):
+                    name, salience = entry, "?"
+                print(f"    {name} (salience {salience})", file=out)
+        else:
+            print("  plan: no rule matched", file=out)
+    for execute in kids(span, "mape.execute"):
+        fired = execute.attributes.get("fired") or []
+        print(
+            "  execute: fired " + (", ".join(map(str, fired)) if fired else "nothing"),
+            file=out,
+        )
+
+        def walk(parent: Span, indent: str) -> None:
+            for child in sorted(
+                index.get(parent.span_id, []), key=lambda s: (s.start, s.span_id)
+            ):
+                if child.name == "mc.intent":
+                    _explain_intent(child, index, out, indent)
+                elif child.name == "mc.commit":
+                    _explain_commit(child, out, indent)
+                walk(child, indent)
+
+        walk(execute, "    ")
+    return True
+
+
+# ----------------------------------------------------------------------
+# overview + entry point
+# ----------------------------------------------------------------------
+
+
+def _overview(spans: Sequence[Span], out: TextIO) -> None:
+    traces = list_traces(spans)
+    tasks = sorted(
+        {
+            s.attributes.get("task_id")
+            for s in spans
+            if s.name == "task" and s.attributes.get("task_id") is not None
+        }
+    )
+    actuations = find_actuations(spans)
+    print(
+        f"{len(spans)} span(s), {len(traces)} trace(s), "
+        f"{len(tasks)} task(s), {len(actuations)} actuation(s)",
+        file=out,
+    )
+    print("explore with --list-traces, --actuations, --trace, --task, --actuation", file=out)
+
+
+def _list_traces(spans: Sequence[Span], out: TextIO) -> None:
+    for summary in list_traces(spans):
+        print(
+            f"{summary['trace_id']}  {summary['spans']:4d} span(s)  "
+            f"root={summary['root']}  t={summary['start']:.3f}",
+            file=out,
+        )
+
+
+def _list_actuations(spans: Sequence[Span], out: TextIO) -> None:
+    actuations = find_actuations(spans)
+    if not actuations:
+        print("no actuations recorded (no rule fired, no intent raised)", file=out)
+        return
+    for i, span in enumerate(actuations, start=1):
+        detail = ""
+        if span.name == "mc.intent":
+            detail = (
+                f" {span.attributes.get('originator')} → "
+                f"{span.attributes.get('operation')} "
+                f"[{span.attributes.get('outcome', 'open')}]"
+            )
+        print(f"#{i}  t={span.start:9.3f}  {span.name}  by {span.actor}{detail}", file=out)
+
+
+def main(argv: Optional[List[str]] = None, *, out: TextIO = None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.explain",
+        description="reconstruct causal chains from a JSONL trace export",
+    )
+    parser.add_argument("trace_file", help="JSONL file written by export_jsonl")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--list-traces", action="store_true", help="index of recorded traces"
+    )
+    group.add_argument(
+        "--trace", metavar="ID", help="print one trace tree (unique id prefix ok)"
+    )
+    group.add_argument(
+        "--task", type=int, metavar="N", help="causal chain of task N"
+    )
+    group.add_argument(
+        "--actuations", action="store_true", help="index of recorded actuations"
+    )
+    group.add_argument(
+        "--actuation", type=int, metavar="N", help="causal chain of actuation #N"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        spans = load(args.trace_file)
+    except OSError as exc:
+        print(f"cannot read {args.trace_file}: {exc}", file=sys.stderr)
+        return 1
+
+    if args.list_traces:
+        _list_traces(spans, out)
+        return 0
+    if args.trace:
+        return 0 if explain_trace(spans, args.trace, out=out) else 2
+    if args.task is not None:
+        return 0 if explain_task(spans, args.task, out=out) else 2
+    if args.actuations:
+        _list_actuations(spans, out)
+        return 0
+    if args.actuation is not None:
+        return 0 if explain_actuation(spans, args.actuation, out=out) else 2
+    _overview(spans, out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

@@ -28,9 +28,11 @@ from .telemetry import Telemetry
 
 __all__ = [
     "span_to_dict",
+    "span_from_dict",
     "event_mark_to_dict",
     "trace_jsonl",
     "write_trace_jsonl",
+    "read_trace_jsonl",
     "prometheus_text",
     "ascii_timeline",
     "ascii_series",
@@ -47,6 +49,7 @@ def span_to_dict(span: Span) -> Dict[str, Any]:
         "type": "span",
         "id": span.span_id,
         "parent": span.parent_id,
+        "trace_id": span.trace_id,
         "name": span.name,
         "actor": span.actor,
         "start": span.start,
@@ -59,6 +62,55 @@ def span_to_dict(span: Span) -> Dict[str, Any]:
             for ev in span.events
         ],
     }
+
+
+def span_from_dict(record: Dict[str, Any]) -> Span:
+    """The inverse of :func:`span_to_dict`: a JSONL record back to a Span.
+
+    The round trip is exact for everything JSON can carry — ids, trace
+    membership, lineage, timestamps, attributes and events — so an
+    exported audit re-imports into an identical span tree (rich Python
+    attribute *values* arrive as the strings ``json.dumps(default=str)``
+    rendered them to, which is the exported form's own fidelity).
+    """
+    span = Span(
+        span_id=str(record["id"]),
+        parent_id=None if record.get("parent") is None else str(record["parent"]),
+        name=record.get("name", ""),
+        actor=record.get("actor", ""),
+        start=record.get("start", 0.0),
+        end=record.get("end"),
+        attributes=dict(record.get("attributes") or {}),
+        perf_elapsed=record.get("perf_elapsed"),
+        trace_id=str(record.get("trace_id", "")),
+    )
+    for ev in record.get("events") or ():
+        span.add_event(
+            ev.get("name", ""), ev.get("time", 0.0), **dict(ev.get("attributes") or {})
+        )
+    return span
+
+
+def read_trace_jsonl(path_or_file: Union[str, "IO[str]"]) -> List[Span]:
+    """Load the spans back out of a :func:`trace_jsonl` audit.
+
+    Non-span records (event marks, orphan span-events, series samples)
+    are skipped; spans return in file order, which is recording order.
+    """
+    if hasattr(path_or_file, "read"):
+        text = path_or_file.read()
+    else:
+        with open(path_or_file) as fh:
+            text = fh.read()
+    spans: List[Span] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("type") == "span":
+            spans.append(span_from_dict(record))
+    return spans
 
 
 def event_mark_to_dict(mark: EventMark) -> Dict[str, Any]:

@@ -1,0 +1,157 @@
+"""The live telemetry surface: /metrics, /trace/<id>, /traces, /healthz.
+
+A running farm is only operable if its telemetry is reachable *while it
+runs* — scraping a Prometheus endpoint, pulling one task's causal tree
+mid-experiment — not just exportable after the fact.  This module puts a
+stdlib-only ``http.server`` in front of a
+:class:`~repro.obs.telemetry.Telemetry`:
+
+* ``GET /metrics``  — the metrics registry in Prometheus text format;
+* ``GET /trace/<trace_id>`` — one causal tree as nested JSON (404 for an
+  unknown id), exactly what :func:`~repro.obs.propagation.build_trace_tree`
+  builds;
+* ``GET /traces``   — summaries of every trace currently in the store;
+* ``GET /healthz``  — liveness plus cheap store statistics.
+
+Start it with ``Telemetry.serve(port)`` (``port=0`` picks a free one);
+it runs in a single daemon thread via :class:`ThreadingHTTPServer`, so a
+wedged scrape cannot stall the farm and process exit never blocks on it.
+Reads are snapshot-free: the span list is append-only and metrics are
+monotone, so a scrape concurrent with recording sees a consistent prefix
+rather than tearing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any, Dict, Tuple
+
+from .export import prometheus_text
+from .propagation import build_trace_tree, list_traces
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .telemetry import Telemetry
+
+__all__ = ["TelemetryServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # set per-server via the subclass trick in TelemetryServer
+    telemetry: "Telemetry"
+
+    # BaseHTTPRequestHandler logs every request to stderr by default;
+    # a scraped endpoint would drown the experiment's own output
+    def log_message(self, format: str, *args: Any) -> None:
+        pass
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, default=str, indent=2).encode()
+        self._send(status, body, "application/json; charset=utf-8")
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        tel = self.telemetry
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                self._send(
+                    200,
+                    prometheus_text(tel.metrics).encode(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif path == "/healthz":
+                self._send_json(
+                    200,
+                    {
+                        "status": "ok",
+                        "spans": len(tel.spans),
+                        "open_spans": len(tel.spans.open_spans()),
+                        "traces": len(tel.spans.trace_ids()),
+                    },
+                )
+            elif path == "/traces":
+                self._send_json(200, {"traces": list_traces(tel.spans.spans)})
+            elif path.startswith("/trace/"):
+                trace_id = path[len("/trace/"):]
+                tree = build_trace_tree(tel.spans.spans, trace_id)
+                if not tree:
+                    self._send_json(
+                        404, {"error": "unknown trace", "trace_id": trace_id}
+                    )
+                else:
+                    self._send_json(200, {"trace_id": trace_id, "tree": tree})
+            else:
+                self._send_json(
+                    404,
+                    {
+                        "error": "not found",
+                        "routes": ["/metrics", "/trace/<trace_id>", "/traces", "/healthz"],
+                    },
+                )
+        except BrokenPipeError:  # client went away mid-scrape
+            pass
+
+
+class TelemetryServer:
+    """The live endpoint over one Telemetry; closes idempotently.
+
+    Usable as a context manager::
+
+        with tel.serve() as srv:
+            print(srv.url("/metrics"))
+    """
+
+    def __init__(self, telemetry: "Telemetry", *, host: str = "127.0.0.1", port: int = 0) -> None:
+        handler = type("_BoundHandler", (_Handler,), {"telemetry": telemetry})
+        self.telemetry = telemetry
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"telemetry-http-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        self._closed = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def url(self, path: str = "/") -> str:
+        if not path.startswith("/"):
+            path = "/" + path
+        return f"http://{self.host}:{self.port}{path}"
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "TelemetryServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def describe(self) -> Dict[str, Any]:
+        """The routes a human at the terminal wants to copy-paste."""
+        return {
+            "metrics": self.url("/metrics"),
+            "traces": self.url("/traces"),
+            "trace": self.url("/trace/<trace_id>"),
+            "healthz": self.url("/healthz"),
+        }

@@ -1,0 +1,220 @@
+"""Trace-context propagation: one task, one causal tree, any substrate.
+
+PR 1's spans stop at the process boundary: a ``ProcessFarm`` child or a
+``dist_worker`` subprocess executes tasks the coordinator's
+:class:`~repro.obs.spans.SpanRecorder` never sees.  This module carries
+the missing link — a W3C-traceparent-style context (trace id, span id,
+parent id as stable hex strings) small enough to ride inside every task
+envelope, across ``multiprocessing`` queues and TCP frames alike, plus
+the machinery to re-parent worker-side span records back into the
+coordinator's trace store.
+
+Identifiers are *deterministic*, never random: local spans keep the
+recorder's sequential counter (rendered as fixed-width hex), while spans
+that must be minted on both sides of a process boundary hash a stable
+seed (``"<farm>/task/<n>"``, ``"exec:<worker>:<parent-span>"``) with
+SHA-256.  A deterministic scenario therefore still produces a
+bit-identical trace — the reproducibility property the DES relies on —
+and the same task always lands in the same trace, however many times it
+is replayed.
+
+The wire format follows the W3C ``traceparent`` header shape::
+
+    00-<32 hex trace-id>-<16 hex span-id>-01
+
+so a frame dumped off the TCP socket is readable with standard tracing
+eyes, even though no OpenTelemetry dependency is involved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = [
+    "TRACEPARENT_VERSION",
+    "stable_trace_id",
+    "stable_span_id",
+    "TraceContext",
+    "task_context",
+    "make_span_record",
+    "build_trace_tree",
+    "list_traces",
+]
+
+TRACEPARENT_VERSION = "00"
+
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})"
+    r"-(?P<span_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+
+
+def stable_trace_id(seed: str) -> str:
+    """A 32-hex-char trace id derived deterministically from ``seed``."""
+    return hashlib.sha256(("trace:" + seed).encode()).hexdigest()[:32]
+
+
+def stable_span_id(seed: str) -> str:
+    """A 16-hex-char span id derived deterministically from ``seed``."""
+    return hashlib.sha256(("span:" + seed).encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity of one span, plus enough lineage to nest under it.
+
+    A context *names the span it belongs to*: ``span_id`` is that span's
+    own id, ``parent_id`` its parent's (None at a trace root).  Deriving
+    a child is :meth:`child`; crossing a process boundary is
+    :meth:`traceparent` / :meth:`from_traceparent`.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    def child(self, seed: str) -> "TraceContext":
+        """The context of a child span whose id hashes ``seed``."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=stable_span_id(seed),
+            parent_id=self.span_id,
+        )
+
+    def traceparent(self) -> str:
+        """This context as a W3C-style ``traceparent`` string."""
+        return f"{TRACEPARENT_VERSION}-{self.trace_id}-{self.span_id}-01"
+
+    @classmethod
+    def from_traceparent(cls, header: Optional[str]) -> Optional["TraceContext"]:
+        """Parse a ``traceparent`` string; None (or garbage) -> None.
+
+        The parsed context names the *remote parent*: a worker that
+        receives it opens its own span as a child, so ``span_id`` here
+        becomes the new span's ``parent_id``.
+        """
+        if not header:
+            return None
+        m = _TRACEPARENT_RE.match(header.strip().lower())
+        if m is None or m.group("version") == "ff":
+            # "ff" is the one version value the W3C spec forbids outright
+            return None
+        return cls(trace_id=m.group("trace_id"), span_id=m.group("span_id"))
+
+
+def task_context(farm_name: str, task_id: int) -> TraceContext:
+    """The root context of one task's trace: stable across replays.
+
+    Every dispatch attempt, worker execution and result delivery of a
+    task hangs off this one root, whichever backend carries it.
+    """
+    seed = f"{farm_name}/task/{task_id}"
+    return TraceContext(
+        trace_id=stable_trace_id(seed), span_id=stable_span_id(seed)
+    )
+
+
+# ----------------------------------------------------------------------
+# worker-side span records
+# ----------------------------------------------------------------------
+
+def make_span_record(
+    ctx: TraceContext,
+    name: str,
+    *,
+    actor: str,
+    start: float,
+    end: float,
+    attributes: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """A finished span as a JSON-safe dict a result frame can carry.
+
+    The coordinator re-hydrates it with
+    :meth:`~repro.obs.telemetry.Telemetry.import_span`, landing it in the
+    same trace store as the locally recorded spans.
+    """
+    return {
+        "trace_id": ctx.trace_id,
+        "span_id": ctx.span_id,
+        "parent_id": ctx.parent_id,
+        "name": name,
+        "actor": actor,
+        "start": start,
+        "end": end,
+        "attributes": dict(attributes or {}),
+    }
+
+
+# ----------------------------------------------------------------------
+# trace trees
+# ----------------------------------------------------------------------
+
+def build_trace_tree(spans: Iterable[Any], trace_id: str) -> List[Dict[str, Any]]:
+    """The spans of one trace as a nested JSON-ready forest.
+
+    Each node is the span's exported dict plus a ``children`` list,
+    children ordered by start time.  A span whose parent is missing from
+    the trace (or would form a cycle) surfaces as a root rather than
+    vanishing, so a partially shipped trace still renders.
+    """
+    from .export import span_to_dict  # local import: export imports us
+
+    members = [s for s in spans if getattr(s, "trace_id", "") == trace_id]
+    nodes: Dict[str, Dict[str, Any]] = {}
+    for span in members:
+        node = span_to_dict(span)
+        node["children"] = []
+        nodes[span.span_id] = node
+    roots: List[Dict[str, Any]] = []
+    for span in members:
+        node = nodes[span.span_id]
+        parent = span.parent_id
+        if parent is not None and parent in nodes and parent != span.span_id:
+            nodes[parent]["children"].append(node)
+        else:
+            roots.append(node)
+    # a cycle (corrupt import) leaves its members unreachable from any
+    # root: promote the earliest-starting span of each orphan cycle
+    reachable: set = set()
+
+    def mark(node: Dict[str, Any]) -> None:
+        if node["id"] in reachable:
+            return
+        reachable.add(node["id"])
+        for child in node["children"]:
+            mark(child)
+
+    for root in roots:
+        mark(root)
+    for span in sorted(members, key=lambda s: (s.start, s.span_id)):
+        if span.span_id not in reachable:
+            node = nodes[span.span_id]
+            if node in nodes.get(span.parent_id, {}).get("children", []):
+                nodes[span.parent_id]["children"].remove(node)
+            roots.append(node)
+            mark(node)
+    for node in nodes.values():
+        node["children"].sort(key=lambda n: (n["start"], n["id"]))
+    roots.sort(key=lambda n: (n["start"], n["id"]))
+    return roots
+
+
+def list_traces(spans: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Summaries of every distinct trace, in order of first appearance."""
+    summaries: Dict[str, Dict[str, Any]] = {}
+    for span in spans:
+        trace_id = getattr(span, "trace_id", "")
+        if not trace_id:
+            continue
+        entry = summaries.setdefault(
+            trace_id,
+            {"trace_id": trace_id, "spans": 0, "root": None, "start": span.start},
+        )
+        entry["spans"] += 1
+        entry["start"] = min(entry["start"], span.start)
+        if span.parent_id is None and entry["root"] is None:
+            entry["root"] = span.name
+    return list(summaries.values())

@@ -9,18 +9,26 @@ cycle as its parent, and the whole decision process of an autonomic
 manager reconstructs as a tree — the "observable event sequence" view of
 manager behaviour that arXiv:1002.2722 argues for.
 
-Span identifiers are small sequential integers (never random), so a
-trace is bit-for-bit reproducible across runs of a deterministic
-scenario.  Timestamps come from the injected
-:class:`~repro.obs.clock.Clock`: simulated seconds under the DES,
-epoch seconds under the live thread runtime.
+Span identifiers are stable hex strings (never random): locally opened
+spans render the recorder's sequential counter as fixed-width hex, and
+spans minted across a process boundary hash a stable seed (see
+:mod:`~repro.obs.propagation`) — either way a trace is bit-for-bit
+reproducible across runs of a deterministic scenario.  Every span also
+carries a ``trace_id`` grouping one causal tree: locally rooted spans
+mint their own, children inherit their parent's, and spans opened under
+an explicit :class:`~repro.obs.propagation.TraceContext` (task
+envelopes crossing farm backends) join the trace the context names.
+Timestamps come from the injected :class:`~repro.obs.clock.Clock`:
+simulated seconds under the DES, epoch seconds under the live runtimes.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
+
+from .propagation import TraceContext
 
 __all__ = ["SpanEvent", "Span", "SpanRecorder"]
 
@@ -38,8 +46,8 @@ class SpanEvent:
 class Span:
     """One named interval, with lineage, attributes and point events."""
 
-    span_id: int
-    parent_id: Optional[int]
+    span_id: str
+    parent_id: Optional[str]
     name: str
     actor: str
     start: float
@@ -49,6 +57,17 @@ class Span:
     #: instrumentation-side cost in monotonic seconds (perf clock); in a
     #: simulation this is the real CPU time one zero-sim-time tick took
     perf_elapsed: Optional[float] = None
+    #: the causal tree this span belongs to (32 hex chars)
+    trace_id: str = ""
+
+    @property
+    def context(self) -> TraceContext:
+        """This span's identity as a propagatable trace context."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+        )
 
     def set_attribute(self, key: str, value: Any) -> "Span":
         self.attributes[key] = value
@@ -112,6 +131,7 @@ class SpanRecorder:
         actor: str = "",
         parent: Optional[Span] = None,
         attach: bool = True,
+        context: Optional[TraceContext] = None,
         **attributes: Any,
     ) -> Span:
         """Open a span; with ``attach`` it joins this thread's stack.
@@ -121,33 +141,93 @@ class SpanRecorder:
         parent closes at delivery time, long after the raising frame
         returned.  They still record the span open at creation time as
         their parent.
+
+        An explicit ``context`` pins the span's identity entirely — its
+        trace id, its own span id and its parent — bypassing the stack.
+        This is how task envelopes keep one trace across farm backends:
+        the ids are minted deterministically from the task, not from
+        whichever thread happens to open the span.
         """
+        if context is not None:
+            span = Span(
+                span_id=context.span_id,
+                parent_id=context.parent_id,
+                name=name,
+                actor=actor,
+                start=start,
+                attributes=dict(attributes),
+                trace_id=context.trace_id,
+            )
+            self.spans.append(span)
+            if attach:
+                self._stack().append(span)
+            return span
         if parent is None:
             parent = self.current
+        seq = self._next_id
+        self._next_id += 1
         span = Span(
-            span_id=self._next_id,
+            span_id=f"{seq:016x}",
             parent_id=None if parent is None else parent.span_id,
             name=name,
             actor=actor,
             start=start,
             attributes=dict(attributes),
+            # a root starts its own trace; a child joins its parent's
+            trace_id=f"{seq:032x}" if parent is None else parent.trace_id,
         )
-        self._next_id += 1
         self.spans.append(span)
         if attach:
             self._stack().append(span)
         return span
 
+    def import_span(self, record: Mapping[str, Any]) -> Span:
+        """Re-hydrate a finished remote span record into this store.
+
+        The record is the JSON-safe dict a worker shipped back on a
+        result frame (see
+        :func:`~repro.obs.propagation.make_span_record`); its ids are
+        kept verbatim so it lands in the trace its context named.
+        """
+        span = Span(
+            span_id=str(record["span_id"]),
+            parent_id=(
+                None if record.get("parent_id") is None else str(record["parent_id"])
+            ),
+            name=str(record.get("name", "")),
+            actor=str(record.get("actor", "")),
+            start=float(record.get("start", 0.0)),
+            end=None if record.get("end") is None else float(record["end"]),
+            attributes=dict(record.get("attributes") or {}),
+            trace_id=str(record.get("trace_id", "")),
+        )
+        for ev in record.get("events") or ():
+            span.add_event(
+                str(ev.get("name", "")),
+                float(ev.get("time", 0.0)),
+                **dict(ev.get("attributes") or {}),
+            )
+        self.spans.append(span)
+        return span
+
     def close(self, span: Span, end: float) -> Span:
-        """Finish a span; pops it (and any leaked children) off the stack."""
-        if span.end is not None:
-            return span
-        span.end = end
+        """Finish a span; pops it (and any leaked children) off the stack.
+
+        A span another thread already finished (a shutdown
+        :meth:`flush` sweeping past) still unwinds this thread's stack,
+        so the opener's later spans do not nest under a dead parent.
+        """
+        already_closed = span.end is not None
+        if not already_closed:
+            span.end = end
         stack = self._stack()
         if span in stack:
             while stack and stack[-1] is not span:
-                stack.pop().end = end  # leaked child: close with the parent
-            stack.pop()
+                leaked = stack.pop()  # leaked child: close with the parent
+                if leaked.end is None:
+                    leaked.end = end
+            if stack:
+                stack.pop()
         return span
 
     # -- queries --------------------------------------------------------
@@ -169,6 +249,44 @@ class SpanRecorder:
 
     def children_of(self, span: Span) -> List[Span]:
         return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def trace(self, trace_id: str) -> List[Span]:
+        """Every span of one causal tree, in recording order."""
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def trace_ids(self) -> List[str]:
+        """Distinct trace ids in order of first appearance."""
+        seen: List[str] = []
+        for s in self.spans:
+            if s.trace_id and s.trace_id not in seen:
+                seen.append(s.trace_id)
+        return seen
+
+    def open_spans(self) -> List[Span]:
+        """Spans still open — whatever thread (or process) opened them."""
+        return [s for s in self.spans if s.end is None]
+
+    def flush(self, end: float) -> int:
+        """Close every still-open span at ``end``; returns how many.
+
+        Backends call this from ``shutdown()`` so an abrupt stop —
+        poisoned workers, severed sockets — cannot leak open spans into
+        the exported trace.  Flushed spans are marked
+        ``flushed=True`` so a reader can tell a clean close from a
+        shutdown sweep.
+        """
+        flushed = 0
+        for span in self.spans:
+            if span.end is None:
+                span.set_attribute("flushed", True)
+                span.end = end
+                flushed += 1
+        # the stacks of surviving threads may still reference the spans
+        # just closed; drop this thread's, and let close() skip
+        # already-finished spans from other threads' stacks harmlessly
+        stack = self._stack()
+        del stack[:]
+        return flushed
 
     def __len__(self) -> int:
         return len(self.spans)

@@ -24,12 +24,16 @@ latency is measurable even when a tick takes zero simulated seconds.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import TYPE_CHECKING, Any, List, Mapping, Optional
 
 from .clock import Clock, WallClock
 from .events import TraceRecorder
 from .metrics import MetricsRegistry
+from .propagation import TraceContext
 from .spans import Span, SpanEvent, SpanRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .live import TelemetryServer
 
 __all__ = ["Telemetry", "NullTelemetry", "NOOP"]
 
@@ -80,21 +84,42 @@ class Telemetry:
         self.orphan_events: List[SpanEvent] = []
 
     # -- spans -----------------------------------------------------------
-    def span(self, name: str, *, actor: str = "", **attributes: Any) -> _SpanContext:
+    def span(
+        self,
+        name: str,
+        *,
+        actor: str = "",
+        context: Optional[TraceContext] = None,
+        **attributes: Any,
+    ) -> _SpanContext:
         """Open a nested span for the duration of a ``with`` block."""
         span = self.spans.open(
-            name, self.clock.now(), actor=actor, **attributes
+            name, self.clock.now(), actor=actor, context=context, **attributes
         )
         return _SpanContext(self, span)
 
-    def start_span(self, name: str, *, actor: str = "", **attributes: Any) -> Span:
+    def start_span(
+        self,
+        name: str,
+        *,
+        actor: str = "",
+        context: Optional[TraceContext] = None,
+        **attributes: Any,
+    ) -> Span:
         """Open a *detached* span closed later by :meth:`end_span`.
 
         For intervals that outlive the opening frame — e.g. a violation
-        report in flight between child and parent managers.
+        report in flight between child and parent managers, or a task
+        dispatch whose result arrives on another thread.  An explicit
+        ``context`` pins the span into the trace the context names.
         """
         return self.spans.open(
-            name, self.clock.now(), actor=actor, attach=False, **attributes
+            name,
+            self.clock.now(),
+            actor=actor,
+            attach=False,
+            context=context,
+            **attributes,
         )
 
     def end_span(self, span: Optional[Span], **attributes: Any) -> None:
@@ -103,6 +128,32 @@ class Telemetry:
             return
         span.attributes.update(attributes)
         self.spans.close(span, self.clock.now())
+
+    def import_span(self, record: Optional[Mapping[str, Any]]) -> Optional[Span]:
+        """Re-hydrate a worker-shipped span record (None-safe)."""
+        if record is None:
+            return None
+        return self.spans.import_span(record)
+
+    def flush(self) -> int:
+        """Close every still-open span at ``clock.now()``; returns count.
+
+        Farm backends call this from ``shutdown()`` so abrupt stops do
+        not leak open spans into exported traces.
+        """
+        return self.spans.flush(self.clock.now())
+
+    # -- live surface ----------------------------------------------------
+    def serve(self, port: int = 0, host: str = "127.0.0.1") -> "TelemetryServer":
+        """Start the live HTTP surface over this telemetry.
+
+        Serves ``/metrics`` (Prometheus text), ``/trace/<trace_id>``
+        (JSON tree), ``/traces`` and ``/healthz`` from a daemon thread;
+        ``port=0`` picks a free port (read it off the returned server).
+        """
+        from .live import TelemetryServer  # deferred: http.server is cold-path
+
+        return TelemetryServer(self, host=host, port=port)
 
     # -- events ----------------------------------------------------------
     def event(self, name: str, **attributes: Any) -> None:
@@ -125,8 +176,9 @@ class _NullSpan:
     """Inert span: absorbs attribute/event calls, reports nothing."""
 
     __slots__ = ()
-    span_id = -1
+    span_id = ""
     parent_id = None
+    trace_id = ""
     name = ""
     actor = ""
     start = 0.0
@@ -224,6 +276,18 @@ class NullTelemetry:
 
     def event(self, name: str, **attributes: Any) -> None:
         return None
+
+    def import_span(self, record: Any) -> None:
+        return None
+
+    def flush(self) -> int:
+        return 0
+
+    def serve(self, port: int = 0, host: str = "127.0.0.1") -> None:
+        raise RuntimeError(
+            "NullTelemetry has nothing to serve; construct a Telemetry() "
+            "and pass it to the farm/controller to expose live telemetry"
+        )
 
 
 #: module-level singleton used as the default everywhere

@@ -53,6 +53,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from ..obs.propagation import task_context
+from ..obs.spans import Span
 from ..obs.telemetry import NOOP, Telemetry
 from ..sim.metrics import WindowRateEstimator, queue_length_stats
 from .backend import RuntimeFarmSnapshot
@@ -101,6 +103,12 @@ class _TaskRecord:
     attempts: int = 0
     worker_id: Optional[int] = None  # None: awaiting (re)dispatch
     next_retry_at: float = 0.0
+    # trace context: the task's root span and the current (or most
+    # recent) dispatch-attempt span; each new attempt parents under the
+    # previous one, so a replayed task reads as one causal chain
+    root: Optional[Span] = None
+    dispatch: Optional[Span] = None
+    dispatch_seq: int = 0
 
 
 @dataclass
@@ -363,6 +371,11 @@ class DistFarm:
             task_id = int(frame["task_id"])
             self._note_worker_counter(handle, int(frame.get("completed", 0)))
             handle.outstanding.discard(task_id)
+            if self.telemetry.enabled:
+                # import the worker-side exec span even for a duplicate
+                # result: both executions of an at-least-once replay
+                # belong in the task's one trace tree
+                self.telemetry.import_span(frame.get("span"))
             if task_id in self._completed_ids:
                 # a replayed task also finished on its original worker:
                 # at-least-once underneath, exactly-once outward
@@ -384,6 +397,9 @@ class DistFarm:
             self.completed += 1
             if record is not None:
                 self._latencies.append((mark, mark - record.submitted_at))
+                outcome = "error" if isinstance(result, Exception) else "ok"
+                self.telemetry.end_span(record.dispatch, outcome=outcome)
+                self.telemetry.end_span(record.root, outcome=outcome)
         self.results.put(result)
         self._fill()  # a freed slot may unblock the ready queue
 
@@ -422,8 +438,12 @@ class DistFarm:
             record = self._tasks.get(task_id)
             if record is not None and task_id not in self._completed_ids:
                 record.worker_id = None
+                # the bounced attempt stays referenced by the record so
+                # the replay parents under it
+                self.telemetry.end_span(record.dispatch, outcome="refused")
                 if record.attempts >= self.max_attempts:
                     del self._tasks[task_id]
+                    self.telemetry.end_span(record.root, outcome="dead-letter")
                     self.dead_letters.append(
                         DeadLetter(
                             task_id=task_id,
@@ -476,9 +496,15 @@ class DistFarm:
             self.submitted += 1
             task_id = self._task_seq
             self._task_seq += 1
-            self._tasks[task_id] = _TaskRecord(
-                task_id=task_id, payload=payload, submitted_at=now
-            )
+            record = _TaskRecord(task_id=task_id, payload=payload, submitted_at=now)
+            if self.telemetry.enabled:
+                record.root = self.telemetry.start_span(
+                    "task",
+                    actor=self.name,
+                    context=task_context(self.name, task_id),
+                    task_id=task_id,
+                )
+            self._tasks[task_id] = record
             self._enqueue_ready(task_id)
         self._request_fill()
 
@@ -524,25 +550,54 @@ class DistFarm:
                 record.attempts += 1
                 record.worker_id = worker.worker_id
                 worker.outstanding.add(task_id)
-                frame = encode_frame(
-                    {
-                        "type": "task",
-                        "task_id": task_id,
-                        "payload": encode_payload(
-                            record.payload, secured=worker.secured
-                        ),
-                        "enc": worker.secured,
-                    }
-                )
+                traceparent = self._trace_dispatch(record, worker)
+                task_frame = {
+                    "type": "task",
+                    "task_id": task_id,
+                    "payload": encode_payload(
+                        record.payload, secured=worker.secured
+                    ),
+                    "enc": worker.secured,
+                }
+                if traceparent is not None:
+                    task_frame["traceparent"] = traceparent
+                frame = encode_frame(task_frame)
                 try:
                     worker.writer.write(frame)
                 except Exception:  # noqa: BLE001 - transport died under us
                     worker.outstanding.discard(task_id)
                     record.worker_id = None
+                    self.telemetry.end_span(record.dispatch, outcome="write-failed")
                     self._enqueue_ready(task_id)
                     return
                 self._count_frame("tx", len(frame))
                 self._count_dispatch(worker)
+
+    def _trace_dispatch(
+        self, record: _TaskRecord, worker: DistWorkerHandle
+    ) -> Optional[str]:
+        """Chain one dispatch-attempt span; returns its traceparent.
+
+        The first attempt parents under the task root; every later one
+        (crash replay, refused bounce) parents under the attempt it
+        supersedes — the replayed execution lands *inside* the failed
+        dispatch's subtree, which is what makes the fault story legible.
+        """
+        if record.root is None:
+            return None
+        prev = record.dispatch
+        record.dispatch_seq += 1
+        parent = prev.context if prev is not None else record.root.context
+        seed = f"{self.name}/task/{record.task_id}/dispatch/{record.dispatch_seq}"
+        record.dispatch = self.telemetry.start_span(
+            "task.dispatch",
+            actor=self.name,
+            context=parent.child(seed),
+            worker=worker.worker_id,
+            attempt=record.attempts,
+            secured=worker.secured,
+        )
+        return record.dispatch.context.traceparent()
 
     def _count_dispatch(self, worker: DistWorkerHandle) -> None:
         """Account one task frame written to ``worker`` (lock held)."""
@@ -649,8 +704,12 @@ class DistFarm:
             record = self._tasks.get(task_id)
             if record is None:
                 continue
+            # the attempt in flight died with the worker; its span stays
+            # referenced by the record so the replay parents under it
+            self.telemetry.end_span(record.dispatch, outcome="crashed")
             if record.attempts >= self.max_attempts:
                 del self._tasks[task_id]
+                self.telemetry.end_span(record.root, outcome="dead-letter")
                 self.dead_letters.append(
                     DeadLetter(
                         task_id=task_id,
@@ -825,6 +884,19 @@ class DistFarm:
         proof, or timeout — the caller must *not* admit the worker in
         that case.
         """
+        if not self.telemetry.enabled:
+            return self._secure_worker_inner(worker_id, timeout)
+        span = self.telemetry.start_span(
+            "dist.secure", actor=self.name, worker=worker_id
+        )
+        ok = False
+        try:
+            ok = self._secure_worker_inner(worker_id, timeout)
+            return ok
+        finally:
+            self.telemetry.end_span(span, outcome="secured" if ok else "failed")
+
+    def _secure_worker_inner(self, worker_id: int, timeout: float) -> bool:
         deadline = time.monotonic() + timeout
         with self._lock:
             w = self._find_worker(worker_id)
@@ -1084,3 +1156,6 @@ class DistFarm:
             except RuntimeError:
                 pass
         self._loop_thread.join(max(1.0, deadline - time.monotonic()))
+        # abandoned tasks must not leak open spans into the export
+        if self.telemetry.enabled:
+            self.telemetry.flush()

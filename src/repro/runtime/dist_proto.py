@@ -15,7 +15,11 @@ worker → coordinator
     ``hb``       heartbeat, with the cumulative completed-task counter
     ``result``   one task outcome: ``value`` on success, ``error`` text
                  on failure (the coordinator rehydrates it as an
-                 exception object in the results stream)
+                 exception object in the results stream); optionally
+                 ``span``, the worker-side execution span record
+                 (trace/span/parent ids, name, actor, epoch start/end,
+                 attributes) the coordinator re-parents into its trace
+                 store
     ``secured``  answer to a ``secure`` challenge; carries ``proof``,
                  the base64 of the challenge encrypted under the shared
                  key — only a holder of the key can produce it
@@ -28,7 +32,10 @@ coordinator → worker
     ``welcome``  hello ack; carries the (possibly assigned) worker id
     ``task``     one task: ``task_id``, ``payload``, ``enc`` (when the
                  channel is secured the payload is the base64 of the
-                 encrypted JSON bytes)
+                 encrypted JSON bytes); optionally ``traceparent``, the
+                 W3C-style trace context of the coordinator's dispatch
+                 span (``00-<32hex trace>-<16hex span>-01``) under which
+                 the worker records its execution span
     ``secure``   secure-channel handshake: carries a fresh ``challenge``
                  the worker must prove it can encrypt
     ``poison``   finish already-received tasks, send ``bye``, exit

@@ -39,8 +39,10 @@ import importlib
 import json
 import os
 import sys
+import time
 from typing import Any, Callable, Optional, Tuple
 
+from ..obs.propagation import TraceContext, make_span_record
 from .dist_proto import decode_payload, encode_frame, prove_challenge, read_frame
 
 __all__ = ["resolve_fn", "run_worker", "main"]
@@ -163,6 +165,13 @@ async def run_worker(
                 await writer.drain()
                 return
             task_id = frame["task_id"]
+            # the coordinator's dispatch span rides in as a traceparent;
+            # record this execution as a child span and ship it back on
+            # the result frame, where it is re-parented into the
+            # coordinator's trace store (timestamps: epoch seconds, the
+            # same base the coordinator's WallClock uses)
+            parent_ctx = TraceContext.from_traceparent(frame.get("traceparent"))
+            started = time.time()
             try:
                 payload = decode_payload(frame["payload"], secured=frame.get("enc", False))
                 value = await loop.run_in_executor(pool, fn, payload)
@@ -174,6 +183,22 @@ async def run_worker(
                     "task_id": task_id,
                     "error": f"{type(exc).__name__}: {exc}",
                 }
+            if parent_ctx is not None:
+                # the parent span id is unique per dispatch attempt, so
+                # the derived exec span id is too — replays never collide
+                ctx = parent_ctx.child(f"exec:{worker_id}:{parent_ctx.span_id}")
+                out["span"] = make_span_record(
+                    ctx,
+                    "task.exec",
+                    actor=f"dworker-{worker_id}",
+                    start=started,
+                    end=time.time(),
+                    attributes={
+                        "worker": worker_id,
+                        "pid": os.getpid(),
+                        "outcome": "error" if "error" in out else "ok",
+                    },
+                )
             completed += 1
             out["completed"] = completed
             send(out)

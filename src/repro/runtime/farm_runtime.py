@@ -25,6 +25,8 @@ import time
 from collections import deque
 from typing import Any, Callable, List, Optional
 
+from ..obs.propagation import task_context
+from ..obs.spans import Span
 from ..obs.telemetry import NOOP, Telemetry
 from ..security.crypto import decrypt, encrypt
 from ..sim.metrics import WindowRateEstimator, queue_length_stats
@@ -37,6 +39,24 @@ _SECRET = b"repro-channel-key"
 
 class _Poison:
     """Queue sentinel stopping one worker."""
+
+
+class _TaskTrace:
+    """Trace-context bookkeeping riding one task envelope in-process.
+
+    Holds the task's root span and the *current* dispatch-attempt span;
+    every re-dispatch (worker removal, rebalance) chains a new attempt
+    span under the previous one, so the whole itinerary of a task is one
+    tree however many queues it visited.
+    """
+
+    __slots__ = ("task_id", "root", "dispatch", "attempt")
+
+    def __init__(self, task_id: int, root: Span) -> None:
+        self.task_id = task_id
+        self.root = root
+        self.dispatch: Optional[Span] = None
+        self.attempt = 0
 
 
 class ThreadWorker:
@@ -75,15 +95,23 @@ class ThreadWorker:
             item = self.queue.get()
             if isinstance(item, _Poison):
                 return
-            payload, enc, submitted_at = item
+            payload, enc, submitted_at, trace = item
             if enc:
                 payload = pickle.loads(decrypt(_SECRET, payload))
+            exec_span = self.farm._trace_exec(trace, self.worker_id)
             try:
                 result = self.farm.fn(payload)
             except Exception as exc:  # noqa: BLE001 - surfaced via results
                 result = exc
+            if exec_span is not None:
+                self.farm.telemetry.end_span(
+                    exec_span,
+                    outcome="error" if isinstance(result, Exception) else "ok",
+                )
             self.completed += 1
-            self.farm._deliver(result, secured=self.secured, submitted_at=submitted_at)
+            self.farm._deliver(
+                result, secured=self.secured, submitted_at=submitted_at, trace=trace
+            )
 
 
 class ThreadFarm:
@@ -136,6 +164,7 @@ class ThreadFarm:
         """Dispatch one task to an admitted worker (round robin)."""
         with self._lock:
             self.arrival_est.mark(self.now())
+            task_id = self.submitted
             self.submitted += 1
             live = [w for w in self.workers if w.active and not w.quarantined]
             if not live:
@@ -143,11 +172,72 @@ class ThreadFarm:
             self._rr = (self._rr + 1) % len(live)
             worker = live[self._rr]
             now = self.now()
+            trace = self._trace_submit(task_id, worker)
             if worker.secured:
-                worker.queue.put((encrypt(_SECRET, pickle.dumps(payload)), True, now))
+                worker.queue.put(
+                    (encrypt(_SECRET, pickle.dumps(payload)), True, now, trace)
+                )
             else:
-                worker.queue.put((payload, False, now))
+                worker.queue.put((payload, False, now, trace))
             self._count_dispatch(worker)
+
+    # -- trace context -------------------------------------------------
+    def _trace_submit(self, task_id: int, worker: ThreadWorker) -> Optional[_TaskTrace]:
+        """Open the task's root span + first dispatch attempt (lock held)."""
+        if not self.telemetry.enabled:
+            return None
+        ctx = task_context(self.name, task_id)
+        root = self.telemetry.start_span(
+            "task", actor=self.name, context=ctx, task_id=task_id
+        )
+        trace = _TaskTrace(task_id, root)
+        self._trace_dispatch(trace, worker)
+        return trace
+
+    def _trace_dispatch(
+        self, trace: Optional[_TaskTrace], worker: ThreadWorker, outcome: Optional[str] = None
+    ) -> None:
+        """Chain one dispatch-attempt span onto a task's trace.
+
+        The first attempt parents under the task root; every later
+        attempt parents under the attempt it supersedes, which is what
+        makes a replayed task read as one causal chain.
+        """
+        if trace is None:
+            return
+        prev = trace.dispatch
+        if prev is not None and outcome is not None:
+            self.telemetry.end_span(prev, outcome=outcome)
+        trace.attempt += 1
+        parent = prev.context if prev is not None else trace.root.context
+        seed = f"{self.name}/task/{trace.task_id}/dispatch/{trace.attempt}"
+        trace.dispatch = self.telemetry.start_span(
+            "task.dispatch",
+            actor=self.name,
+            context=parent.child(seed),
+            worker=worker.worker_id,
+            attempt=trace.attempt,
+            secured=worker.secured,
+        )
+
+    def _trace_exec(self, trace: Optional[_TaskTrace], worker_id: int) -> Optional[Span]:
+        """Open the worker-side execution span (worker thread)."""
+        if trace is None or trace.dispatch is None:
+            return None
+        dctx = trace.dispatch.context
+        return self.telemetry.start_span(
+            "task.exec",
+            actor=f"{self.name}-w{worker_id}",
+            context=dctx.child(f"exec:{worker_id}:{dctx.span_id}"),
+            worker=worker_id,
+        )
+
+    def _trace_done(self, trace: Optional[_TaskTrace], *, error: bool) -> None:
+        if trace is None:
+            return
+        outcome = "error" if error else "ok"
+        self.telemetry.end_span(trace.dispatch, outcome=outcome)
+        self.telemetry.end_span(trace.root, outcome=outcome)
 
     def _count_dispatch(self, worker: ThreadWorker) -> None:
         """Account one task entering ``worker``'s queue (lock held)."""
@@ -164,7 +254,15 @@ class ThreadFarm:
                 "tasks handed to a worker over an unsecured channel",
             ).labels(farm=self.name).inc()
 
-    def _deliver(self, result: Any, *, secured: bool, submitted_at: float = 0.0) -> None:
+    def _deliver(
+        self,
+        result: Any,
+        *,
+        secured: bool,
+        submitted_at: float = 0.0,
+        trace: Optional[_TaskTrace] = None,
+    ) -> None:
+        self._trace_done(trace, error=isinstance(result, Exception))
         with self._lock:
             now = max(self.now(), self.departure_est._last_mark or 0.0)
             self.departure_est.mark(now)
@@ -295,6 +393,7 @@ class ThreadFarm:
             survivors = [w for w in self.workers if w.active and not w.quarantined]
             for i, item in enumerate(leftovers):
                 target = survivors[i % len(survivors)]
+                self._trace_dispatch(item[3], target, outcome="redispatched")
                 target.queue.put(item)
                 self._count_dispatch(target)
         return victim
@@ -323,6 +422,7 @@ class ThreadFarm:
                 if isinstance(item, _Poison):
                     longest.queue.put(item)
                     break
+                self._trace_dispatch(item[3], shortest, outcome="rebalanced")
                 shortest.queue.put(item)
                 self._count_dispatch(shortest)
                 moved += 1
@@ -346,3 +446,6 @@ class ThreadFarm:
             w.queue.put(_Poison())
         for w in workers:
             w.join(timeout)
+        # abandoned tasks must not leak open spans into the export
+        if self.telemetry.enabled:
+            self.telemetry.flush()

@@ -45,6 +45,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..obs.propagation import TraceContext, make_span_record, task_context
+from ..obs.spans import Span
 from ..obs.telemetry import NOOP, Telemetry
 from ..security.crypto import decrypt, encrypt
 from ..sim.metrics import WindowRateEstimator, queue_length_stats
@@ -67,6 +69,7 @@ def default_start_method() -> str:
 
 def _worker_main(
     worker_id: int,
+    farm_name: str,
     fn: Callable[[Any], Any],
     task_q: "multiprocessing.Queue",
     result_q: "multiprocessing.Queue",
@@ -77,6 +80,13 @@ def _worker_main(
     A daemon heartbeat thread beats independently of task execution, so
     a worker crunching one long CPU-bound task is still visibly alive;
     only real death (or a wedged process) silences it.
+
+    Each task envelope may carry a ``traceparent`` naming the parent-side
+    dispatch span; the worker then records its execution as a span
+    *record* (plain dict — the parent has the only SpanRecorder) and
+    ships it back on the ``done`` ack, where it is re-parented into the
+    coordinator's trace store.  Timestamps are epoch seconds, the same
+    base the parent's WallClock uses.
     """
     completed = 0
     stop = threading.Event()
@@ -97,9 +107,10 @@ def _worker_main(
             stop.set()
             result_q.put(("bye", worker_id, completed))
             return
-        task_id, payload, enc = item
+        task_id, payload, enc, traceparent = item
         if enc:
             payload = pickle.loads(decrypt(_SECRET, payload))
+        started = time.time()
         try:
             result = fn(payload)
         except Exception as exc:  # noqa: BLE001 - surfaced via results
@@ -109,8 +120,26 @@ def _worker_main(
                 pickle.dumps(result)
             except Exception:  # noqa: BLE001
                 result = RuntimeError(f"worker {worker_id}: {result!r}")
+        span_rec = None
+        parent_ctx = TraceContext.from_traceparent(traceparent)
+        if parent_ctx is not None:
+            # the parent span id is unique per dispatch attempt, so the
+            # derived exec span id is too — replays never collide
+            ctx = parent_ctx.child(f"exec:{worker_id}:{parent_ctx.span_id}")
+            span_rec = make_span_record(
+                ctx,
+                "task.exec",
+                actor=f"{farm_name}-w{worker_id}",
+                start=started,
+                end=time.time(),
+                attributes={
+                    "worker": worker_id,
+                    "pid": os.getpid(),
+                    "outcome": "error" if isinstance(result, Exception) else "ok",
+                },
+            )
         completed += 1
-        result_q.put(("done", worker_id, task_id, result, completed))
+        result_q.put(("done", worker_id, task_id, result, completed, span_rec))
 
 
 @dataclass
@@ -123,6 +152,12 @@ class _TaskRecord:
     attempts: int = 0
     worker_id: Optional[int] = None  # None: awaiting (re)dispatch
     next_retry_at: float = 0.0
+    # trace context: the task's root span and the current (or most
+    # recent) dispatch-attempt span; each new attempt parents under the
+    # previous one, so a replayed task reads as one causal chain
+    root: Optional[Span] = None
+    dispatch: Optional[Span] = None
+    dispatch_seq: int = 0
 
 
 @dataclass(frozen=True)
@@ -263,6 +298,13 @@ class ProcessFarm:
             task_id = self._task_seq
             self._task_seq += 1
             record = _TaskRecord(task_id=task_id, payload=payload, submitted_at=now)
+            if self.telemetry.enabled:
+                record.root = self.telemetry.start_span(
+                    "task",
+                    actor=self.name,
+                    context=task_context(self.name, task_id),
+                    task_id=task_id,
+                )
             self._tasks[task_id] = record
             self._dispatch(record)
 
@@ -285,12 +327,49 @@ class ProcessFarm:
         record.attempts += 1
         record.worker_id = worker.worker_id
         worker.outstanding.add(record.task_id)
+        traceparent = self._trace_dispatch(record, worker)
         if worker.secured:
-            item = (record.task_id, encrypt(_SECRET, pickle.dumps(record.payload)), True)
+            item = (
+                record.task_id,
+                encrypt(_SECRET, pickle.dumps(record.payload)),
+                True,
+                traceparent,
+            )
         else:
-            item = (record.task_id, record.payload, False)
+            item = (record.task_id, record.payload, False, traceparent)
         worker.task_queue.put(item)
         self._count_dispatch(worker)
+
+    def _trace_dispatch(
+        self,
+        record: _TaskRecord,
+        worker: ProcessWorkerHandle,
+        outcome: Optional[str] = None,
+    ) -> Optional[str]:
+        """Chain one dispatch-attempt span; returns its traceparent.
+
+        The first attempt parents under the task root; every later one
+        (crash replay, rebalance steal) parents under the attempt it
+        supersedes — the replayed execution lands *inside* the failed
+        dispatch's subtree, which is what makes the fault story legible.
+        """
+        if record.root is None:
+            return None
+        prev = record.dispatch
+        if prev is not None and outcome is not None:
+            self.telemetry.end_span(prev, outcome=outcome)
+        record.dispatch_seq += 1
+        parent = prev.context if prev is not None else record.root.context
+        seed = f"{self.name}/task/{record.task_id}/dispatch/{record.dispatch_seq}"
+        record.dispatch = self.telemetry.start_span(
+            "task.dispatch",
+            actor=self.name,
+            context=parent.child(seed),
+            worker=worker.worker_id,
+            attempt=record.attempts,
+            secured=worker.secured,
+        )
+        return record.dispatch.context.traceparent()
 
     def _count_dispatch(self, worker: ProcessWorkerHandle) -> None:
         """Account one task entering ``worker``'s queue (lock held)."""
@@ -350,8 +429,13 @@ class ProcessFarm:
                 return
             if kind != "done":
                 return
-            _, _, task_id, result, completed = msg
+            _, _, task_id, result, completed, span_rec = msg
             self._note_worker_counter(handle, completed)
+            if self.telemetry.enabled:
+                # import the worker-side exec span even for a duplicate
+                # ack: both executions of an at-least-once replay belong
+                # in the task's one trace tree
+                self.telemetry.import_span(span_rec)
             if task_id in self._completed_ids:
                 # a replayed task also finished on its original worker:
                 # at-least-once underneath, exactly-once outward
@@ -371,6 +455,9 @@ class ProcessFarm:
             self.completed += 1
             if record is not None:
                 self._latencies.append((mark, mark - record.submitted_at))
+                outcome = "error" if isinstance(result, Exception) else "ok"
+                self.telemetry.end_span(record.dispatch, outcome=outcome)
+                self.telemetry.end_span(record.root, outcome=outcome)
         self.results.put(result)
 
     def _note_worker_counter(self, handle: Optional[ProcessWorkerHandle], completed: int) -> None:
@@ -440,8 +527,12 @@ class ProcessFarm:
             record = self._tasks.get(task_id)
             if record is None:
                 continue
+            # the attempt in flight died with the worker; its span stays
+            # referenced by the record so the replay parents under it
+            self.telemetry.end_span(record.dispatch, outcome="crashed")
             if record.attempts >= self.max_attempts:
                 del self._tasks[task_id]
+                self.telemetry.end_span(record.root, outcome="dead-letter")
                 self.dead_letters.append(
                     DeadLetter(
                         task_id=task_id,
@@ -541,7 +632,14 @@ class ProcessFarm:
             task_q = self._ctx.Queue()
             proc = self._ctx.Process(
                 target=_worker_main,
-                args=(worker_id, self.fn, task_q, self._result_q, self.heartbeat_period),
+                args=(
+                    worker_id,
+                    self.name,
+                    self.fn,
+                    task_q,
+                    self._result_q,
+                    self.heartbeat_period,
+                ),
                 name=f"{self.name}-w{worker_id}",
                 daemon=True,
             )
@@ -644,6 +742,13 @@ class ProcessFarm:
                 record = self._tasks.get(task_id)
                 if record is not None:
                     record.worker_id = shortest.worker_id
+                    if record.root is not None:
+                        # re-stamp the envelope so the exec span parents
+                        # under the steal, not the superseded dispatch
+                        tp = self._trace_dispatch(
+                            record, shortest, outcome="rebalanced"
+                        )
+                        item = (item[0], item[1], item[2], tp)
                 shortest.task_queue.put(item)
                 self._count_dispatch(shortest)
                 moved += 1
@@ -718,3 +823,6 @@ class ProcessFarm:
             w.task_queue.cancel_join_thread()
         self._result_q.close()
         self._result_q.cancel_join_thread()
+        # abandoned tasks must not leak open spans into the export
+        if self.telemetry.enabled:
+            self.telemetry.flush()

@@ -1,0 +1,125 @@
+"""The live telemetry surface: /metrics, /traces, /trace/<id>, /healthz.
+
+All through a real ``urllib`` client against a real listening socket —
+the server is stdlib ``http.server`` in a daemon thread, so the tests
+exercise exactly what ``fig4 --serve-telemetry`` exposes.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import NullTelemetry, Telemetry
+from repro.obs.live import TelemetryServer
+
+
+def _get_json(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return json.load(resp)
+
+
+@pytest.fixture()
+def telemetry():
+    tel = Telemetry()
+    with tel.span("mape.cycle", actor="AM_F"):
+        with tel.span("mape.plan", actor="AM_F") as plan:
+            plan.set_attribute("matched", [("CheckRateLow", 10)])
+        tel.event("intent.plan", count=1, ok=True)
+    tel.metrics.counter("repro_test_total", "a counter").labels(kind="x").inc(3)
+    return tel
+
+
+@pytest.fixture()
+def server(telemetry):
+    with telemetry.serve(port=0) as srv:
+        yield srv
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        body = _get_json(server.url("/healthz"))
+        assert body["status"] == "ok"
+        assert body["spans"] >= 2
+        assert body["open_spans"] == 0
+        assert body["traces"] >= 1
+
+    def test_metrics_is_prometheus_text(self, server):
+        with urllib.request.urlopen(server.url("/metrics"), timeout=5) as resp:
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode()
+        assert 'repro_test_total{kind="x"} 3' in text
+        assert "# TYPE repro_test_total counter" in text
+
+    def test_traces_lists_the_store(self, server, telemetry):
+        body = _get_json(server.url("/traces"))
+        cycle = telemetry.spans.spans[0]
+        listed = {t["trace_id"] for t in body["traces"]}
+        assert cycle.trace_id in listed
+
+    def test_trace_returns_the_tree(self, server, telemetry):
+        cycle = telemetry.spans.spans[0]
+        body = _get_json(server.url(f"/trace/{cycle.trace_id}"))
+        assert body["trace_id"] == cycle.trace_id
+        tree = body["tree"]
+        assert len(tree) == 1 and tree[0]["name"] == "mape.cycle"
+        assert [kid["name"] for kid in tree[0]["children"]] == ["mape.plan"]
+
+    def test_unknown_trace_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(server.url("/trace/" + "f" * 32), timeout=5)
+        assert err.value.code == 404
+
+    def test_unknown_route_is_404_with_route_map(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(server.url("/nope"), timeout=5)
+        assert err.value.code == 404
+        body = json.load(err.value)
+        assert "/metrics" in body["routes"]
+
+    def test_store_updates_are_visible_live(self, server, telemetry):
+        """No restart, no snapshot step: a span recorded after the
+        server started shows up on the very next poll."""
+        before = _get_json(server.url("/healthz"))["spans"]
+        with telemetry.span("rules.evaluate", actor="AM_F"):
+            pass
+        after = _get_json(server.url("/healthz"))["spans"]
+        assert after == before + 1
+
+
+class TestLifecycle:
+    def test_port_zero_picks_a_free_port(self, telemetry):
+        a = telemetry.serve(port=0)
+        b = telemetry.serve(port=0)
+        try:
+            assert a.port != 0 and b.port != 0 and a.port != b.port
+        finally:
+            a.close()
+            b.close()
+
+    def test_close_is_idempotent_and_releases_the_port(self, telemetry):
+        srv = telemetry.serve(port=0)
+        url = srv.url("/healthz")
+        _get_json(url)
+        srv.close()
+        srv.close()  # second close must be a no-op
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            urllib.request.urlopen(url, timeout=0.5)
+
+    def test_describe_names_every_route(self, telemetry):
+        with telemetry.serve(port=0) as srv:
+            described = srv.describe()
+            for key in ("metrics", "traces", "healthz"):
+                assert described[key].startswith("http://")
+
+    def test_null_telemetry_refuses_to_serve(self):
+        with pytest.raises(RuntimeError, match="Telemetry"):
+            NullTelemetry().serve(port=0)
+
+    def test_server_requires_real_telemetry_type(self, telemetry):
+        srv = TelemetryServer(telemetry, host="127.0.0.1", port=0)
+        try:
+            assert _get_json(srv.url("/healthz"))["status"] == "ok"
+        finally:
+            srv.close()

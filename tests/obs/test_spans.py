@@ -12,12 +12,16 @@ class TestSpanRecorder:
         rec = SpanRecorder()
         outer = rec.open("mape.cycle", 0.0, actor="AM_F")
         inner = rec.open("mape.monitor", 0.0, actor="AM_F")
-        assert (outer.span_id, inner.span_id) == (0, 1)
+        # local ids stay sequential (deterministic), rendered as hex
+        assert (outer.span_id, inner.span_id) == (f"{0:016x}", f"{1:016x}")
         assert inner.parent_id == outer.span_id
+        # a root starts its own trace; children inherit it
+        assert outer.trace_id and inner.trace_id == outer.trace_id
         rec.close(inner, 1.0)
         rec.close(outer, 2.0)
         assert inner.duration == 1.0 and outer.duration == 2.0
         assert rec.children_of(outer) == [inner]
+        assert rec.trace(outer.trace_id) == [outer, inner]
 
     def test_detached_span_does_not_join_stack(self):
         rec = SpanRecorder()

@@ -38,6 +38,7 @@ import time
 
 import pytest
 
+from repro.obs import Telemetry, build_trace_tree
 from repro.runtime.dist_farm import DistFarm
 from repro.runtime.farm_runtime import ThreadFarm
 from repro.runtime.process_farm import ProcessFarm
@@ -57,7 +58,13 @@ def conf_task(payload):
     return value * value
 
 
-def make_farm(backend: str, *, initial_workers: int = 2, max_workers: int = 8):
+def make_farm(
+    backend: str,
+    *,
+    initial_workers: int = 2,
+    max_workers: int = 8,
+    telemetry: Telemetry = None,
+):
     """One farm per backend, tuned for fast fault detection in tests."""
     fault_tuning = dict(
         heartbeat_period=0.05,
@@ -72,6 +79,7 @@ def make_farm(backend: str, *, initial_workers: int = 2, max_workers: int = 8):
             initial_workers=initial_workers,
             max_workers=max_workers,
             rate_window=0.5,
+            telemetry=telemetry,
         )
     if backend == "process":
         return ProcessFarm(
@@ -79,6 +87,7 @@ def make_farm(backend: str, *, initial_workers: int = 2, max_workers: int = 8):
             initial_workers=initial_workers,
             max_workers=max_workers,
             rate_window=0.5,
+            telemetry=telemetry,
             **fault_tuning,
         )
     if backend == "dist":
@@ -87,6 +96,7 @@ def make_farm(backend: str, *, initial_workers: int = 2, max_workers: int = 8):
             initial_workers=initial_workers,
             max_workers=max_workers,
             rate_window=0.5,
+            telemetry=telemetry,
             **fault_tuning,
         )
     raise ValueError(f"unknown backend {backend!r}")
@@ -284,3 +294,136 @@ class TestCleanShutdown:
         farm = make_farm(backend)
         farm.shutdown()
         farm.shutdown()  # second call must be a clean no-op
+
+    def test_no_open_spans_after_clean_shutdown(self, backend):
+        """shutdown() flushes telemetry: every span the farm opened is
+        closed afterwards, on every substrate."""
+        tel = Telemetry()
+        farm = make_farm(backend, telemetry=tel)
+        try:
+            for i in range(20):
+                farm.submit((0.002, i))
+            results = farm.drain_results(20, timeout=30.0)
+            assert len(results) == 20
+        finally:
+            farm.shutdown()
+        assert tel.spans.open_spans() == []
+        assert len(tel.spans.spans) > 0, "telemetry recorded nothing"
+
+
+class TestTraceTreeAcrossFaults:
+    """The tentpole acceptance invariant: a crashed-then-replayed task is
+    ONE trace tree — submit, first dispatch, crash, replay dispatch
+    (parented under the dispatch it supersedes) and the final execution,
+    all under a single root span sharing a single trace id."""
+
+    def _replayed_traces(self, tel):
+        """All traces holding more than one dispatch attempt."""
+        out = []
+        for trace_id in tel.spans.trace_ids():
+            spans = tel.spans.trace(trace_id)
+            dispatches = [s for s in spans if s.name == "task.dispatch"]
+            if len(dispatches) >= 2:
+                out.append((trace_id, spans, dispatches))
+        return out
+
+    def _assert_single_tree(self, tel, trace_id, spans, dispatches):
+        by_id = {s.span_id: s for s in spans}
+        roots = [s for s in spans if s.parent_id is None]
+        assert len(roots) == 1, f"trace {trace_id} has {len(roots)} roots"
+        assert roots[0].name == "task"
+        # every span's parent resolves inside the same trace
+        for span in spans:
+            if span.parent_id is not None:
+                assert span.parent_id in by_id, (
+                    f"{span.name} span {span.span_id} has dangling parent "
+                    f"{span.parent_id}"
+                )
+        # the dispatch attempts form a chain: exactly one hangs off the
+        # task root, every other one is parented under the dispatch it
+        # superseded (the crashed/refused/stolen attempt)
+        dispatch_ids = {s.span_id for s in dispatches}
+        off_root = [s for s in dispatches if s.parent_id == roots[0].span_id]
+        assert len(off_root) == 1, "replay chain must start at the task root"
+        for span in dispatches:
+            if span is not off_root[0]:
+                assert span.parent_id in dispatch_ids, (
+                    "replay dispatch must be parented under the attempt "
+                    "it supersedes"
+                )
+        # a superseded attempt is closed with the reason it ended
+        outcomes = {s.attributes.get("outcome") for s in dispatches}
+        assert outcomes & {"crashed", "refused", "redispatched", "rebalanced"}
+        # the winning attempt completed the task
+        assert "ok" in outcomes
+        assert roots[0].attributes.get("outcome") == "ok"
+        # and the whole thing renders as one tree
+        tree = build_trace_tree(tel.spans.spans, trace_id)
+        assert len(tree) == 1
+        assert tree[0]["name"] == "task"
+
+    def test_crashed_task_replay_is_one_tree(self, backend):
+        if backend == "thread":
+            pytest.skip(
+                "thread workers share the interpreter: no injectable "
+                "crash; replay chaining is covered by the shrink test"
+            )
+        tel = Telemetry()
+        farm = make_farm(backend, initial_workers=3, telemetry=tel)
+        try:
+            total = 90
+            for i in range(total):
+                farm.submit((0.01, i))
+            wait_until(
+                lambda: farm.snapshot().completed >= 5,
+                message="stream in flight before the fault",
+            )
+            assert inject_fault(farm) is not None
+            results = farm.drain_results(total, timeout=120.0)
+            assert len(results) == total
+        finally:
+            farm.shutdown()
+
+        replayed = self._replayed_traces(tel)
+        assert replayed, "fault produced no re-dispatched task"
+        for trace_id, spans, dispatches in replayed:
+            self._assert_single_tree(tel, trace_id, spans, dispatches)
+            # the worker-side execution span of the winning attempt was
+            # shipped back over the boundary and re-parented in
+            execs = [s for s in spans if s.name == "task.exec"]
+            assert execs, "no worker-side exec span crossed the boundary"
+            dispatch_ids = {s.span_id for s in dispatches}
+            assert all(s.parent_id in dispatch_ids for s in execs)
+
+    def test_shrink_redispatch_is_one_tree(self, backend):
+        """The fault-free replay path: the thread farm's remove_worker()
+        re-queues the retired worker's backlog, and each moved task
+        stays one tree.  Process/dist retire gracefully (the poison
+        queues *behind* the backlog, which drains in place), so this
+        redispatch path exists only on the thread substrate — its crash
+        coverage lives in test_crashed_task_replay_is_one_tree."""
+        if backend != "thread":
+            pytest.skip(
+                "graceful retirement drains the backlog in place on this "
+                "substrate: nothing is redispatched by remove_worker"
+            )
+        tel = Telemetry()
+        farm = make_farm(backend, initial_workers=2, telemetry=tel)
+        try:
+            total = 60
+            for i in range(total):
+                farm.submit((0.01, i))
+            wait_until(
+                lambda: farm.snapshot().completed >= 3,
+                message="stream in flight before the shrink",
+            )
+            assert farm.remove_worker() is not None
+            results = farm.drain_results(total, timeout=120.0)
+            assert len(results) == total
+        finally:
+            farm.shutdown()
+
+        replayed = self._replayed_traces(tel)
+        assert replayed, "shrink moved no queued task"
+        for trace_id, spans, dispatches in replayed:
+            self._assert_single_tree(tel, trace_id, spans, dispatches)

@@ -116,9 +116,9 @@ class TestThreadFarmActuators:
     def test_balance_load(self):
         farm = ThreadFarm(slow_square, initial_workers=2)
         try:
-            # stuff one queue directly (payload, encrypted?, submit time)
+            # stuff one queue directly (payload, encrypted?, submit time, trace)
             for i in range(10):
-                farm.workers[0].queue.put((i, False, 0.0))
+                farm.workers[0].queue.put((i, False, 0.0, None))
             moved = farm.balance_load()
             assert moved > 0
         finally:
