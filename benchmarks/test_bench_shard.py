@@ -1,0 +1,139 @@
+"""Bench SHARD — farm-of-farms scaling, rebalance latency, fair share.
+
+Three measurements of the sharded hierarchy, recorded to
+``BENCH_shard.json``:
+
+* **per-shard throughput scaling** — the same workload through one
+  shard vs two (each shard keeps the same worker budget), so the
+  tree's drain time should roughly halve;
+* **rebalance latency** — in the skewed-feed scenario, the wall-clock
+  gap between the parent first observing a starving shard and the
+  budget transfer that relieves it;
+* **tenant fair-share error** — in the 3-tenant scenario, the worst
+  relative deviation of a tenant's dispatch count from the mean during
+  the contended window (queued backlogs still draining).
+"""
+
+import time
+
+import pytest
+
+from repro.core.contracts import ThroughputRangeContract
+from repro.experiments.fig4_live import Fig4ShardedConfig, run_fig4_sharded
+from repro.runtime.hierarchy import ShardedFarm
+
+
+def bench_task(payload):
+    work, value = payload
+    if work:
+        time.sleep(work)
+    return value * value
+
+
+def drain_through_shards(shards: int, tasks: int, task_work: float) -> float:
+    """Wall-clock seconds to push ``tasks`` through a ``shards``-wide tree.
+
+    The per-shard worker budget is constant (2), so doubling the shard
+    count doubles the tree's capacity — the quantity under test.
+    """
+    farm = ShardedFarm(
+        bench_task,
+        contract=ThroughputRangeContract(1.0, 100000.0),
+        shards=shards,
+        backend="thread",
+        initial_workers_per_shard=2,
+        max_workers_total=2 * shards,
+        control_period=0.2,
+        autostart=False,
+        shard_kwargs={"rate_window": 1.0},
+    )
+    try:
+        t0 = time.monotonic()
+        for i in range(tasks):
+            farm.submit((task_work, i))
+        results = farm.drain_results(tasks, timeout=120.0)
+        elapsed = time.monotonic() - t0
+        assert sorted(results) == sorted(i * i for i in range(tasks))
+        return elapsed
+    finally:
+        farm.shutdown()
+
+
+@pytest.mark.benchmark(group="shard")
+def test_shard_hierarchy(benchmark, smoke_mode, json_sink):
+    tasks = 100 if smoke_mode else 400
+    task_work = 0.005
+
+    def run_all():
+        one = drain_through_shards(1, tasks, task_work)
+        two = drain_through_shards(2, tasks, task_work)
+        rebalance = run_fig4_sharded(
+            Fig4ShardedConfig(
+                total_tasks=120 if smoke_mode else 240,
+                drain_timeout=120.0,
+            )
+        )
+        tenants = run_fig4_sharded(
+            Fig4ShardedConfig(
+                tenants=3,
+                contract_low=2.0,
+                total_tasks=120 if smoke_mode else 240,
+                drain_timeout=120.0,
+            )
+        )
+        return one, two, rebalance, tenants
+
+    one, two, rebalance, tenants = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    # the correctness floor holds even in smoke mode
+    assert rebalance.zero_loss()
+    assert rebalance.rebalanced()
+    assert tenants.zero_loss()
+    assert all(row[4] == 0 for row in tenants.tenant_stats), (
+        "equal in-quota tenants must not see rejects"
+    )
+    if not smoke_mode:
+        # hardware-dependent: two shards should scale meaningfully
+        assert two < one * 0.75
+        assert tenants.fair_share_error <= 0.10
+
+    first = rebalance.rebalances[0]
+    json_sink(
+        "shard",
+        {
+            "backend": "thread",
+            "tasks": tasks,
+            "task_work_s": task_work,
+            "shard_scaling": {
+                "one_shard_s": round(one, 4),
+                "two_shards_s": round(two, 4),
+                "speedup": round(one / two, 3) if two else None,
+                "throughput_one_shard": round(tasks / one, 1),
+                "throughput_two_shards": round(tasks / two, 1),
+            },
+            "rebalance": {
+                "moves": len(rebalance.rebalances),
+                "first_move_at_s": round(first[0], 3),
+                "first_latency_s": round(first[3], 4),
+                "root_violations": rebalance.root_violations,
+                "final_budgets": rebalance.budgets,
+            },
+            "tenants": {
+                "fair_share_error": round(tenants.fair_share_error, 4),
+                "stats": {
+                    name: {
+                        "submitted": submitted,
+                        "admitted": admitted,
+                        "queued": queued,
+                        "rejected": rejected,
+                        "dispatched": dispatched,
+                    }
+                    for name, submitted, admitted, queued, rejected, dispatched
+                    in tenants.tenant_stats
+                },
+            },
+            "smoke": smoke_mode,
+        },
+    )

@@ -34,6 +34,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Any, List, Mapping, Optional, Sequence
 
 from ..skeletons.ast import Farm, Pipe, Seq, Skeleton
@@ -52,6 +53,10 @@ __all__ = [
     "WeightedCompositeContract",
     "derive_super_contract",
     "split_contract",
+    "split_rate",
+    "split_rate_weighted",
+    "split_rate_contract",
+    "split_rate_contract_weighted",
     "ContractError",
 ]
 
@@ -484,3 +489,151 @@ def _split_degree(
     return [
         ParallelismDegreeContract(min_degree=1, max_degree=f) for f in floors
     ]
+
+
+# ----------------------------------------------------------------------
+# exact rate splits (shard sub-contracts)
+# ----------------------------------------------------------------------
+#
+# The degree split above conserves an *integer* budget with largest-
+# remainder rounding.  Sharding a farm needs the float analogue: a root
+# throughput SLA of R tasks/s split across N shards must hand out child
+# rates whose sum is *exactly* R — naive ``R / N`` children leak a few
+# ulps on uneven N, and a leaked ulp is a root contract the children can
+# collectively satisfy while the parent still observes a violation (or
+# vice versa).
+#
+# The scheme: write R = M * 2**k with M an integer < 2**53 (exact, via
+# frexp), split M as an *integer* by largest remainder (the same
+# rounding _split_degree uses), and scale each integer share back by
+# 2**k.  Every share and every partial sum is an integer <= M times the
+# same power of two, hence exactly representable — so plain left-to-
+# right float addition incurs no rounding at any step and the float sum
+# reproduces R bit-for-bit.  (Schemes that carve R with float cut
+# points fail in a tie-to-even corner: when two running sums land
+# exactly on half-ulp boundaries of an odd-mantissa target, *no* float
+# share can make the rounded sum hit the target.)
+
+
+def split_rate(total: float, n: int) -> List[float]:
+    """Split a positive rate into ``n`` positive floats summing to it exactly.
+
+    ``sum(split_rate(R, n)) == R`` holds for the plain built-in ``sum``
+    (left-to-right float addition), not merely for ``math.fsum`` — the
+    conservation law shards rely on.
+    """
+    if n < 1:
+        raise ContractError(f"cannot split a rate across {n} shards")
+    return split_rate_weighted(total, [1.0] * n)
+
+
+def split_rate_weighted(total: float, weights: Sequence[float]) -> List[float]:
+    """Weighted :func:`split_rate`: child i gets ~``weights[i]`` share.
+
+    Used by shard rebalancing to re-solve the root SLA proportionally to
+    observed per-shard demand while still conserving the parent budget
+    exactly.
+    """
+    n = len(weights)
+    if n < 1:
+        raise ContractError("need at least one weight")
+    if not (total > 0) or not math.isfinite(total):
+        raise ContractError(f"rate must be positive and finite, got {total}")
+    if any(w <= 0 or not math.isfinite(w) for w in weights):
+        raise ContractError(f"weights must be positive and finite, got {weights}")
+    mantissa, exponent = math.frexp(total)  # total == mantissa * 2**exponent
+    units = int(math.ldexp(mantissa, 53))  # exact: 53-bit significand
+    if math.ldexp(1.0, exponent - 53) == 0.0 or units < n:
+        raise ContractError(
+            f"rate {total} is too small to split into {n} positive shares"
+        )
+    # integer largest-remainder split of ``units`` by weight, min 1 each.
+    # Exact rational arithmetic: at this magnitude float products have
+    # ulp > 1, so a float floor() would over/under-count whole units.
+    exact_weights = [Fraction(w) for w in weights]
+    wsum = sum(exact_weights)
+    raw = [units * w / wsum for w in exact_weights]
+    floors = [max(1, math.floor(r)) for r in raw]
+    budget = units - sum(floors)
+    if budget < 0:
+        raise ContractError(
+            f"weights {weights} are too skewed to split rate {total} "
+            f"into {n} positive shares"
+        )
+    by_remainder = sorted(
+        range(n), key=lambda i: raw[i] - math.floor(raw[i]), reverse=True
+    )
+    idx = 0
+    while budget > 0:
+        floors[by_remainder[idx % n]] += 1
+        budget -= 1
+        idx += 1
+    # every share and partial sum is (integer <= units) * 2**(e-53), so
+    # each float addition below the total is exact by representability
+    return [math.ldexp(f, exponent - 53) for f in floors]
+
+
+def split_rate_contract(contract: Contract, n: int) -> List[Contract]:
+    """Split a throughput SLA across ``n`` sibling shards, conserving rate.
+
+    This is the shard-tree counterpart of the pipeline heuristics in
+    :func:`split_contract`: where a pipeline forwards a throughput SLA
+    unchanged to every stage (slowest-stage model), sibling *shards*
+    divide the load, so each gets a proportional slice whose rates sum
+    exactly to the parent's (see :func:`split_rate`).
+
+    * :class:`MinThroughputContract` / :class:`RateContract` — split the
+      target rate.
+    * :class:`ThroughputRangeContract` — split both band edges.
+    * :class:`MaxLatencyContract` / :class:`BestEffortContract` — latency
+      is not additive across shards; forwarded unchanged.
+    * :class:`SecurityContract` — boolean, forwarded unchanged.
+    * :class:`CompositeContract` — split each part, recombine per shard.
+    """
+    return split_rate_contract_weighted(contract, [1.0] * max(n, 0))
+
+
+def split_rate_contract_weighted(
+    contract: Contract, weights: Sequence[float]
+) -> List[Contract]:
+    """Weighted :func:`split_rate_contract` (used by shard rebalancing)."""
+    n = len(weights)
+    if n < 1:
+        raise ContractError("cannot split a contract across zero shards")
+
+    if isinstance(contract, CompositeContract):
+        per_shard: List[List[Contract]] = [[] for _ in range(n)]
+        for part in contract.parts:
+            for i, sub in enumerate(split_rate_contract_weighted(part, weights)):
+                per_shard[i].append(sub)
+        return [
+            subs[0] if len(subs) == 1 else CompositeContract(subs)
+            for subs in per_shard
+        ]
+    if isinstance(contract, MinThroughputContract):
+        return [
+            MinThroughputContract(target=r)
+            for r in split_rate_weighted(contract.target, weights)
+        ]
+    if isinstance(contract, RateContract):
+        return [
+            RateContract(rate=r)
+            for r in split_rate_weighted(contract.rate, weights)
+        ]
+    if isinstance(contract, ThroughputRangeContract):
+        lows = split_rate_weighted(contract.low, weights)
+        highs = split_rate_weighted(contract.high, weights)
+        if any(hi < lo for lo, hi in zip(lows, highs)):
+            raise ContractError(
+                f"cannot split {contract.describe()} into {n} consistent bands"
+            )
+        return [
+            ThroughputRangeContract(lo, hi) for lo, hi in zip(lows, highs)
+        ]
+    if isinstance(
+        contract, (MaxLatencyContract, BestEffortContract, SecurityContract)
+    ):
+        return [contract for _ in range(n)]
+    raise ContractError(
+        f"no shard splitting heuristic for {type(contract).__name__}"
+    )

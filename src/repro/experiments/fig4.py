@@ -242,6 +242,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="process/dist backends: skip the fault injection",
     )
     parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="live backends: run the farm-of-farms variant with N shards "
+        "under one parent manager (skewed feed -> budget rebalancing)",
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=0, metavar="M",
+        help="with --shards: multiplex M tenants with per-tenant rate "
+        "SLAs through the admission gate and fair-share scheduler",
+    )
+    parser.add_argument(
         "--with-security", action="store_true",
         help="live backends: run the §3.2 multi-concern story — growth "
         "routes through a live GM + security manager, every new worker "
@@ -278,6 +288,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.tenants and not args.shards:
+        parser.error("--tenants needs --shards")
+    if args.shards:
+        if args.backend == "sim":
+            parser.error("--shards needs a live backend (thread/process/dist)")
+        from .fig4_live import (
+            Fig4ShardedConfig,
+            render_fig4_sharded,
+            run_fig4_sharded,
+        )
+
+        sharded_telemetry = None
+        if args.trace_out or args.metrics_out:
+            sharded_telemetry = Telemetry()
+        sharded_cfg = Fig4ShardedConfig(
+            backend=args.backend, shards=args.shards, tenants=args.tenants
+        )
+        print(render_fig4_sharded(
+            run_fig4_sharded(sharded_cfg, telemetry=sharded_telemetry)
+        ))
+        if args.trace_out:
+            from ..obs.export import write_trace_jsonl
+
+            n = write_trace_jsonl(args.trace_out, sharded_telemetry)
+            print(f"wrote {n} trace records to {args.trace_out}")
+        if args.metrics_out:
+            from ..obs.export import prometheus_text
+
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(prometheus_text(sharded_telemetry.metrics))
+            print(f"wrote metrics to {args.metrics_out}")
+        return 0
     if args.backend != "sim":
         from .fig4_live import Fig4LiveConfig, render_fig4_live, run_fig4_live
 

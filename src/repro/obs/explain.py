@@ -23,10 +23,12 @@ Usage::
     python -m repro.obs.explain trace.jsonl --task 17      # one task's causal chain
     python -m repro.obs.explain trace.jsonl --actuations   # actuation index
     python -m repro.obs.explain trace.jsonl --actuation 2  # one actuation's chain
+    python -m repro.obs.explain trace.jsonl --tenant acme  # one tenant's story
 
 Everything here is read-only over a list of :class:`~repro.obs.spans.Span`
 objects, so the same functions also serve tests and notebooks directly
-(`load`, `find_actuations`, `explain_task`, `explain_actuation`).
+(`load`, `find_actuations`, `explain_task`, `explain_actuation`,
+`explain_tenant`).
 """
 
 from __future__ import annotations
@@ -45,6 +47,7 @@ __all__ = [
     "find_actuations",
     "explain_task",
     "explain_actuation",
+    "explain_tenant",
     "explain_trace",
     "main",
 ]
@@ -198,6 +201,89 @@ def explain_task(
                 None,
             )
         print(f"  result: {outcome}", file=out)
+    return True
+
+
+# ----------------------------------------------------------------------
+# tenant narratives
+# ----------------------------------------------------------------------
+
+
+def explain_tenant(
+    spans: Sequence[Span], tenant: str, *, out: TextIO
+) -> bool:
+    """Narrate every task one tenant submitted; False if the tenant is
+    absent from the export.
+
+    The tenant name is stamped on each task's root span at submission
+    (see ``ShardedFarm.submit``), so this view is the multi-tenant
+    slice of the same dispatch trees ``--task`` narrates one by one:
+    which farms/shards served the tenant, each task's worker chain, and
+    how the tenant's stream ended.
+    """
+    roots = [
+        s
+        for s in spans
+        if s.name == "task" and s.attributes.get("tenant") == tenant
+    ]
+    if not roots:
+        known = sorted(
+            {
+                str(s.attributes["tenant"])
+                for s in spans
+                if s.name == "task" and s.attributes.get("tenant") is not None
+            }
+        )
+        print(f"no 'task' span carries tenant={tenant!r}", file=out)
+        if known:
+            print("tenants in this export: " + ", ".join(known), file=out)
+        return False
+    index = children_index(spans)
+    roots = sorted(roots, key=lambda s: (s.start, s.span_id))
+    farms = sorted({r.actor for r in roots})
+    print(
+        f"tenant {tenant!r} — {len(roots)} task(s) across "
+        f"{len(farms)} farm(s): {', '.join(farms)}",
+        file=out,
+    )
+    done = 0
+    for root in roots:
+        outcome = root.attributes.get("outcome", "open")
+        if outcome == "ok":
+            done += 1
+        hops: List[str] = []
+        dispatch = next(
+            (s for s in index.get(root.span_id, []) if s.name == "task.dispatch"),
+            None,
+        )
+        while dispatch is not None:
+            worker = dispatch.attributes.get("worker")
+            d_outcome = dispatch.attributes.get("outcome", "open")
+            hop = f"worker {worker}"
+            if d_outcome in _SUPERSEDED:
+                hop += f" ({d_outcome})"
+            hops.append(hop)
+            dispatch = next(
+                (
+                    s
+                    for s in index.get(dispatch.span_id, [])
+                    if s.name == "task.dispatch"
+                ),
+                None,
+            )
+        chain = " -> ".join(hops) if hops else "never dispatched"
+        print(
+            f"  task {root.attributes.get('task_id')} on {root.actor}: "
+            f"{chain} — {outcome}, {_fmt_duration(root)}",
+            file=out,
+        )
+    first = min(r.start for r in roots)
+    last = max((r.end if r.end is not None else r.start) for r in roots)
+    print(
+        f"  => {done}/{len(roots)} completed over {last - first:.3f}s "
+        f"of the tenant's stream",
+        file=out,
+    )
     return True
 
 
@@ -457,6 +543,10 @@ def main(argv: Optional[List[str]] = None, *, out: TextIO = None) -> int:
     group.add_argument(
         "--actuation", type=int, metavar="N", help="causal chain of actuation #N"
     )
+    group.add_argument(
+        "--tenant", metavar="NAME",
+        help="narrate every task tenant NAME submitted (multi-tenant runs)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -477,6 +567,8 @@ def main(argv: Optional[List[str]] = None, *, out: TextIO = None) -> int:
         return 0
     if args.actuation is not None:
         return 0 if explain_actuation(spans, args.actuation, out=out) else 2
+    if args.tenant is not None:
+        return 0 if explain_tenant(spans, args.tenant, out=out) else 2
     _overview(spans, out)
     return 0
 

@@ -95,7 +95,10 @@ class FarmBackend(Protocol):
     def now(self) -> float: ...
 
     # -- stream ---------------------------------------------------------
-    def submit(self, payload: Any) -> None: ...
+    def submit(self, payload: Any, *, tenant: Optional[str] = None) -> None:
+        """Accept one task.  ``tenant`` (optional) is stamped on the
+        task's root trace span for per-tenant narration."""
+        ...
 
     def drain_results(self, count: int, timeout: float = 30.0) -> List[Any]: ...
 

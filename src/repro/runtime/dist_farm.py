@@ -59,9 +59,11 @@ from ..obs.telemetry import NOOP, Telemetry
 from ..sim.metrics import WindowRateEstimator, queue_length_stats
 from .backend import RuntimeFarmSnapshot
 from .dist_proto import (
+    PROTOCOL_VERSION,
     encode_frame,
     encode_payload,
     make_challenge,
+    version_mismatch_error,
     read_frame,
     verify_proof,
 )
@@ -303,6 +305,21 @@ class DistFarm:
         if hello is None or hello.get("type") != "hello":
             writer.close()
             return
+        if hello.get("proto") != PROTOCOL_VERSION:
+            # refuse mismatched (or unversioned) peers up front with a
+            # diagnosis, instead of failing opaquely on the first frame
+            # the older peer does not understand
+            writer.write(
+                encode_frame(
+                    version_mismatch_error(hello.get("proto"), role="coordinator")
+                )
+            )
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            return
         claimed = int(hello.get("worker_id", -1))
         with self._lock:
             handle = self._find_worker(claimed) if claimed >= 0 else None
@@ -318,7 +335,13 @@ class DistFarm:
             handle.last_seen = self.now()
             retiring = handle.retiring
         writer.write(
-            encode_frame({"type": "welcome", "worker_id": handle.worker_id})
+            encode_frame(
+                {
+                    "type": "welcome",
+                    "worker_id": handle.worker_id,
+                    "proto": PROTOCOL_VERSION,
+                }
+            )
         )
         if retiring or self._shutdown.is_set():
             # retired (or farm torn down) before it finished connecting
@@ -488,7 +511,7 @@ class DistFarm:
     # ------------------------------------------------------------------
     # stream
     # ------------------------------------------------------------------
-    def submit(self, payload: Any) -> None:
+    def submit(self, payload: Any, *, tenant: Optional[str] = None) -> None:
         """Track one task and queue it for dispatch."""
         with self._lock:
             now = self.now()
@@ -503,6 +526,7 @@ class DistFarm:
                     actor=self.name,
                     context=task_context(self.name, task_id),
                     task_id=task_id,
+                    **({"tenant": tenant} if tenant is not None else {}),
                 )
             self._tasks[task_id] = record
             self._enqueue_ready(task_id)

@@ -12,6 +12,11 @@ Frame vocabulary (``type`` field):
 
 worker → coordinator
     ``hello``    first frame; carries the worker id (−1 = "assign me one")
+                 and ``proto``, the sender's :data:`PROTOCOL_VERSION`.
+                 The coordinator refuses a mismatched (or missing)
+                 version with an ``error`` frame naming both versions —
+                 a clear diagnosis instead of the opaque mid-stream
+                 failure an unknown frame type used to produce
     ``hb``       heartbeat, with the cumulative completed-task counter
     ``result``   one task outcome: ``value`` on success, ``error`` text
                  on failure (the coordinator rehydrates it as an
@@ -30,6 +35,13 @@ worker → coordinator
 
 coordinator → worker
     ``welcome``  hello ack; carries the (possibly assigned) worker id
+                 and the coordinator's ``proto`` version (a worker
+                 tolerates its absence, so pre-versioning test
+                 harnesses keep working; a *mismatched* version makes
+                 the worker exit with a clear message)
+    ``error``    terminal refusal; carries human-readable ``error``
+                 text (sent before closing, e.g. on a protocol-version
+                 mismatch)
     ``task``     one task: ``task_id``, ``payload``, ``enc`` (when the
                  channel is secured the payload is the base64 of the
                  encrypted JSON bytes); optionally ``traceparent``, the
@@ -39,6 +51,22 @@ coordinator → worker
     ``secure``   secure-channel handshake: carries a fresh ``challenge``
                  the worker must prove it can encrypt
     ``poison``   finish already-received tasks, send ``bye``, exit
+
+The shard hierarchy (:mod:`repro.runtime.hierarchy`) reuses this frame
+layer on its parent ↔ shard-agent links with four more types:
+
+parent → shard agent
+    ``contract``   (re)assign the shard's sub-contract; carries the
+                   codec dict of :mod:`repro.runtime.hierarchy.codec`
+    ``poll``       ask for a fresh shard report
+
+shard agent → parent
+    ``report``     one :class:`~repro.runtime.hierarchy.shard.ShardReport`
+                   snapshot (includes ``violation`` entries raised by
+                   the shard's Figure 5 controller since the last poll)
+    ``violation``  standalone violation notice (same payload shape as a
+                   report's ``violations`` entry), pushed with a report
+                   when the shard wants immediate parent attention
 
 Secured payloads use the same toy cipher as the thread and process
 farms (:mod:`repro.security.crypto`), so ``secure_all()`` has the same
@@ -57,15 +85,24 @@ from ..security.crypto import CryptoError, decrypt, encrypt
 
 __all__ = [
     "MAX_FRAME",
+    "PROTOCOL_VERSION",
     "SECRET",
     "encode_frame",
     "read_frame",
+    "version_mismatch_error",
     "encode_payload",
     "decode_payload",
     "make_challenge",
     "prove_challenge",
     "verify_proof",
 ]
+
+#: wire protocol generation.  Version 2 adds the handshake version
+#: field itself plus the hierarchy frames (``contract``/``violation``/
+#: ``report``/``poll``).  Both handshake sides advertise it; peers that
+#: disagree are refused up front with an ``error`` frame instead of
+#: failing opaquely on the first unknown frame type.
+PROTOCOL_VERSION = 2
 
 #: shared toy-cipher key (same key the other substrates use)
 SECRET = b"repro-channel-key"
@@ -107,6 +144,20 @@ async def read_frame(reader) -> Optional[dict]:
     except (UnicodeDecodeError, json.JSONDecodeError):
         return None
     return message if isinstance(message, dict) else None
+
+
+def version_mismatch_error(peer_proto: Any, *, role: str) -> dict:
+    """The ``error`` frame refusing a peer speaking the wrong protocol."""
+    spoke = "no protocol version" if peer_proto is None else f"protocol version {peer_proto}"
+    return {
+        "type": "error",
+        "error": (
+            f"protocol version mismatch: this {role} speaks version "
+            f"{PROTOCOL_VERSION}, but the peer announced {spoke}; "
+            "upgrade both sides to the same repro release"
+        ),
+        "proto": PROTOCOL_VERSION,
+    }
 
 
 def encode_payload(payload: Any, *, secured: bool) -> Any:

@@ -43,7 +43,13 @@ import time
 from typing import Any, Callable, Optional, Tuple
 
 from ..obs.propagation import TraceContext, make_span_record
-from .dist_proto import decode_payload, encode_frame, prove_challenge, read_frame
+from .dist_proto import (
+    PROTOCOL_VERSION,
+    decode_payload,
+    encode_frame,
+    prove_challenge,
+    read_frame,
+)
 
 __all__ = ["resolve_fn", "run_worker", "main"]
 
@@ -100,9 +106,31 @@ async def run_worker(
     reader, writer = await _connect(
         host, port, connect_attempts, connect_backoff, connect_backoff_cap
     )
-    writer.write(encode_frame({"type": "hello", "worker_id": worker_id}))
+    writer.write(
+        encode_frame(
+            {"type": "hello", "worker_id": worker_id, "proto": PROTOCOL_VERSION}
+        )
+    )
     welcome = await read_frame(reader)
+    if welcome is not None and welcome.get("type") == "error":
+        # the coordinator refused us (e.g. protocol-version mismatch):
+        # surface its diagnosis instead of dying silently
+        print(
+            f"coordinator refused worker: {welcome.get('error', 'unknown error')}",
+            file=sys.stderr,
+        )
+        writer.close()
+        return 1
     if welcome is None or welcome.get("type") != "welcome":
+        writer.close()
+        return 1
+    coord_proto = welcome.get("proto", PROTOCOL_VERSION)  # absent = legacy peer
+    if coord_proto != PROTOCOL_VERSION:
+        print(
+            f"protocol version mismatch: this worker speaks version "
+            f"{PROTOCOL_VERSION}, the coordinator announced {coord_proto}",
+            file=sys.stderr,
+        )
         writer.close()
         return 1
     worker_id = int(welcome.get("worker_id", worker_id))

@@ -160,8 +160,13 @@ class ThreadFarm:
     # ------------------------------------------------------------------
     # stream
     # ------------------------------------------------------------------
-    def submit(self, payload: Any) -> None:
-        """Dispatch one task to an admitted worker (round robin)."""
+    def submit(self, payload: Any, *, tenant: Optional[str] = None) -> None:
+        """Dispatch one task to an admitted worker (round robin).
+
+        ``tenant`` (optional) names the submitting tenant; it is stamped
+        on the task's root span so ``repro.obs.explain --tenant`` can
+        reconstruct a single tenant's story from an export.
+        """
         with self._lock:
             self.arrival_est.mark(self.now())
             task_id = self.submitted
@@ -172,7 +177,7 @@ class ThreadFarm:
             self._rr = (self._rr + 1) % len(live)
             worker = live[self._rr]
             now = self.now()
-            trace = self._trace_submit(task_id, worker)
+            trace = self._trace_submit(task_id, worker, tenant=tenant)
             if worker.secured:
                 worker.queue.put(
                     (encrypt(_SECRET, pickle.dumps(payload)), True, now, trace)
@@ -182,13 +187,19 @@ class ThreadFarm:
             self._count_dispatch(worker)
 
     # -- trace context -------------------------------------------------
-    def _trace_submit(self, task_id: int, worker: ThreadWorker) -> Optional[_TaskTrace]:
+    def _trace_submit(
+        self, task_id: int, worker: ThreadWorker, tenant: Optional[str] = None
+    ) -> Optional[_TaskTrace]:
         """Open the task's root span + first dispatch attempt (lock held)."""
         if not self.telemetry.enabled:
             return None
         ctx = task_context(self.name, task_id)
         root = self.telemetry.start_span(
-            "task", actor=self.name, context=ctx, task_id=task_id
+            "task",
+            actor=self.name,
+            context=ctx,
+            task_id=task_id,
+            **({"tenant": tenant} if tenant is not None else {}),
         )
         trace = _TaskTrace(task_id, root)
         self._trace_dispatch(trace, worker)

@@ -289,7 +289,7 @@ class ProcessFarm:
     # ------------------------------------------------------------------
     # stream
     # ------------------------------------------------------------------
-    def submit(self, payload: Any) -> None:
+    def submit(self, payload: Any, *, tenant: Optional[str] = None) -> None:
         """Track one task and dispatch it to a worker (round robin)."""
         with self._lock:
             now = self.now()
@@ -304,6 +304,7 @@ class ProcessFarm:
                     actor=self.name,
                     context=task_context(self.name, task_id),
                     task_id=task_id,
+                    **({"tenant": tenant} if tenant is not None else {}),
                 )
             self._tasks[task_id] = record
             self._dispatch(record)

@@ -16,7 +16,10 @@ them:
 * composite contracts split/merge round-trip: splitting the composite
   is the per-child recombination of splitting its parts;
 * degree splits conserve the parent's budget (largest-remainder) while
-  keeping every stage viable (min 1 worker).
+  keeping every stage viable (min 1 worker);
+* rate splits across sibling shards conserve the parent's rate budget
+  *exactly* — the float sum of child rates reproduces the parent rate
+  bit-for-bit, for any shard count and any positive weights.
 """
 
 from hypothesis import given, settings
@@ -25,12 +28,17 @@ from hypothesis import strategies as st
 from repro.core.contracts import (
     BestEffortContract,
     CompositeContract,
+    ContractError,
     MaxLatencyContract,
     MinThroughputContract,
     ParallelismDegreeContract,
+    RateContract,
     SecurityContract,
     ThroughputRangeContract,
     split_contract,
+    split_rate,
+    split_rate_contract,
+    split_rate_weighted,
 )
 from repro.skeletons.ast import Farm, Pipe, Seq
 from repro.skeletons.cost import stage_weights
@@ -169,8 +177,95 @@ class TestDegreeSplit:
             return
         import pytest
 
-        from repro.core.contracts import ContractError
-
         parent = ParallelismDegreeContract(min_degree=1, max_degree=n - 1)
         with pytest.raises(ContractError):
             split_contract(parent, pipe)
+
+
+# arbitrary finite positive floats, not just a decimal grid: the
+# conservation law below is *exact*, so it must survive ulp-hostile rates
+any_rates = st.floats(
+    min_value=1e-12, max_value=1e15, allow_nan=False, allow_infinity=False
+)
+shard_counts = st.integers(1, 64)
+positive_weights = st.lists(
+    st.floats(min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=16,
+)
+
+
+class TestRateSplitConservation:
+    """The shard-tree budget law: no ulp of rate leaks on the way down."""
+
+    @settings(max_examples=500, deadline=None)
+    @given(any_rates, shard_counts)
+    def test_equal_split_conserves_exactly(self, total, n):
+        parts = split_rate(total, n)
+        assert len(parts) == n
+        assert all(p > 0 for p in parts)
+        # plain left-to-right float summation, not math.fsum: the law
+        # holds for the arithmetic shards actually perform
+        assert sum(parts) == total
+
+    @settings(max_examples=500, deadline=None)
+    @given(any_rates, positive_weights)
+    def test_weighted_split_conserves_exactly(self, total, weights):
+        try:
+            parts = split_rate_weighted(total, weights)
+        except ContractError:
+            return  # infeasibly skewed weights are rejected, never fudged
+        assert len(parts) == len(weights)
+        assert all(p > 0 for p in parts)
+        assert sum(parts) == total
+
+    @settings(max_examples=300, deadline=None)
+    @given(any_rates, positive_weights)
+    def test_weighted_split_tracks_weights(self, total, weights):
+        try:
+            parts = split_rate_weighted(total, weights)
+        except ContractError:
+            return
+        wsum = sum(weights)
+        for part, weight in zip(parts, weights):
+            ideal = total * (weight / wsum)
+            # largest-remainder rounding moves a share by at most one
+            # unit of the integer grid (~total * 2**-52): proportional
+            # to weight up to that quantum
+            assert abs(part - ideal) <= max(1e-9 * total, 4 * abs(total) * 2**-52)
+
+    @settings(max_examples=300, deadline=None)
+    @given(rates, shard_counts)
+    def test_min_throughput_contract_split_conserves(self, target, n):
+        subs = split_rate_contract(MinThroughputContract(target), n)
+        assert all(isinstance(s, MinThroughputContract) for s in subs)
+        assert sum(s.target for s in subs) == target
+
+    @settings(max_examples=300, deadline=None)
+    @given(rates, shard_counts)
+    def test_rate_contract_split_conserves(self, rate, n):
+        subs = split_rate_contract(RateContract(rate), n)
+        assert sum(s.rate for s in subs) == rate
+
+    @settings(max_examples=300, deadline=None)
+    @given(rates, rates, shard_counts)
+    def test_range_contract_split_conserves_both_edges(self, lo, span, n):
+        parent = ThroughputRangeContract(lo, lo + span)
+        try:
+            subs = split_rate_contract(parent, n)
+        except ContractError:
+            return  # an inconsistent per-shard band is rejected, not emitted
+        assert sum(s.low for s in subs) == parent.low
+        assert sum(s.high for s in subs) == parent.high
+        assert all(s.low <= s.high for s in subs)
+
+    @settings(max_examples=200, deadline=None)
+    @given(rates, shard_counts)
+    def test_composite_splits_rate_parts_and_forwards_booleans(self, rate, n):
+        parent = CompositeContract([MinThroughputContract(rate), SecurityContract()])
+        subs = split_rate_contract(parent, n)
+        assert len(subs) == n
+        for sub in subs:
+            assert isinstance(sub, CompositeContract)
+            assert isinstance(sub.parts[1], SecurityContract)
+        assert sum(sub.parts[0].target for sub in subs) == rate

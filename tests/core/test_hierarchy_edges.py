@@ -1,0 +1,132 @@
+"""Violation-propagation edge cases in the §3.1 manager hierarchy.
+
+The happy path — contract down, violation up, re-contract — is covered
+by ``test_manager.py``; the live farm-of-farms mirror lives in
+``tests/runtime/test_sharded_farm.py``.  This file pins the edges the
+sharded hierarchy leans on:
+
+* a root with an **empty child set** is a degenerate-but-legal
+  hierarchy: contracts assign, violations land unhandled at the root,
+  and the root never goes passive (there is nobody to re-contract it);
+* **duplicate violations raised within one control cycle** each reach
+  the parent exactly once — aggregation must not dedup or drop them;
+* a **child reporting after the parent swapped its contract** still
+  delivers: the report was in flight when the swap happened (the
+  paper's "a little bit after" network delay), and the new contract
+  then reactivates the passive child.
+"""
+
+from repro.core.contracts import MinThroughputContract, ThroughputRangeContract
+from repro.core.events import ViolationKind
+from repro.core.hierarchy import (
+    check_hierarchy,
+    hierarchy_states,
+    passive_managers,
+    propagate_contract,
+)
+from repro.core.manager import AutonomicManager, ManagerState
+from repro.sim.engine import Simulator
+
+
+class TestEmptyChildSet:
+    def test_degenerate_hierarchy_is_legal(self):
+        sim = Simulator()
+        root = AutonomicManager("root", sim, autostart=False)
+        check_hierarchy(root)
+        propagate_contract(root, MinThroughputContract(1.0))
+        assert hierarchy_states(root) == {"root": "active"}
+        assert root.descendants() == []
+
+    def test_root_violation_stays_local_and_root_stays_active(self):
+        sim = Simulator()
+        root = AutonomicManager("root", sim, autostart=False)
+        propagate_contract(root, MinThroughputContract(1.0))
+        violation = root.raise_violation(ViolationKind.NO_LOCAL_PLAN)
+        sim.run(until=10.0)
+        # nobody above: the report lands in the root's own unhandled
+        # list, and the root keeps retrying rather than deadlocking the
+        # whole hierarchy in passive mode
+        assert root.unhandled_violations == [violation]
+        assert root.state is ManagerState.ACTIVE
+        assert passive_managers(root) == []
+
+
+class TestDuplicateViolationsInOneCycle:
+    def test_each_duplicate_reaches_the_parent_exactly_once(self):
+        sim = Simulator()
+        parent = AutonomicManager("parent", sim, autostart=False)
+        child = AutonomicManager(
+            "child", sim, autostart=False, violation_delay=1.0
+        )
+        parent.add_child(child)
+        propagate_contract(parent, ThroughputRangeContract(2.0, 8.0))
+        child.assign_contract(ThroughputRangeContract(1.0, 4.0))
+
+        # two identical reports raised back-to-back in the same cycle
+        child.raise_violation(ViolationKind.NOT_ENOUGH_TASKS)
+        child.raise_violation(ViolationKind.NOT_ENOUGH_TASKS)
+        # the first fatal report already dropped the child to passive
+        assert child.state is ManagerState.PASSIVE
+        assert parent.unhandled_violations == []  # still in flight
+
+        sim.run(until=5.0)
+        kinds = [v.kind for v in parent.unhandled_violations]
+        assert kinds == [
+            ViolationKind.NOT_ENOUGH_TASKS,
+            ViolationKind.NOT_ENOUGH_TASKS,
+        ]
+        assert all(v.source == "child" for v in parent.unhandled_violations)
+
+    def test_warning_and_fatal_in_one_cycle_keep_their_severities(self):
+        sim = Simulator()
+        parent = AutonomicManager("parent", sim, autostart=False)
+        child = AutonomicManager(
+            "child", sim, autostart=False, violation_delay=1.0
+        )
+        parent.add_child(child)
+        child.assign_contract(ThroughputRangeContract(1.0, 4.0))
+
+        child.raise_violation(ViolationKind.TOO_MUCH_TASKS, severity="warning")
+        assert child.state is ManagerState.ACTIVE  # warnings never demote
+        child.raise_violation(ViolationKind.NO_LOCAL_PLAN)
+        assert child.state is ManagerState.PASSIVE
+
+        sim.run(until=5.0)
+        received = [(v.kind, v.severity) for v in parent.unhandled_violations]
+        assert received == [
+            (ViolationKind.TOO_MUCH_TASKS, "warning"),
+            (ViolationKind.NO_LOCAL_PLAN, "fatal"),
+        ]
+
+
+class TestReportAfterContractSwap:
+    def test_in_flight_report_survives_the_parent_swap(self):
+        """The child's report and the parent's re-contract cross on the
+        wire: the delivery must still land, attributed to the child,
+        and the swap must not resurrect the passive child by itself."""
+        sim = Simulator()
+        parent = AutonomicManager("parent", sim, autostart=False)
+        child = AutonomicManager(
+            "child", sim, autostart=False, violation_delay=2.0
+        )
+        parent.add_child(child)
+        propagate_contract(parent, ThroughputRangeContract(2.0, 8.0))
+        child.assign_contract(ThroughputRangeContract(1.0, 4.0))
+
+        sim.schedule(0.0, child.raise_violation, ViolationKind.NOT_ENOUGH_TASKS)
+        # the parent swaps its own contract while the report is in flight
+        sim.schedule(1.0, parent.assign_contract, ThroughputRangeContract(3.0, 9.0))
+        sim.run(until=1.5)
+        assert parent.contract.low == 3.0
+        assert parent.unhandled_violations == []  # still in flight
+        assert child.state is ManagerState.PASSIVE
+
+        sim.run(until=5.0)
+        assert [v.kind for v in parent.unhandled_violations] == [
+            ViolationKind.NOT_ENOUGH_TASKS
+        ]
+        # only a new contract for the *child* reactivates it
+        assert child.state is ManagerState.PASSIVE
+        child.assign_contract(ThroughputRangeContract(2.0, 5.0))
+        assert child.state is ManagerState.ACTIVE
+        assert passive_managers(parent) == []

@@ -68,7 +68,10 @@ def make_farm(
     """One farm per backend, tuned for fast fault detection in tests."""
     fault_tuning = dict(
         heartbeat_period=0.05,
-        heartbeat_timeout=0.5,
+        # loose on purpose: the injected faults are detected by process
+        # exit / connection EOF, not heartbeat staleness, and a tight
+        # staleness bound falsely kills live workers on loaded runners
+        heartbeat_timeout=2.0,
         supervise_period=0.02,
         backoff_base=0.02,
         backoff_cap=0.2,
@@ -239,6 +242,14 @@ class TestAdmissionGate:
             # lifting the gate makes the worker a normal dispatch target
             assert farm.admit_worker(gated.worker_id)
             assert farm.quarantined_workers == 0
+            # the dist worker process may still be booting: tasks can
+            # only reach it once its TCP link is up, so wait for that
+            # before submitting the batch whose distribution we assert on
+            if hasattr(gated, "connected"):
+                wait_until(
+                    lambda: gated.connected,
+                    message="admitted worker should connect",
+                )
             more = 40
             for i in range(total, total + more):
                 farm.submit((0.005, i))

@@ -19,6 +19,7 @@ from repro.obs.telemetry import Telemetry
 from repro.runtime.dist_farm import DistFarm, fn_spec
 from repro.runtime.dist_proto import (
     MAX_FRAME,
+    PROTOCOL_VERSION,
     decode_payload,
     encode_frame,
     encode_payload,
@@ -89,6 +90,35 @@ class TestWireProtocol:
         assert roundtrip(header + b"x") is None
         with pytest.raises(ValueError):
             encode_frame({"pad": "x" * (MAX_FRAME + 10)})
+
+    def test_mismatched_protocol_version_refused_with_clear_error(self):
+        farm = quick_farm(initial_workers=1)
+
+        async def attach(proto):
+            reader, writer = await asyncio.open_connection("127.0.0.1", farm.port)
+            hello = {"type": "hello", "worker_id": -1}
+            if proto is not None:
+                hello["proto"] = proto
+            writer.write(encode_frame(hello))
+            reply = await read_frame(reader)
+            writer.close()
+            return reply
+
+        try:
+            for bad in (999, None):
+                reply = asyncio.run(attach(bad))
+                assert reply is not None and reply["type"] == "error"
+                assert "protocol version mismatch" in reply["error"]
+                assert str(PROTOCOL_VERSION) in reply["error"]
+                assert reply["proto"] == PROTOCOL_VERSION
+            # the refusals registered nobody beyond the spawned worker
+            assert farm.num_workers == 1
+            # a matching version is welcomed as usual
+            reply = asyncio.run(attach(PROTOCOL_VERSION))
+            assert reply is not None and reply["type"] == "welcome"
+            assert reply["proto"] == PROTOCOL_VERSION
+        finally:
+            farm.shutdown()
 
     def test_secured_payload_roundtrip(self):
         payload = {"work": 0.1, "values": [1, 2, 3]}

@@ -18,6 +18,7 @@ import sys
 import pytest
 
 from repro.runtime.dist_proto import (
+    PROTOCOL_VERSION,
     encode_frame,
     make_challenge,
     read_frame,
@@ -84,8 +85,16 @@ class TestRequireSecureWire:
             try:
                 reader, writer = await asyncio.wait_for(conn, timeout=15.0)
                 hello = await next_frame(reader)
-                assert hello == {"type": "hello", "worker_id": 7}
-                writer.write(encode_frame({"type": "welcome", "worker_id": 7}))
+                assert hello == {
+                    "type": "hello",
+                    "worker_id": 7,
+                    "proto": PROTOCOL_VERSION,
+                }
+                writer.write(
+                    encode_frame(
+                        {"type": "welcome", "worker_id": 7, "proto": PROTOCOL_VERSION}
+                    )
+                )
 
                 # 1. a task racing ahead of the handshake is bounced, not run
                 writer.write(
