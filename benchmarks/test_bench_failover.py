@@ -1,0 +1,187 @@
+"""Bench the self-healing coordinator: journal overhead and failover latency.
+
+Two measurements land in ``benchmarks/out/BENCH_failover.json``:
+
+* **journal overhead** — the same zero-work stream through a raw
+  :class:`ThreadFarm` and through a :class:`SupervisedFarm` (thread
+  incarnation) at ``fsync_batch=32`` (the default, amortised) and
+  ``fsync_batch=1`` (fsync-per-event, the paranoid setting).  With no
+  compute in the tasks, the wall-clock ratio *is* the price of the
+  envelope + append + batched fsync on the dispatch path — the premium
+  paid for a coordinator that can die without losing work.
+* **failover latency** — the coordinator of a mid-stream farm is killed
+  and :meth:`SupervisedFarm.failover` rebuilds it from the journal; we
+  record crash→serving latency per backend.  Thread and process rebuild
+  their workers from scratch; dist additionally promotes a standby onto
+  the same port and adopts the reattaching workers, so its number is the
+  full standby-takeover story.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the workloads to CI-sized
+runs while still writing the artefact.
+"""
+
+import os
+import tempfile
+import time
+
+import pytest
+
+from tests.runtime.test_supervision import supervised_task
+from tests.runtime.waiting import wait_until
+
+from repro.runtime.farm_runtime import ThreadFarm
+from repro.runtime.supervision import SupervisedFarm
+
+WORKERS = 4
+
+#: fault-detection tuning for the live process/dist incarnations, kept
+#: identical to the chaos conformance tier so the numbers line up
+FAULT_TUNING = dict(
+    heartbeat_period=0.05,
+    heartbeat_timeout=2.0,
+    supervise_period=0.02,
+    backoff_base=0.02,
+    backoff_cap=0.2,
+)
+
+
+def _journal_path() -> str:
+    fd, path = tempfile.mkstemp(prefix="bench-failover-", suffix=".jsonl")
+    os.close(fd)
+    return path
+
+
+def _supervised(backend: str, *, fsync_batch: int = 32) -> SupervisedFarm:
+    options = dict(rate_window=0.5)
+    if backend in ("process", "dist"):
+        options.update(FAULT_TUNING)
+    return SupervisedFarm(
+        supervised_task,
+        backend=backend,
+        journal_path=_journal_path(),
+        name=f"bench-{backend}",
+        initial_workers=WORKERS,
+        max_workers=WORKERS + 2,
+        journal_fsync_batch=fsync_batch,
+        farm_options=options,
+    )
+
+
+def _cleanup(farm: SupervisedFarm) -> None:
+    path = farm.journal.path
+    farm.shutdown()
+    if os.path.exists(path):
+        os.unlink(path)
+
+
+def run_raw_thread(n_tasks: int) -> float:
+    """Baseline: the unsupervised thread farm on a zero-work stream."""
+    farm = ThreadFarm(supervised_task, initial_workers=WORKERS)
+    try:
+        t0 = time.monotonic()
+        for i in range(n_tasks):
+            farm.submit((0.0, i))
+        farm.drain_results(n_tasks, timeout=300.0)
+        return time.monotonic() - t0
+    finally:
+        farm.shutdown()
+
+
+def run_supervised_thread(n_tasks: int, fsync_batch: int) -> float:
+    """The same stream, journaled: envelope + append + batched fsync."""
+    farm = _supervised("thread", fsync_batch=fsync_batch)
+    try:
+        t0 = time.monotonic()
+        for i in range(n_tasks):
+            farm.submit((0.0, i))
+        results = farm.drain_results(n_tasks, timeout=300.0)
+        elapsed = time.monotonic() - t0
+        assert len(set(results)) == n_tasks
+        return elapsed
+    finally:
+        _cleanup(farm)
+
+
+def measure_failover(backend: str, smoke_mode: bool) -> dict:
+    """Kill the coordinator mid-stream; time crash→serving recovery."""
+    n_tasks = 40 if smoke_mode else 120
+    task_work = 0.01
+    farm = _supervised(backend)
+    try:
+        for i in range(n_tasks):
+            farm.submit((task_work, i))
+        wait_until(
+            lambda: farm.completed >= max(4, n_tasks // 10),
+            timeout=60.0,
+            message=f"{backend} stream in flight before the crash",
+        )
+        farm.crash_coordinator()
+        state = farm.failover()
+        results = farm.drain_results(n_tasks, timeout=300.0)
+        return {
+            "backend": backend,
+            "tasks": n_tasks,
+            "task_work_seconds": task_work,
+            "failover_seconds": farm.last_failover_seconds,
+            "redispatched": farm.redispatched,
+            "pending_at_failover": len(state.pending),
+            "duplicates_suppressed": farm.duplicates,
+            "tasks_lost": n_tasks - len(set(results)),
+            "final_epoch": farm.epoch,
+            "standby_takeover": backend == "dist",
+        }
+    finally:
+        _cleanup(farm)
+
+
+@pytest.mark.benchmark(group="failover")
+def test_failover_latency_and_journal_overhead(benchmark, json_sink, smoke_mode):
+    """The self-healing premium and the crash→serving latency, measured."""
+    n_tasks = 60 if smoke_mode else 400
+    rounds = 1 if smoke_mode else 3
+
+    raw_times, batched_times, paranoid_times = [], [], []
+
+    def one_round():
+        raw_times.append(run_raw_thread(n_tasks))
+        batched_times.append(run_supervised_thread(n_tasks, fsync_batch=32))
+        paranoid_times.append(run_supervised_thread(n_tasks, fsync_batch=1))
+        return batched_times[-1]
+
+    assert benchmark.pedantic(one_round, rounds=rounds, iterations=1) > 0
+
+    raw_s = min(raw_times)
+    batched_s = min(batched_times)
+    paranoid_s = min(paranoid_times)
+
+    failovers = [measure_failover(b, smoke_mode) for b in ("thread", "process", "dist")]
+
+    payload = {
+        "kernel": "zero-work stream (dispatch-path cost only)",
+        "workers": WORKERS,
+        "tasks": n_tasks,
+        "raw_thread_seconds": raw_s,
+        "supervised_batched_seconds": batched_s,
+        "supervised_fsync_each_seconds": paranoid_s,
+        "per_task_raw_ms": 1000.0 * raw_s / n_tasks,
+        "per_task_supervised_ms": 1000.0 * batched_s / n_tasks,
+        "journal_overhead_batched": batched_s / raw_s if raw_s > 0 else float("inf"),
+        "journal_overhead_fsync_each": (
+            paranoid_s / raw_s if raw_s > 0 else float("inf")
+        ),
+        "failover": {m["backend"]: m for m in failovers},
+        "smoke_mode": smoke_mode,
+    }
+    json_sink("failover", payload)
+
+    # the journal may cost, but failover must never lose or forge work
+    for m in failovers:
+        assert m["tasks_lost"] == 0, m
+        assert m["final_epoch"] == 1, m
+        assert m["failover_seconds"] is not None and m["failover_seconds"] > 0.0
+    if smoke_mode:
+        return
+    # recovery is journal replay + worker restart, not a timeout wait:
+    # even the dist standby takeover must land in single-digit seconds
+    for m in failovers:
+        assert m["failover_seconds"] < 10.0, m

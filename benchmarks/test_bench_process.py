@@ -23,6 +23,8 @@ import time
 
 import pytest
 
+from tests.runtime.waiting import wait_until
+
 from repro.core.contracts import MinThroughputContract
 from repro.runtime.controller import FarmController
 from repro.runtime.farm_runtime import ThreadFarm
@@ -152,14 +154,21 @@ def measure_crash_recovery(smoke_mode: bool) -> dict:
         t_drained = farm.now()
 
         # first time after the kill at which throughput is back in contract
-        t_back = None
-        deadline = time.monotonic() + 30.0
-        while time.monotonic() < deadline:
+        def back_in_contract():
             snap = farm.snapshot()
             if snap.departure_rate >= contract_low or snap.pending == 0:
-                t_back = farm.now()
-                break
-            time.sleep(0.02)
+                return farm.now()
+            return None
+
+        try:
+            t_back = wait_until(
+                back_in_contract,
+                timeout=30.0,
+                interval=0.02,
+                message="throughput back in contract after the kill",
+            )
+        except TimeoutError:
+            t_back = None  # recorded as "never recovered", not a failure
 
         detected = farm.crashes[0][0] if farm.crashes else None
         return {

@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments fig4 --backend=process
     python -m repro.experiments fig4 --backend=dist --with-security
     python -m repro.experiments fig4 --backend=thread --serve-telemetry
+    python -m repro.experiments fig4 --backend=dist --kill-coordinator
 
 Experiment keys: fig3, fig4, loadspike, multiconcern (mc), split,
 ablation, faults, stagefarm, patterns.  ``--trace-out PATH`` attaches
@@ -131,6 +132,7 @@ def main(argv: list[str]) -> int:
     trace_out = None
     backend = None
     with_security = False
+    kill_coordinator = False
     coordination = None
     serve_telemetry = False
     telemetry_port = None
@@ -162,6 +164,8 @@ def main(argv: list[str]) -> int:
             backend = arg.split("=", 1)[1]
         elif arg == "--with-security":
             with_security = True
+        elif arg == "--kill-coordinator":
+            kill_coordinator = True
         elif arg == "--coordination":
             coordination = next(it, None)
             if coordination is None:
@@ -176,6 +180,9 @@ def main(argv: list[str]) -> int:
         return 2
     if with_security and backend in (None, "sim"):
         print("--with-security needs a live backend (--backend thread/process/dist)")
+        return 2
+    if kill_coordinator and backend in (None, "sim"):
+        print("--kill-coordinator needs a live backend (--backend thread/process/dist)")
         return 2
     if serve_telemetry and backend in (None, "sim"):
         print("--serve-telemetry needs a live backend (--backend thread/process/dist)")
@@ -199,6 +206,8 @@ def main(argv: list[str]) -> int:
             fig4_argv += ["--backend", backend]
         if with_security:
             fig4_argv += ["--with-security"]
+        if kill_coordinator:
+            fig4_argv += ["--kill-coordinator"]
         if coordination is not None:
             fig4_argv += ["--coordination", coordination]
         if serve_telemetry:

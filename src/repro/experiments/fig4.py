@@ -242,6 +242,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="process/dist backends: skip the fault injection",
     )
     parser.add_argument(
+        "--kill-coordinator", action="store_true",
+        help="live backends: run under journaled supervision and crash "
+        "the whole coordinator stack mid-feed — the supervisor replays "
+        "the journal, promotes a new incarnation (the dist standby) and "
+        "redispatches the in-flight tasks with zero loss",
+    )
+    parser.add_argument(
         "--shards", type=int, default=0, metavar="N",
         help="live backends: run the farm-of-farms variant with N shards "
         "under one parent manager (skewed feed -> budget rebalancing)",
@@ -290,6 +297,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.tenants and not args.shards:
         parser.error("--tenants needs --shards")
+    if args.kill_coordinator:
+        if args.backend == "sim":
+            parser.error("--kill-coordinator needs a live backend (thread/process/dist)")
+        if args.with_security:
+            parser.error("--kill-coordinator and --with-security are mutually exclusive")
+        if args.shards:
+            parser.error("--kill-coordinator does not combine with --shards")
     if args.shards:
         if args.backend == "sim":
             parser.error("--shards needs a live backend (thread/process/dist)")
@@ -330,6 +344,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             coordination=args.coordination,
             serve_telemetry=args.serve_telemetry,
             telemetry_port=args.telemetry_port,
+            kill_coordinator=args.kill_coordinator,
         )
         live_telemetry = None
         if args.trace_out or args.metrics_out:

@@ -96,6 +96,8 @@ class Fig4LiveConfig:
     coordination: str = "two-phase"  # or "naive": the leak-window ablation
     serve_telemetry: bool = False    # expose /metrics + /trace live over HTTP
     telemetry_port: int = 0          # 0 = pick a free port
+    kill_coordinator: bool = False   # crash the whole coordinator stack mid-feed
+    journal_path: str = ""           # dispatch journal ("" = private temp file)
 
 
 @dataclass
@@ -125,6 +127,11 @@ class Fig4LiveResult:
     insecure_dispatches: int = 0
     secured_workers: int = 0
     quarantined_at_end: int = 0
+    # -- self-healing story (populated by --kill-coordinator runs) -----
+    failovers: int = 0
+    failover_latency: float = 0.0
+    final_epoch: int = 0
+    redispatched: int = 0
     #: base URL the live telemetry endpoint served on (when enabled)
     telemetry_url: str = ""
 
@@ -151,6 +158,12 @@ class Fig4LiveResult:
             and self.quarantined_at_end == 0
             and self.zero_loss()
         )
+
+    def failover_story_ok(self) -> bool:
+        """The --kill-coordinator invariant: the coordinator died with
+        tasks in flight and the supervisor recovered every one of them
+        exactly once."""
+        return self.failovers > 0 and self.zero_loss()
 
 
 def live_task(payload: Any) -> Any:
@@ -203,6 +216,12 @@ def run_fig4_live(
 ) -> Fig4LiveResult:
     """Run the live scenario and return its measured traces."""
     cfg = config or Fig4LiveConfig()
+    if cfg.kill_coordinator:
+        if cfg.with_security:
+            raise ValueError(
+                "--kill-coordinator and --with-security are mutually exclusive"
+            )
+        return _run_fig4_supervised(cfg, telemetry)
     if telemetry is None and (cfg.with_security or cfg.serve_telemetry):
         # the security story proves itself via the dispatch counters, and
         # the live endpoint has nothing to serve without a store — either
@@ -349,6 +368,154 @@ def run_fig4_live(
         farm.shutdown()
         if server is not None:
             server.close()
+
+
+# ----------------------------------------------------------------------
+# the self-healing variant: --kill-coordinator
+# ----------------------------------------------------------------------
+
+
+def _run_fig4_supervised(
+    cfg: Fig4LiveConfig, telemetry: Optional[Telemetry]
+) -> Fig4LiveResult:
+    """The FIG4 phases with the *coordinator itself* as the fault.
+
+    The farm runs behind :class:`~repro.runtime.supervision.SupervisedFarm`
+    (journaled dispatch) with a
+    :class:`~repro.runtime.supervision.Supervisor` watching the
+    heartbeat.  At ``crash_after`` fed tasks the whole coordinator stack
+    — dispatcher and controller — is killed with tasks in flight; the
+    supervisor replays the journal, promotes a new incarnation (the
+    standby on the dist backend, with live workers reattaching over
+    TCP), redispatches the in-flight tasks and restarts the controller
+    under the journaled contract.  Zero loss must hold *across the
+    coordinator's death*, not just a worker's.
+    """
+    import os
+    import tempfile
+
+    from ..runtime.supervision import SupervisedFarm, Supervisor
+
+    if telemetry is None and cfg.serve_telemetry:
+        telemetry = Telemetry()
+    server = None
+    if cfg.serve_telemetry:
+        server = telemetry.serve(port=cfg.telemetry_port)
+        print(
+            f"live telemetry on http://{server.host}:{server.port} "
+            "(/metrics, /traces, /trace/<id>, /healthz)"
+        )
+    journal_path = cfg.journal_path
+    cleanup_journal = False
+    if not journal_path:
+        fd, journal_path = tempfile.mkstemp(prefix="fig4-journal-", suffix=".jsonl")
+        os.close(fd)
+        cleanup_journal = True
+    farm = SupervisedFarm(
+        live_task,
+        backend=cfg.backend,
+        journal_path=journal_path,
+        name=f"fig4-{cfg.backend}",
+        initial_workers=cfg.initial_workers,
+        max_workers=cfg.max_workers,
+        telemetry=telemetry,
+        farm_options={"rate_window": cfg.rate_window},
+    )
+    supervisor = Supervisor(
+        farm,
+        contract=ThroughputRangeContract(cfg.contract_low, cfg.contract_high),
+        control_period=cfg.control_period,
+        max_workers=cfg.max_workers,
+        telemetry=telemetry,
+    ).start()
+
+    worker_series: List[Tuple[float, float]] = []
+    throughput_series: List[Tuple[float, float]] = []
+    arrival_series: List[Tuple[float, float]] = []
+    last_sample = [0.0]
+
+    def sample() -> None:
+        now = farm.now()
+        if now - last_sample[0] < cfg.control_period / 2.0:
+            return
+        last_sample[0] = now
+        snap = farm.snapshot()
+        worker_series.append((now, snap.num_workers))
+        throughput_series.append((now, snap.departure_rate))
+        arrival_series.append((now, snap.arrival_rate))
+
+    # actions/violations span coordinator incarnations: snapshot the
+    # doomed controller's lists right before killing it, then append the
+    # replacement's at the end
+    actions: List[Tuple[float, str]] = []
+    violations: List[Tuple[float, str]] = []
+
+    def harvest_controller() -> None:
+        controller = supervisor.controller
+        if controller is not None:
+            actions.extend(controller.actions)
+            violations.extend(controller.violations)
+
+    fed = 0
+    crashed = False
+    try:
+        t_end = farm.now() + cfg.starve_duration
+        while farm.now() < t_end and fed < cfg.total_tasks:
+            farm.submit((cfg.task_work, fed))
+            fed += 1
+            sample()
+            time.sleep(1.0 / cfg.starve_rate)
+        while fed < cfg.total_tasks:
+            farm.submit((cfg.task_work, fed))
+            fed += 1
+            if cfg.inject_crash and not crashed and fed >= cfg.crash_after:
+                harvest_controller()
+                supervisor.crash_coordinator()
+                crashed = True
+            sample()
+            time.sleep(1.0 / cfg.feed_rate)
+        results = farm.drain_results(fed, timeout=cfg.drain_timeout)
+        sample()
+        expected = sorted(i * i for i in range(fed))
+        results_ok = sorted(results) == expected
+        duration = farm.now()
+        harvest_controller()
+        supervisor.stop()
+        snap = farm.snapshot()
+        result = Fig4LiveResult(
+            config=cfg,
+            backend=cfg.backend,
+            completed=snap.completed,
+            results_ok=results_ok,
+            duration=duration,
+            actions=actions,
+            violations=violations,
+            worker_series=worker_series,
+            throughput_series=throughput_series,
+            arrival_series=arrival_series,
+            final_workers=snap.num_workers,
+            crashes=1 if crashed else 0,
+            replays=farm.redispatched,
+            duplicates=farm.duplicates,
+            dead_letters=0,
+            failovers=supervisor.failovers,
+            failover_latency=farm.last_failover_seconds or 0.0,
+            final_epoch=farm.epoch,
+            redispatched=farm.redispatched,
+        )
+        if server is not None:
+            result.telemetry_url = f"http://{server.host}:{server.port}"
+        return result
+    finally:
+        supervisor.stop()
+        farm.shutdown()
+        if server is not None:
+            server.close()
+        if cleanup_journal:
+            try:
+                os.unlink(journal_path)
+            except OSError:
+                pass
 
 
 # ----------------------------------------------------------------------
@@ -595,7 +762,17 @@ def render_fig4_live(r: Fig4LiveResult) -> str:
         ["controller actions", len(r.actions)],
         ["violations reported", len(r.violations)],
     ]
-    if r.backend in ("process", "dist"):
+    if cfg.kill_coordinator:
+        checks += [
+            ["coordinator crashes injected", r.crashes],
+            ["coordinator failovers (supervisor)", r.failovers],
+            ["journal replay + rebuild latency", f"{r.failover_latency * 1000:.1f} ms"],
+            ["in-flight tasks redispatched", r.redispatched],
+            ["duplicate deliveries suppressed", r.duplicates],
+            ["final coordinator epoch", r.final_epoch],
+            ["self-healing story holds", r.failover_story_ok()],
+        ]
+    elif r.backend in ("process", "dist"):
         fault = "SIGKILL injected" if r.backend == "process" else "connection severed"
         checks += [
             [f"worker crashes ({fault})", r.crashes],

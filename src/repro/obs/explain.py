@@ -24,6 +24,7 @@ Usage::
     python -m repro.obs.explain trace.jsonl --actuations   # actuation index
     python -m repro.obs.explain trace.jsonl --actuation 2  # one actuation's chain
     python -m repro.obs.explain trace.jsonl --tenant acme  # one tenant's story
+    python -m repro.obs.explain trace.jsonl --failovers    # coordinator failovers
 
 Everything here is read-only over a list of :class:`~repro.obs.spans.Span`
 objects, so the same functions also serve tests and notebooks directly
@@ -45,15 +46,24 @@ __all__ = [
     "load",
     "children_index",
     "find_actuations",
+    "find_failovers",
     "explain_task",
     "explain_actuation",
     "explain_tenant",
     "explain_trace",
+    "explain_failovers",
     "main",
 ]
 
 #: span names that mark a dispatch attempt ending without a result
-_SUPERSEDED = ("crashed", "refused", "redispatched", "rebalanced", "write-failed")
+_SUPERSEDED = (
+    "crashed",
+    "refused",
+    "redispatched",
+    "rebalanced",
+    "write-failed",
+    "coordinator-crashed",
+)
 
 
 def load(path: str) -> List[Span]:
@@ -137,10 +147,69 @@ def explain_trace(
 # ----------------------------------------------------------------------
 
 
+_SUPERSEDED_REASON = {
+    "crashed": "the worker died; the supervisor replayed the task",
+    "refused": "the worker refused it pre-handshake; replayed elsewhere",
+    "redispatched": "the worker retired; its backlog was redispatched",
+    "rebalanced": "load balancing stole the queued task",
+    "write-failed": "the connection broke mid-send; replayed",
+    "coordinator-crashed": (
+        "the coordinator crashed; the supervisor replayed the task after failover"
+    ),
+}
+
+
+def _walk_dispatch_chain(index, parent: Span, out: TextIO, indent: str) -> None:
+    """Narrate the ``task.dispatch`` parent chain hanging off ``parent``."""
+    dispatch = next(
+        (s for s in index.get(parent.span_id, []) if s.name == "task.dispatch"),
+        None,
+    )
+    while dispatch is not None:
+        attempt = dispatch.attributes.get("attempt")
+        worker = dispatch.attributes.get("worker")
+        secured = dispatch.attributes.get("secured")
+        d_outcome = dispatch.attributes.get("outcome", "open")
+        line = f"{indent}attempt {attempt}: dispatched to worker {worker}"
+        if secured:
+            line += " (secured channel)"
+        line += f" — {d_outcome} after {_fmt_duration(dispatch)}"
+        print(line, file=out)
+        execs = [
+            s for s in index.get(dispatch.span_id, []) if s.name == "task.exec"
+        ]
+        for ex in execs:
+            pid = ex.attributes.get("pid")
+            where = f" (pid {pid})" if pid is not None else ""
+            print(
+                f"{indent}  executed on {ex.actor}{where} — "
+                f"{ex.attributes.get('outcome', 'ok')}, {_fmt_duration(ex)}",
+                file=out,
+            )
+        if d_outcome in _SUPERSEDED:
+            reason = _SUPERSEDED_REASON.get(d_outcome, "superseded")
+            print(f"{indent}  ↳ {reason}", file=out)
+        dispatch = next(
+            (
+                s
+                for s in index.get(dispatch.span_id, [])
+                if s.name == "task.dispatch"
+            ),
+            None,
+        )
+
+
 def explain_task(
     spans: Sequence[Span], task_id: int, *, out: TextIO
 ) -> bool:
-    """Narrate every trace of ``task_id`` as a dispatch chain; False if none."""
+    """Narrate every trace of ``task_id`` as a dispatch chain; False if none.
+
+    Two tree shapes are understood: a plain farm root
+    (``task`` → ``task.dispatch`` chain) and a supervised root
+    (``task`` → one ``task.attempt`` per coordinator incarnation →
+    ``task.dispatch`` chain), so a crashed-and-replayed task reads as
+    one causal story across epochs.
+    """
     roots = [
         s
         for s in spans
@@ -157,50 +226,100 @@ def explain_task(
             f"{outcome}, {_fmt_duration(root)}",
             file=out,
         )
-        # the dispatch attempts form a parent chain starting at the root
-        dispatch = next(
-            (s for s in index.get(root.span_id, []) if s.name == "task.dispatch"),
-            None,
+        attempts = sorted(
+            (s for s in index.get(root.span_id, []) if s.name == "task.attempt"),
+            key=lambda s: (s.start, s.span_id),
         )
-        while dispatch is not None:
-            attempt = dispatch.attributes.get("attempt")
-            worker = dispatch.attributes.get("worker")
-            secured = dispatch.attributes.get("secured")
-            d_outcome = dispatch.attributes.get("outcome", "open")
-            line = f"  attempt {attempt}: dispatched to worker {worker}"
-            if secured:
-                line += " (secured channel)"
-            line += f" — {d_outcome} after {_fmt_duration(dispatch)}"
-            print(line, file=out)
-            execs = [
-                s for s in index.get(dispatch.span_id, []) if s.name == "task.exec"
-            ]
-            for ex in execs:
-                pid = ex.attributes.get("pid")
-                where = f" (pid {pid})" if pid is not None else ""
+        if attempts:
+            for n, att in enumerate(attempts, start=1):
+                a_outcome = att.attributes.get("outcome", "open")
                 print(
-                    f"    executed on {ex.actor}{where} — "
-                    f"{ex.attributes.get('outcome', 'ok')}, {_fmt_duration(ex)}",
+                    f"  incarnation attempt {n} on '{att.actor}' — "
+                    f"{a_outcome}, {_fmt_duration(att)}",
                     file=out,
                 )
-            if d_outcome in _SUPERSEDED:
-                reason = {
-                    "crashed": "the worker died; the supervisor replayed the task",
-                    "refused": "the worker refused it pre-handshake; replayed elsewhere",
-                    "redispatched": "the worker retired; its backlog was redispatched",
-                    "rebalanced": "load balancing stole the queued task",
-                    "write-failed": "the connection broke mid-send; replayed",
-                }.get(d_outcome, "superseded")
-                print(f"    ↳ {reason}", file=out)
-            dispatch = next(
-                (
-                    s
-                    for s in index.get(dispatch.span_id, [])
-                    if s.name == "task.dispatch"
-                ),
-                None,
-            )
+                _walk_dispatch_chain(index, att, out, "    ")
+                if a_outcome in _SUPERSEDED:
+                    reason = _SUPERSEDED_REASON.get(a_outcome, "superseded")
+                    print(f"    ↳ {reason}", file=out)
+        else:
+            _walk_dispatch_chain(index, root, out, "  ")
         print(f"  result: {outcome}", file=out)
+    return True
+
+
+# ----------------------------------------------------------------------
+# failover narratives
+# ----------------------------------------------------------------------
+
+
+def find_failovers(spans: Sequence[Span]) -> List[Span]:
+    """Every ``sup.failover`` span, in start order."""
+    return sorted(
+        (s for s in spans if s.name == "sup.failover"),
+        key=lambda s: (s.start, s.span_id),
+    )
+
+
+def explain_failovers(spans: Sequence[Span], *, out: TextIO) -> bool:
+    """Narrate every coordinator failover in the export; False if none.
+
+    Each ``sup.failover`` span is one supervisor recovery: the journal
+    replay, the rebuild of the coordinator incarnation, the redispatch
+    of in-flight tasks and the quarantine state carried across the
+    crash.
+    """
+    failovers = find_failovers(spans)
+    if not failovers:
+        print("no 'sup.failover' span recorded (no coordinator crash)", file=out)
+        return False
+    crashed = sum(
+        1 for s in spans if s.attributes.get("outcome") == "coordinator-crashed"
+    )
+    print(
+        f"{len(failovers)} failover(s); {crashed} span(s) ended "
+        f"'coordinator-crashed' across the export",
+        file=out,
+    )
+    for i, span in enumerate(failovers, start=1):
+        epoch = span.attributes.get("epoch")
+        outcome = span.attributes.get("outcome", "open")
+        print(
+            f"#{i}  t={span.start:9.3f}  supervisor '{span.actor}' promoted "
+            f"epoch {epoch} — {outcome}, {_fmt_duration(span)}",
+            file=out,
+        )
+        for event in span.events:
+            if event.name == "journal-replayed":
+                print(
+                    f"    replayed {event.attributes.get('events')} journal "
+                    f"event(s): {event.attributes.get('pending')} task(s) still "
+                    f"in flight, {event.attributes.get('completed')} already "
+                    f"acknowledged (never redispatched)",
+                    file=out,
+                )
+            elif event.name == "standby-promoted":
+                print(
+                    f"    standby coordinator took over the listen port; "
+                    f"{event.attributes.get('adopted', '?')} surviving "
+                    f"worker(s) adopted for reattach",
+                    file=out,
+                )
+            elif event.name == "farm-rebuilt":
+                print(
+                    f"    farm rebuilt: {event.attributes.get('admitted', '?')} "
+                    f"admitted worker(s), {event.attributes.get('quarantined', '?')} "
+                    f"requarantined",
+                    file=out,
+                )
+        redispatched = span.attributes.get("redispatched")
+        quarantined = span.attributes.get("quarantined")
+        if redispatched is not None:
+            print(
+                f"    redispatched {redispatched} in-flight task(s); "
+                f"{quarantined} quarantined worker(s) stayed gated",
+                file=out,
+            )
     return True
 
 
@@ -492,6 +611,9 @@ def _overview(spans: Sequence[Span], out: TextIO) -> None:
         f"{len(tasks)} task(s), {len(actuations)} actuation(s)",
         file=out,
     )
+    failovers = find_failovers(spans)
+    if failovers:
+        print(f"{len(failovers)} coordinator failover(s) — see --failovers", file=out)
     print("explore with --list-traces, --actuations, --trace, --task, --actuation", file=out)
 
 
@@ -547,6 +669,10 @@ def main(argv: Optional[List[str]] = None, *, out: TextIO = None) -> int:
         "--tenant", metavar="NAME",
         help="narrate every task tenant NAME submitted (multi-tenant runs)",
     )
+    group.add_argument(
+        "--failovers", action="store_true",
+        help="narrate coordinator failovers (journal replay, redispatch)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -569,6 +695,8 @@ def main(argv: Optional[List[str]] = None, *, out: TextIO = None) -> int:
         return 0 if explain_actuation(spans, args.actuation, out=out) else 2
     if args.tenant is not None:
         return 0 if explain_tenant(spans, args.tenant, out=out) else 2
+    if args.failovers:
+        return 0 if explain_failovers(spans, out=out) else 2
     _overview(spans, out)
     return 0
 

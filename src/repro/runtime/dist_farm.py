@@ -53,7 +53,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
-from ..obs.propagation import task_context
+from ..obs.propagation import TraceContext, task_context
 from ..obs.spans import Span
 from ..obs.telemetry import NOOP, Telemetry
 from ..sim.metrics import WindowRateEstimator, queue_length_stats
@@ -166,6 +166,18 @@ class DistFarm:
         un-acked tasks a worker may hold; the rest queue centrally.
     ``start_timeout``
         how long ``__init__`` waits for the initial workers to connect.
+    ``port``
+        TCP port to bind (default 0: pick a free one).  A promoted
+        standby passes the dead coordinator's port so surviving workers
+        redialing it land on the successor.
+    ``epoch``
+        coordinator incarnation counter, announced in every
+        ``welcome``/``takeover`` frame; workers refuse task frames from
+        an epoch older than the newest they have served.
+    ``worker_reconnect_attempts``
+        spawn workers with ``--reconnect-attempts N`` so they survive a
+        coordinator crash and reattach to the promoted standby (0, the
+        default: workers exit on coordinator EOF, the pre-v3 behaviour).
     """
 
     #: ``add_worker`` accepts ``require_secure=True``, spawning workers
@@ -193,9 +205,14 @@ class DistFarm:
         start_timeout: float = 30.0,
         telemetry: Optional[Telemetry] = None,
         clock: Callable[[], float] = time.monotonic,
+        port: int = 0,
+        epoch: int = 0,
+        worker_reconnect_attempts: int = 0,
     ) -> None:
-        if initial_workers < 1:
-            raise ValueError("need at least one worker")
+        if initial_workers < 0:
+            # 0 is legal: a promoted standby starts empty and adopts the
+            # dead coordinator's surviving workers instead of spawning
+            raise ValueError("initial_workers must be non-negative")
         if max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
         if max_inflight < 1:
@@ -213,6 +230,9 @@ class DistFarm:
         self.max_inflight = max_inflight
         self.telemetry = telemetry if telemetry is not None else NOOP
         self._host = host
+        self.epoch = epoch
+        self.worker_reconnect_attempts = worker_reconnect_attempts
+        self._requested_port = port
         self._clock = clock
         self._t0 = clock()
 
@@ -268,7 +288,7 @@ class DistFarm:
 
         async def boot() -> None:
             self._server = await asyncio.start_server(
-                self._on_connection, self._host, 0
+                self._on_connection, self._host, self._requested_port
             )
             self.port = self._server.sockets[0].getsockname()[1]
             self._supervisor_task = self._loop.create_task(self._supervise_coro())
@@ -301,8 +321,17 @@ class DistFarm:
 
     async def _on_connection(self, reader, writer) -> None:
         """One connected worker: handshake, then pump its frames."""
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            # teardown (crash/shutdown) cancelled this handler mid-read;
+            # swallowing the cancellation keeps 3.11's streams done-
+            # callback from logging it as an unhandled task exception
+            return
+
+    async def _serve_connection(self, reader, writer) -> None:
         hello = await read_frame(reader)
-        if hello is None or hello.get("type") != "hello":
+        if hello is None or hello.get("type") not in ("hello", "reattach"):
             writer.close()
             return
         if hello.get("proto") != PROTOCOL_VERSION:
@@ -323,7 +352,36 @@ class DistFarm:
         claimed = int(hello.get("worker_id", -1))
         with self._lock:
             handle = self._find_worker(claimed) if claimed >= 0 else None
-            if handle is None or handle.connected or not handle.active:
+            reattaching = (
+                hello.get("type") == "reattach"
+                and handle is not None
+                and handle.active
+                and not handle.connected
+            )
+            if reattaching:
+                # a worker that outlived its previous coordinator:
+                # reactivate its registration instead of allocating a
+                # fresh identity.  Channel trust does not survive the
+                # crash — the secure handshake must be redone — and any
+                # outstanding attempts recorded against the old life are
+                # replayed rather than waited for.
+                handle.retiring = False
+                handle.got_bye = False
+                handle.secured = False
+                handle.reported_completed = max(
+                    handle.reported_completed, int(hello.get("completed", 0))
+                )
+                for task_id in sorted(handle.outstanding):
+                    record = self._tasks.get(task_id)
+                    if record is not None and task_id not in self._completed_ids:
+                        record.worker_id = None
+                        self.telemetry.end_span(
+                            record.dispatch, outcome="redispatched"
+                        )
+                        self.replays += 1
+                        self._enqueue_ready(task_id)
+                handle.outstanding.clear()
+            elif handle is None or handle.connected or not handle.active:
                 # remotely attached (or stale-id) worker: register fresh
                 if sum(1 for w in self.workers if w.active) >= self.max_workers:
                     writer.close()
@@ -337,12 +395,21 @@ class DistFarm:
         writer.write(
             encode_frame(
                 {
-                    "type": "welcome",
+                    "type": "takeover" if reattaching else "welcome",
                     "worker_id": handle.worker_id,
                     "proto": PROTOCOL_VERSION,
+                    "epoch": self.epoch,
                 }
             )
         )
+        if reattaching:
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter(
+                    "repro_dist_reattach_total",
+                    "workers reattached after a coordinator failover",
+                ).labels(farm=self.name).inc()
+            # ready tasks may have been waiting for this worker to appear
+            self._request_fill()
         if retiring or self._shutdown.is_set():
             # retired (or farm torn down) before it finished connecting
             writer.write(encode_frame({"type": "poison"}))
@@ -511,8 +578,20 @@ class DistFarm:
     # ------------------------------------------------------------------
     # stream
     # ------------------------------------------------------------------
-    def submit(self, payload: Any, *, tenant: Optional[str] = None) -> None:
-        """Track one task and queue it for dispatch."""
+    def submit(
+        self,
+        payload: Any,
+        *,
+        tenant: Optional[str] = None,
+        traceparent: Optional[str] = None,
+    ) -> None:
+        """Track one task and queue it for dispatch.
+
+        With ``traceparent`` (a supervisor resubmitting across a
+        coordinator crash) this farm's span is a ``task.attempt`` child
+        of the caller's root instead of a fresh root, so every
+        incarnation's attempt chains into one tree.
+        """
         with self._lock:
             now = self.now()
             self.arrival_est.mark(now)
@@ -521,13 +600,25 @@ class DistFarm:
             self._task_seq += 1
             record = _TaskRecord(task_id=task_id, payload=payload, submitted_at=now)
             if self.telemetry.enabled:
-                record.root = self.telemetry.start_span(
-                    "task",
-                    actor=self.name,
-                    context=task_context(self.name, task_id),
-                    task_id=task_id,
-                    **({"tenant": tenant} if tenant is not None else {}),
+                parent = (
+                    TraceContext.from_traceparent(traceparent) if traceparent else None
                 )
+                if parent is not None:
+                    record.root = self.telemetry.start_span(
+                        "task.attempt",
+                        actor=self.name,
+                        context=parent.child(f"{self.name}/task/{task_id}"),
+                        task_id=task_id,
+                        **({"tenant": tenant} if tenant is not None else {}),
+                    )
+                else:
+                    record.root = self.telemetry.start_span(
+                        "task",
+                        actor=self.name,
+                        context=task_context(self.name, task_id),
+                        task_id=task_id,
+                        **({"tenant": tenant} if tenant is not None else {}),
+                    )
             self._tasks[task_id] = record
             self._enqueue_ready(task_id)
         self._request_fill()
@@ -889,6 +980,8 @@ class DistFarm:
             ]
             if require_secure:
                 cmd.append("--require-secure")
+            if self.worker_reconnect_attempts > 0:
+                cmd += ["--reconnect-attempts", str(self.worker_reconnect_attempts)]
             env = dict(os.environ)
             # the child must see the parent's exact import surface — the
             # task function may live in a package only sys.path knows about
@@ -897,6 +990,47 @@ class DistFarm:
             return self._register_worker(
                 process=process, secured=secured, quarantined=quarantined
             )
+
+    def adopt_worker(
+        self,
+        worker_id: int,
+        *,
+        process: Optional[subprocess.Popen] = None,
+        quarantined: bool = False,
+    ) -> DistWorkerHandle:
+        """Pre-register a worker that already exists (standby promotion).
+
+        A promoted coordinator inherits the dead one's surviving worker
+        processes: each keeps its old id, so the ``reattach`` frame it
+        sends when it redials this port finds its registration and
+        reactivates it.  The handle starts unconnected and *unsecured* —
+        channel trust does not survive a coordinator crash — and
+        ``connect_grace`` applies until the worker actually reattaches.
+        """
+        with self._lock:
+            if self._find_worker(worker_id) is not None:
+                raise ValueError(f"worker id {worker_id} already registered")
+            if sum(1 for w in self.workers if w.active) >= self.max_workers:
+                raise RuntimeError(f"worker limit {self.max_workers} reached")
+            handle = DistWorkerHandle(
+                worker_id=worker_id,
+                process=process,
+                quarantined=quarantined,
+                spawned_at=self.now(),
+                last_seen=self.now(),
+            )
+            self._next_id = max(self._next_id, worker_id + 1)
+            self.workers.append(handle)
+            self._gauge_quarantined()
+            if self.telemetry.enabled:
+                handle.span = self.telemetry.start_span(
+                    "dist.worker",
+                    actor=self.name,
+                    worker=handle.worker_id,
+                    local=process is not None,
+                    adopted=True,
+                )
+            return handle
 
     def secure_worker(self, worker_id: int, timeout: float = 10.0) -> bool:
         """Secure one worker's channel via the wire-level handshake.
@@ -1137,6 +1271,51 @@ class DistFarm:
     # ------------------------------------------------------------------
     # shutdown
     # ------------------------------------------------------------------
+    def crash(self) -> List[DistWorkerHandle]:
+        """Simulate this coordinator process dying (SIGKILL semantics).
+
+        The event loop stops dead: the server socket closes, every
+        worker connection aborts (workers see EOF and — if spawned with
+        reconnect attempts — start redialing the port), no poison is
+        sent and no worker process is touched.  Open dispatch state ends
+        as ``coordinator-crashed`` spans; nothing is flushed — a dead
+        process flushes nothing.
+
+        Returns the handles whose local worker processes are still
+        running: the supervisor hands them to the promoted standby via
+        :meth:`adopt_worker`.
+        """
+        if self._shutdown.is_set():
+            return []
+        self._shutdown.set()
+        with self._lock:
+            survivors: List[DistWorkerHandle] = []
+            for record in self._tasks.values():
+                self.telemetry.end_span(record.dispatch, outcome="coordinator-crashed")
+                self.telemetry.end_span(record.root, outcome="coordinator-crashed")
+            self._tasks.clear()
+            self._ready.clear()
+            self._ready_set.clear()
+            for w in self.workers:
+                if w.active and w.process is not None and w.process.poll() is None:
+                    survivors.append(w)
+                w.active = False
+                w.connected = False
+                self._end_worker_span(w, outcome="coordinator-crashed")
+                if w.secure_waiter is not None:
+                    w.secure_challenge = None
+                    w.secure_waiter.set()
+                    w.secure_waiter = None
+        if not self._loop.is_closed():
+            try:
+                # _finalize (post-stop) closes the server and aborts
+                # every worker transport — the EOF the workers react to
+                self._loop.call_soon_threadsafe(self._loop.stop)
+            except RuntimeError:
+                pass
+        self._loop_thread.join(5.0)
+        return survivors
+
     def shutdown(self, timeout: float = 10.0) -> None:
         """Poison every worker, close every socket, stop the loop."""
         if self._shutdown.is_set():

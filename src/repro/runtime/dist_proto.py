@@ -29,16 +29,29 @@ worker → coordinator
                  the base64 of the challenge encrypted under the shared
                  key — only a holder of the key can produce it
     ``refused``  a task bounced by a worker running ``--require-secure``
-                 before the handshake completed; carries ``task_id`` and
-                 ``reason`` (the coordinator replays it elsewhere)
+                 before the handshake completed, or by a worker that has
+                 already attached to a *newer* coordinator epoch and
+                 receives a task from a stale predecessor; carries
+                 ``task_id`` and ``reason`` (the coordinator replays it
+                 elsewhere)
     ``bye``      graceful exit after a poison frame
+    ``reattach`` reconnect after losing the coordinator (v3): like
+                 ``hello`` but asserts an *already assigned* worker id
+                 and carries the cumulative ``completed`` counter; a
+                 promoted standby reactivates the worker's registration
+                 instead of allocating a fresh one
 
 coordinator → worker
     ``welcome``  hello ack; carries the (possibly assigned) worker id
                  and the coordinator's ``proto`` version (a worker
                  tolerates its absence, so pre-versioning test
                  harnesses keep working; a *mismatched* version makes
-                 the worker exit with a clear message)
+                 the worker exit with a clear message) and, from v3,
+                 ``epoch`` — the coordinator incarnation counter
+    ``takeover`` ``reattach`` ack from a promoted standby (v3): same
+                 shape as ``welcome`` (worker id, ``proto``, ``epoch``);
+                 a worker whose highest seen epoch exceeds a session's
+                 announced epoch refuses that session's task frames
     ``error``    terminal refusal; carries human-readable ``error``
                  text (sent before closing, e.g. on a protocol-version
                  mismatch)
@@ -99,10 +112,17 @@ __all__ = [
 
 #: wire protocol generation.  Version 2 adds the handshake version
 #: field itself plus the hierarchy frames (``contract``/``violation``/
-#: ``report``/``poll``).  Both handshake sides advertise it; peers that
-#: disagree are refused up front with an ``error`` frame instead of
-#: failing opaquely on the first unknown frame type.
-PROTOCOL_VERSION = 2
+#: ``report``/``poll``).  Version 3 adds coordinator failover: a worker
+#: that already attached once reconnects with a ``reattach`` frame
+#: (``{"type": "reattach", "worker_id", "proto", "completed"}``) instead
+#: of ``hello``, the promoted standby answers ``takeover`` instead of
+#: ``welcome``, and both replies carry an ``epoch`` field — the
+#: coordinator incarnation counter workers use to refuse task frames
+#: from a stale predecessor (``refused`` with reason ``"stale epoch"``).
+#: Both handshake sides advertise the version; peers that disagree are
+#: refused up front with an ``error`` frame instead of failing opaquely
+#: on the first unknown frame type.
+PROTOCOL_VERSION = 3
 
 #: shared toy-cipher key (same key the other substrates use)
 SECRET = b"repro-channel-key"

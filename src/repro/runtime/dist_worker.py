@@ -15,8 +15,12 @@ remotely attached worker are indistinguishable on the wire.
 Structure (one asyncio loop, three coroutines):
 
 * **reader** — drains frames into an in-order queue; EOF means the
-  coordinator is gone, and with nobody left to ack to the worker exits
-  immediately (its in-flight work would be replayed anyway).
+  coordinator is gone.  By default the worker exits immediately (nobody
+  left to ack to; in-flight work is replayed anyway), but with
+  ``--reconnect-attempts N`` it instead redials with capped backoff and
+  ``reattach``-es to whatever coordinator — typically a promoted
+  standby — rebinds the port, refusing task frames from any session
+  announcing an epoch older than the newest it has served.
 * **executor** — pulls tasks from the queue and runs the (blocking)
   task function on a single-thread executor, so a long CPU/sleep task
   never stalls the loop; a ``poison`` frame queues *behind* earlier
@@ -94,163 +98,241 @@ async def run_worker(
     connect_backoff: float = 0.05,
     connect_backoff_cap: float = 2.0,
     require_secure: bool = False,
+    reconnect_attempts: int = 0,
 ) -> int:
-    """Run one worker until poisoned (returns 0) or orphaned (exits 1).
+    """Run one worker until poisoned (returns 0) or orphaned.
 
     With ``require_secure`` the worker enforces the admission gate on
     its *own* side of the wire: any ``task`` frame arriving before the
     ``secure`` handshake completes is bounced with a ``refused`` frame,
     never executed — so even a hand-rolled client speaking the raw
     protocol cannot push work onto an unsecured channel.
-    """
-    reader, writer = await _connect(
-        host, port, connect_attempts, connect_backoff, connect_backoff_cap
-    )
-    writer.write(
-        encode_frame(
-            {"type": "hello", "worker_id": worker_id, "proto": PROTOCOL_VERSION}
-        )
-    )
-    welcome = await read_frame(reader)
-    if welcome is not None and welcome.get("type") == "error":
-        # the coordinator refused us (e.g. protocol-version mismatch):
-        # surface its diagnosis instead of dying silently
-        print(
-            f"coordinator refused worker: {welcome.get('error', 'unknown error')}",
-            file=sys.stderr,
-        )
-        writer.close()
-        return 1
-    if welcome is None or welcome.get("type") != "welcome":
-        writer.close()
-        return 1
-    coord_proto = welcome.get("proto", PROTOCOL_VERSION)  # absent = legacy peer
-    if coord_proto != PROTOCOL_VERSION:
-        print(
-            f"protocol version mismatch: this worker speaks version "
-            f"{PROTOCOL_VERSION}, the coordinator announced {coord_proto}",
-            file=sys.stderr,
-        )
-        writer.close()
-        return 1
-    worker_id = int(welcome.get("worker_id", worker_id))
 
+    With ``reconnect_attempts > 0`` the worker *survives* losing its
+    coordinator: on EOF it drops in-flight state (the coordinator's
+    journal replays those tasks anyway), redials with capped exponential
+    backoff and announces itself with a ``reattach`` frame carrying the
+    id it was already assigned.  A promoted standby answers ``takeover``
+    and the worker keeps serving under the new epoch.  The highest epoch
+    ever seen is sticky: a session announcing a *lower* epoch is a stale
+    predecessor, and every task frame it sends is bounced with a
+    ``refused``/``stale epoch`` frame rather than executed — at most one
+    coordinator incarnation can get work out of this worker.
+
+    With ``reconnect_attempts <= 0`` (the default and the pre-v3
+    behaviour) EOF hard-exits the process: there is nobody to ack to,
+    and the hard exit guarantees no non-daemon executor thread keeps an
+    orphan alive for the tail of a long task.
+    """
     loop = asyncio.get_running_loop()
     pool = concurrent.futures.ThreadPoolExecutor(
         max_workers=1, thread_name_prefix=f"dworker-{worker_id}"
     )
-    tasks: "asyncio.Queue[Optional[dict]]" = asyncio.Queue()
     completed = 0
+    max_epoch = -1  # highest coordinator epoch this worker has served
+    attached = False  # whether a coordinator ever assigned us an id
 
-    def send(message: dict) -> None:
-        writer.write(encode_frame(message))
+    async def session() -> str:
+        """One coordinator attachment; returns how it ended."""
+        nonlocal worker_id, completed, max_epoch, attached
+        reader, writer = await _connect(
+            host,
+            port,
+            reconnect_attempts if attached else connect_attempts,
+            connect_backoff,
+            connect_backoff_cap,
+        )
+        greeting = {
+            "type": "reattach" if attached else "hello",
+            "worker_id": worker_id,
+            "proto": PROTOCOL_VERSION,
+        }
+        if attached:
+            greeting["completed"] = completed
+        writer.write(encode_frame(greeting))
+        welcome = await read_frame(reader)
+        if welcome is not None and welcome.get("type") == "error":
+            # the coordinator refused us (e.g. protocol-version
+            # mismatch): surface its diagnosis instead of dying silently
+            print(
+                f"coordinator refused worker: {welcome.get('error', 'unknown error')}",
+                file=sys.stderr,
+            )
+            writer.close()
+            return "refused"
+        if welcome is None or welcome.get("type") not in ("welcome", "takeover"):
+            writer.close()
+            return "bad-handshake"
+        coord_proto = welcome.get("proto", PROTOCOL_VERSION)  # absent = legacy peer
+        if coord_proto != PROTOCOL_VERSION:
+            print(
+                f"protocol version mismatch: this worker speaks version "
+                f"{PROTOCOL_VERSION}, the coordinator announced {coord_proto}",
+                file=sys.stderr,
+            )
+            writer.close()
+            return "bad-handshake"
+        worker_id = int(welcome.get("worker_id", worker_id))
+        attached = True
+        epoch = int(welcome.get("epoch", 0))
+        stale = max_epoch >= 0 and epoch < max_epoch
+        max_epoch = max(max_epoch, epoch)
 
-    secured = False
+        tasks: "asyncio.Queue[Optional[dict]]" = asyncio.Queue()
+        secured = False
 
-    async def reader_loop() -> None:
-        nonlocal secured
-        while True:
-            frame = await read_frame(reader)
-            if frame is None:
-                # The coordinator vanished mid-connection.  There is
-                # nobody to ack to and the coordinator replays our
-                # in-flight tasks, so a hard exit is the honest move —
-                # it also guarantees no non-daemon executor thread keeps
-                # an orphan alive for the tail of a long task.
-                os._exit(1)
-            kind = frame.get("type")
-            if kind == "task":
-                if require_secure and not secured:
-                    # the worker-side half of the admission gate: bounce,
-                    # never execute, until the channel handshake is done
+        def send(message: dict) -> None:
+            try:
+                writer.write(encode_frame(message))
+            except Exception:  # noqa: BLE001 - connection died under us
+                pass
+
+        async def reader_loop() -> str:
+            nonlocal secured
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    # the coordinator vanished mid-connection
+                    if reconnect_attempts <= 0:
+                        os._exit(1)
+                    return "eof"
+                kind = frame.get("type")
+                if kind == "task":
+                    if stale:
+                        # this session belongs to a superseded
+                        # coordinator incarnation: never execute its
+                        # work, tell it why
+                        send(
+                            {
+                                "type": "refused",
+                                "task_id": frame.get("task_id"),
+                                "reason": "stale epoch",
+                            }
+                        )
+                        continue
+                    if require_secure and not secured:
+                        # the worker-side half of the admission gate:
+                        # bounce, never execute, until the channel
+                        # handshake is done
+                        send(
+                            {
+                                "type": "refused",
+                                "task_id": frame.get("task_id"),
+                                "reason": "security handshake required",
+                            }
+                        )
+                        continue
+                    await tasks.put(frame)
+                elif kind == "secure":
                     send(
                         {
-                            "type": "refused",
-                            "task_id": frame.get("task_id"),
-                            "reason": "security handshake required",
+                            "type": "secured",
+                            "proof": prove_challenge(str(frame.get("challenge", ""))),
                         }
                     )
-                    continue
-                await tasks.put(frame)
-            elif kind == "secure":
-                send(
-                    {
-                        "type": "secured",
-                        "proof": prove_challenge(str(frame.get("challenge", ""))),
+                    secured = True
+                elif kind == "poison":
+                    await tasks.put(None)
+                    return "poison"
+
+        async def executor_loop() -> None:
+            nonlocal completed
+            while True:
+                frame = await tasks.get()
+                if frame is None:
+                    send({"type": "bye", "completed": completed})
+                    await writer.drain()
+                    return
+                task_id = frame["task_id"]
+                # the coordinator's dispatch span rides in as a
+                # traceparent; record this execution as a child span and
+                # ship it back on the result frame, where it is
+                # re-parented into the coordinator's trace store
+                # (timestamps: epoch seconds, the same base the
+                # coordinator's WallClock uses)
+                parent_ctx = TraceContext.from_traceparent(frame.get("traceparent"))
+                started = time.time()
+                try:
+                    payload = decode_payload(
+                        frame["payload"], secured=frame.get("enc", False)
+                    )
+                    value = await loop.run_in_executor(pool, fn, payload)
+                    out = {"type": "result", "task_id": task_id, "value": value}
+                    json.dumps(value)  # fail here, not inside encode_frame
+                except Exception as exc:  # noqa: BLE001 - surfaced as an error result
+                    out = {
+                        "type": "result",
+                        "task_id": task_id,
+                        "error": f"{type(exc).__name__}: {exc}",
                     }
-                )
-                secured = True
-            elif kind == "poison":
-                await tasks.put(None)
-                return
+                if parent_ctx is not None:
+                    # the parent span id is unique per dispatch attempt,
+                    # so the derived exec span id is too — replays never
+                    # collide
+                    ctx = parent_ctx.child(f"exec:{worker_id}:{parent_ctx.span_id}")
+                    out["span"] = make_span_record(
+                        ctx,
+                        "task.exec",
+                        actor=f"dworker-{worker_id}",
+                        start=started,
+                        end=time.time(),
+                        attributes={
+                            "worker": worker_id,
+                            "pid": os.getpid(),
+                            "outcome": "error" if "error" in out else "ok",
+                        },
+                    )
+                completed += 1
+                out["completed"] = completed
+                send(out)
 
-    async def executor_loop() -> None:
-        nonlocal completed
-        while True:
-            frame = await tasks.get()
-            if frame is None:
-                send({"type": "bye", "completed": completed})
-                await writer.drain()
-                return
-            task_id = frame["task_id"]
-            # the coordinator's dispatch span rides in as a traceparent;
-            # record this execution as a child span and ship it back on
-            # the result frame, where it is re-parented into the
-            # coordinator's trace store (timestamps: epoch seconds, the
-            # same base the coordinator's WallClock uses)
-            parent_ctx = TraceContext.from_traceparent(frame.get("traceparent"))
-            started = time.time()
-            try:
-                payload = decode_payload(frame["payload"], secured=frame.get("enc", False))
-                value = await loop.run_in_executor(pool, fn, payload)
-                out = {"type": "result", "task_id": task_id, "value": value}
-                json.dumps(value)  # fail here, not inside encode_frame
-            except Exception as exc:  # noqa: BLE001 - surfaced as an error result
-                out = {
-                    "type": "result",
-                    "task_id": task_id,
-                    "error": f"{type(exc).__name__}: {exc}",
-                }
-            if parent_ctx is not None:
-                # the parent span id is unique per dispatch attempt, so
-                # the derived exec span id is too — replays never collide
-                ctx = parent_ctx.child(f"exec:{worker_id}:{parent_ctx.span_id}")
-                out["span"] = make_span_record(
-                    ctx,
-                    "task.exec",
-                    actor=f"dworker-{worker_id}",
-                    start=started,
-                    end=time.time(),
-                    attributes={
-                        "worker": worker_id,
-                        "pid": os.getpid(),
-                        "outcome": "error" if "error" in out else "ok",
-                    },
-                )
-            completed += 1
-            out["completed"] = completed
-            send(out)
+        async def heartbeat_loop() -> None:
+            while True:
+                await asyncio.sleep(heartbeat_period)
+                send({"type": "hb", "completed": completed})
 
-    async def heartbeat_loop() -> None:
-        while True:
-            await asyncio.sleep(heartbeat_period)
-            send({"type": "hb", "completed": completed})
-
-    t_reader = asyncio.ensure_future(reader_loop())
-    t_exec = asyncio.ensure_future(executor_loop())
-    t_hb = asyncio.ensure_future(heartbeat_loop())
-    try:
-        await t_exec  # finishes only on poison; EOF hard-exits the process
-    finally:
-        for task in (t_reader, t_hb):
-            task.cancel()
-        await asyncio.gather(t_reader, t_hb, return_exceptions=True)
+        t_reader = asyncio.ensure_future(reader_loop())
+        t_exec = asyncio.ensure_future(executor_loop())
+        t_hb = asyncio.ensure_future(heartbeat_loop())
+        done, _ = await asyncio.wait(
+            {t_reader, t_exec}, return_when=asyncio.FIRST_COMPLETED
+        )
+        outcome = "eof"
         try:
-            writer.close()
-        except Exception:  # noqa: BLE001
-            pass
+            if t_reader in done:
+                outcome = t_reader.result()
+                if outcome == "poison":
+                    # let already-queued tasks finish, then bye
+                    await t_exec
+            else:
+                # executor finished first: only happens after poison
+                outcome = "poison"
+        finally:
+            for task in (t_reader, t_exec, t_hb):
+                task.cancel()
+            await asyncio.gather(t_reader, t_exec, t_hb, return_exceptions=True)
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001
+                pass
+        return outcome
+
+    try:
+        while True:
+            try:
+                outcome = await session()
+            except OSError:
+                # redial exhausted: the coordinator never came back
+                return 1
+            if outcome == "poison":
+                return 0
+            if outcome in ("refused", "bad-handshake"):
+                return 1
+            # "eof" with reconnect enabled: in-flight frames are dropped
+            # (the journal replays them) and we redial the same port —
+            # the standby coordinator rebinds it on promotion
+    finally:
         pool.shutdown(wait=False, cancel_futures=True)
-    return 0
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -275,6 +357,11 @@ def main(argv: Optional[list] = None) -> int:
         "--require-secure", action="store_true",
         help="refuse task frames until the secure-channel handshake completes",
     )
+    parser.add_argument(
+        "--reconnect-attempts", type=int, default=0,
+        help="redials after losing the coordinator (0: exit on EOF, the "
+        "pre-v3 behaviour); each redial backs off exponentially, capped",
+    )
     args = parser.parse_args(argv)
 
     fn = resolve_fn(args.fn)
@@ -289,6 +376,7 @@ def main(argv: Optional[list] = None) -> int:
                 connect_attempts=args.connect_attempts,
                 connect_backoff=args.connect_backoff,
                 require_secure=args.require_secure,
+                reconnect_attempts=args.reconnect_attempts,
             )
         )
     except (OSError, KeyboardInterrupt):

@@ -25,7 +25,7 @@ import time
 from collections import deque
 from typing import Any, Callable, List, Optional
 
-from ..obs.propagation import task_context
+from ..obs.propagation import TraceContext, task_context
 from ..obs.spans import Span
 from ..obs.telemetry import NOOP, Telemetry
 from ..security.crypto import decrypt, encrypt
@@ -160,12 +160,23 @@ class ThreadFarm:
     # ------------------------------------------------------------------
     # stream
     # ------------------------------------------------------------------
-    def submit(self, payload: Any, *, tenant: Optional[str] = None) -> None:
+    def submit(
+        self,
+        payload: Any,
+        *,
+        tenant: Optional[str] = None,
+        traceparent: Optional[str] = None,
+    ) -> None:
         """Dispatch one task to an admitted worker (round robin).
 
         ``tenant`` (optional) names the submitting tenant; it is stamped
         on the task's root span so ``repro.obs.explain --tenant`` can
         reconstruct a single tenant's story from an export.
+
+        ``traceparent`` (optional) parents this farm's span under a
+        caller-owned root: the span becomes a ``task.attempt`` child
+        instead of a fresh root, which is how a supervisor chains the
+        attempts of successive coordinator incarnations into one tree.
         """
         with self._lock:
             self.arrival_est.mark(self.now())
@@ -177,7 +188,9 @@ class ThreadFarm:
             self._rr = (self._rr + 1) % len(live)
             worker = live[self._rr]
             now = self.now()
-            trace = self._trace_submit(task_id, worker, tenant=tenant)
+            trace = self._trace_submit(
+                task_id, worker, tenant=tenant, traceparent=traceparent
+            )
             if worker.secured:
                 worker.queue.put(
                     (encrypt(_SECRET, pickle.dumps(payload)), True, now, trace)
@@ -188,19 +201,32 @@ class ThreadFarm:
 
     # -- trace context -------------------------------------------------
     def _trace_submit(
-        self, task_id: int, worker: ThreadWorker, tenant: Optional[str] = None
+        self,
+        task_id: int,
+        worker: ThreadWorker,
+        tenant: Optional[str] = None,
+        traceparent: Optional[str] = None,
     ) -> Optional[_TaskTrace]:
         """Open the task's root span + first dispatch attempt (lock held)."""
         if not self.telemetry.enabled:
             return None
-        ctx = task_context(self.name, task_id)
-        root = self.telemetry.start_span(
-            "task",
-            actor=self.name,
-            context=ctx,
-            task_id=task_id,
-            **({"tenant": tenant} if tenant is not None else {}),
-        )
+        parent = TraceContext.from_traceparent(traceparent) if traceparent else None
+        if parent is not None:
+            root = self.telemetry.start_span(
+                "task.attempt",
+                actor=self.name,
+                context=parent.child(f"{self.name}/task/{task_id}"),
+                task_id=task_id,
+                **({"tenant": tenant} if tenant is not None else {}),
+            )
+        else:
+            root = self.telemetry.start_span(
+                "task",
+                actor=self.name,
+                context=task_context(self.name, task_id),
+                task_id=task_id,
+                **({"tenant": tenant} if tenant is not None else {}),
+            )
         trace = _TaskTrace(task_id, root)
         self._trace_dispatch(trace, worker)
         return trace
@@ -447,6 +473,35 @@ class ThreadFarm:
     # ------------------------------------------------------------------
     # shutdown
     # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Simulate the coordinator process dying (SIGKILL semantics).
+
+        Thread workers live *inside* the coordinator process, so they
+        die with it: every queued envelope is dropped on the floor (its
+        spans closed as ``coordinator-crashed``), every worker is
+        stopped, and nothing is flushed — a dead process flushes
+        nothing.  A task already executing may still finish and deliver
+        into ``results``; the supervisor's journal dedup makes that
+        at-least-once tail harmless.
+        """
+        with self._lock:
+            workers = list(self.workers)
+            for w in workers:
+                w.active = False
+        for w in workers:
+            while True:
+                try:
+                    item = w.queue.get_nowait()
+                except queue.Empty:
+                    break
+                if isinstance(item, _Poison):
+                    continue
+                trace = item[3]
+                if trace is not None:
+                    self.telemetry.end_span(trace.dispatch, outcome="coordinator-crashed")
+                    self.telemetry.end_span(trace.root, outcome="coordinator-crashed")
+            w.queue.put(_Poison())
+
     def shutdown(self, timeout: float = 10.0) -> None:
         """Stop every worker (pending tasks are abandoned)."""
         with self._lock:

@@ -124,12 +124,17 @@ class LiveGeneralManager:
         mode: CoordinationMode = CoordinationMode.TWO_PHASE,
         telemetry: Optional[Telemetry] = None,
         name: str = "GM_live",
+        journal: Optional[Any] = None,
     ) -> None:
         self.farm = farm
         self.placement = placement
         self.mode = mode
         self.telemetry = telemetry if telemetry is not None else NOOP
         self.name = name
+        #: optional DispatchJournal: every intent round that reaches an
+        #: outcome is journaled, so a supervisor replay knows what the
+        #: dead GM had committed (journal↔audit unification)
+        self.journal = journal
         self._managers: List[Tuple[int, Any]] = []
         self.intents: List[IntentRecord] = []
         #: one intent round at a time: concurrent controllers must not
@@ -324,6 +329,15 @@ class LiveGeneralManager:
                 reviewers=reviewers,
             )
         )
+        if self.journal is not None:
+            self.journal.append(
+                {
+                    "ev": "intent",
+                    "originator": originator,
+                    "operation": op.value,
+                    "outcome": outcome,
+                }
+            )
         if self.telemetry.enabled:
             self.telemetry.metrics.counter(
                 "repro_mc_intent_rounds_total", "intent rounds through the GM, by outcome"

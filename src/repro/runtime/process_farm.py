@@ -289,8 +289,20 @@ class ProcessFarm:
     # ------------------------------------------------------------------
     # stream
     # ------------------------------------------------------------------
-    def submit(self, payload: Any, *, tenant: Optional[str] = None) -> None:
-        """Track one task and dispatch it to a worker (round robin)."""
+    def submit(
+        self,
+        payload: Any,
+        *,
+        tenant: Optional[str] = None,
+        traceparent: Optional[str] = None,
+    ) -> None:
+        """Track one task and dispatch it to a worker (round robin).
+
+        With ``traceparent`` (a supervisor resubmitting across a
+        coordinator crash) this farm's span is a ``task.attempt`` child
+        of the caller's root instead of a fresh root, so every
+        incarnation's attempt chains into one tree.
+        """
         with self._lock:
             now = self.now()
             self.arrival_est.mark(now)
@@ -299,13 +311,25 @@ class ProcessFarm:
             self._task_seq += 1
             record = _TaskRecord(task_id=task_id, payload=payload, submitted_at=now)
             if self.telemetry.enabled:
-                record.root = self.telemetry.start_span(
-                    "task",
-                    actor=self.name,
-                    context=task_context(self.name, task_id),
-                    task_id=task_id,
-                    **({"tenant": tenant} if tenant is not None else {}),
+                parent = (
+                    TraceContext.from_traceparent(traceparent) if traceparent else None
                 )
+                if parent is not None:
+                    record.root = self.telemetry.start_span(
+                        "task.attempt",
+                        actor=self.name,
+                        context=parent.child(f"{self.name}/task/{task_id}"),
+                        task_id=task_id,
+                        **({"tenant": tenant} if tenant is not None else {}),
+                    )
+                else:
+                    record.root = self.telemetry.start_span(
+                        "task",
+                        actor=self.name,
+                        context=task_context(self.name, task_id),
+                        task_id=task_id,
+                        **({"tenant": tenant} if tenant is not None else {}),
+                    )
             self._tasks[task_id] = record
             self._dispatch(record)
 
@@ -799,6 +823,41 @@ class ProcessFarm:
     # ------------------------------------------------------------------
     # shutdown
     # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Simulate the coordinator process dying (SIGKILL semantics).
+
+        The children are this coordinator's process *group* in spirit:
+        a real coordinator SIGKILL orphans them mid-task and they die
+        with (or are reaped right after) their parent, so the simulation
+        SIGKILLs them outright — no poison, no graceful join.  Open task
+        state ends as ``coordinator-crashed`` spans and nothing is
+        flushed — a dead process flushes nothing.
+        """
+        self._shutdown.set()  # stops the pump and supervisor loops
+        with self._lock:
+            workers = list(self.workers)
+            for w in workers:
+                w.active = False
+            for record in self._tasks.values():
+                self.telemetry.end_span(record.dispatch, outcome="coordinator-crashed")
+                self.telemetry.end_span(record.root, outcome="coordinator-crashed")
+            self._tasks.clear()
+        for w in workers:
+            if w.process.is_alive():
+                try:
+                    w.process.kill()
+                except Exception:  # noqa: BLE001
+                    pass
+        for w in workers:
+            w.process.join(1.0)
+        for t in (self._pump, self._supervisor):
+            t.join(1.0)
+        for w in workers:
+            w.task_queue.close()
+            w.task_queue.cancel_join_thread()
+        self._result_q.close()
+        self._result_q.cancel_join_thread()
+
     def shutdown(self, timeout: float = 10.0) -> None:
         """Stop supervision, then every worker (pending tasks abandoned)."""
         self._shutdown.set()

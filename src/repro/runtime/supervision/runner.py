@@ -1,0 +1,54 @@
+"""Module-level task wrapper giving every task a supervisor-stable id.
+
+The farm backends hand back bare result values, which is fine while the
+coordinator that assigned the task ids is the one collecting the
+results.  Under supervision the coordinator *dies* — a replayed task is
+resubmitted to a brand-new farm incarnation with a brand-new farm-level
+task id — so correlation must ride **in the payload**: the supervisor
+wraps every submission in an envelope ``{"sid": ..., "fn": ..., "p":
+...}`` and the farms execute :func:`run_tagged`, which unwraps it, runs
+the real task function and returns a result envelope carrying the same
+``sid`` back.  That single convention is what makes exactly-once
+delivery provable across a coordinator crash on every backend.
+
+``run_tagged`` is module-level on purpose: it crosses the process farm's
+``spawn`` boundary by pickle and the dist farm's wire by the spec string
+``repro.runtime.supervision.runner:run_tagged``.  The *inner* function
+crosses the same boundaries by name (``module:qualname``), resolved and
+cached per process — the identical constraint :class:`DistFarm` already
+imposes, now applied uniformly so thread, process and dist incarnations
+are interchangeable under one journal.
+
+User-function exceptions are caught here and shipped as ``ok: False``
+envelopes (JSON-safe), so an error result is journaled and deduplicated
+exactly like a success.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from ..dist_worker import resolve_fn
+
+__all__ = ["run_tagged", "tagged_envelope"]
+
+_FN_CACHE: Dict[str, Callable[[Any], Any]] = {}
+
+
+def tagged_envelope(sid: int, fn_spec: str, payload: Any) -> dict:
+    """The submission envelope :func:`run_tagged` executes."""
+    return {"sid": sid, "fn": fn_spec, "p": payload}
+
+
+def run_tagged(envelope: dict) -> dict:
+    """Execute one tagged task; the result envelope echoes the sid."""
+    sid = envelope["sid"]
+    spec = envelope["fn"]
+    fn = _FN_CACHE.get(spec)
+    if fn is None:
+        fn = resolve_fn(spec)
+        _FN_CACHE[spec] = fn
+    try:
+        return {"sid": sid, "ok": True, "value": fn(envelope["p"])}
+    except Exception as exc:  # noqa: BLE001 - surfaced as an error envelope
+        return {"sid": sid, "ok": False, "error": f"{type(exc).__name__}: {exc}"}

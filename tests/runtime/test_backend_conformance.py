@@ -42,6 +42,7 @@ from repro.obs import Telemetry, build_trace_tree
 from repro.runtime.dist_farm import DistFarm
 from repro.runtime.farm_runtime import ThreadFarm
 from repro.runtime.process_farm import ProcessFarm
+from repro.runtime.supervision import SupervisedFarm, Supervisor
 
 from .waiting import wait_until
 
@@ -438,3 +439,219 @@ class TestTraceTreeAcrossFaults:
         assert replayed, "shrink moved no queued task"
         for trace_id, spans, dispatches in replayed:
             self._assert_single_tree(tel, trace_id, spans, dispatches)
+
+
+# ----------------------------------------------------------------------
+# chaos tier: the coordinator itself is the fault (opt-in: -m chaos)
+# ----------------------------------------------------------------------
+
+
+def make_supervised(backend, journal_path, telemetry=None, *, initial_workers=2):
+    """A journaled SupervisedFarm + Supervisor pair tuned for fast chaos.
+
+    The supervisor's heartbeat window is deliberately tight so a crashed
+    coordinator is detected and failed over within tens of milliseconds;
+    the worker-fault tuning mirrors :func:`make_farm`.
+    """
+    farm_options = dict(rate_window=0.5)
+    if backend in ("process", "dist"):
+        farm_options.update(
+            heartbeat_period=0.05,
+            heartbeat_timeout=2.0,
+            supervise_period=0.02,
+            backoff_base=0.02,
+            backoff_cap=0.2,
+        )
+    farm = SupervisedFarm(
+        conf_task,
+        backend=backend,
+        journal_path=str(journal_path),
+        name=f"chaos-{backend}",
+        initial_workers=initial_workers,
+        max_workers=8,
+        telemetry=telemetry,
+        farm_options=farm_options,
+    )
+    supervisor = Supervisor(
+        farm, check_period=0.02, heartbeat_timeout=0.5, telemetry=telemetry
+    ).start()
+    return farm, supervisor
+
+
+def assert_supervised_trees(tel, sup_name, total):
+    """Every sid is ONE coherent tree across coordinator incarnations.
+
+    Shape: root ``task`` (supervisor-owned, stable sid) → one
+    ``task.attempt`` per incarnation that dispatched it → the dispatch
+    chain.  Returns how many trees actually crossed a coordinator crash
+    (an attempt closed ``coordinator-crashed`` superseded by a later
+    winning attempt).
+    """
+    spans = tel.spans.spans
+    roots = [s for s in spans if s.name == "task" and s.actor == sup_name]
+    assert len(roots) == total, "one task root per submitted sid"
+    crossed = 0
+    for root in roots:
+        assert root.attributes.get("outcome") == "ok", (
+            f"task {root.attributes.get('task_id')} never recovered"
+        )
+        members = tel.spans.trace(root.trace_id)
+        in_trace_roots = [s for s in members if s.parent_id is None]
+        assert in_trace_roots == [root], "exactly one root per trace"
+        by_id = {s.span_id for s in members}
+        for span in members:
+            if span.parent_id is not None:
+                assert span.parent_id in by_id, (
+                    f"{span.name} span has a dangling parent across the crash"
+                )
+        attempts = [s for s in members if s.name == "task.attempt"]
+        assert attempts, "supervised submission must open an attempt layer"
+        outcomes = [a.attributes.get("outcome") for a in attempts]
+        assert "ok" in outcomes, "no incarnation completed the task"
+        if "coordinator-crashed" in outcomes:
+            crossed += 1
+        tree = build_trace_tree(spans, root.trace_id)
+        assert len(tree) == 1 and tree[0]["name"] == "task"
+    return crossed
+
+
+def assert_exactly_once(results, total):
+    assert len(results) == total, "lost or duplicated deliveries"
+    assert sorted(r for r in results if not isinstance(r, Exception)) == [
+        i * i for i in range(total)
+    ]
+
+
+@pytest.mark.chaos
+class TestChaosCoordinatorCrash:
+    """Kill the whole coordinator stack mid-run, on every backend."""
+
+    def test_kill_coordinator_mid_run(self, backend, tmp_path):
+        tel = Telemetry()
+        farm, supervisor = make_supervised(backend, tmp_path / "journal.jsonl", tel)
+        try:
+            gated = farm.add_worker(quarantined=True)
+            assert farm.quarantined_workers == 1
+            total = 80
+            for i in range(total):
+                farm.submit((0.01, i))
+            wait_until(
+                lambda: farm.completed >= 10,
+                message="stream in flight before the crash",
+            )
+            supervisor.crash_coordinator()
+            wait_until(
+                lambda: supervisor.failovers >= 1,
+                message="supervisor restarting the coordinator",
+            )
+            results = farm.drain_results(total, timeout=120.0)
+            assert_exactly_once(results, total)
+            assert farm.completed == total
+            assert farm.redispatched > 0, "nothing was in flight at the crash"
+            # the quarantined-but-unadmitted worker stayed gated through
+            # the journal replay: still quarantined, still task-free
+            assert farm.quarantined_workers == 1
+            assert gated.quarantined
+            assert gated.dispatched == 0, "a task crossed the gate via failover"
+            # metrics tell the same story as the counters
+            failovers_metric = tel.metrics.counter(
+                "repro_sup_failovers_total", ""
+            ).labels(farm=farm.name).value
+            assert failovers_metric >= 1
+        finally:
+            supervisor.stop()
+            farm.shutdown()
+        crossed = assert_supervised_trees(tel, farm.name, total)
+        assert crossed > 0, "no trace crossed the coordinator crash"
+        assert tel.spans.open_spans() == []
+
+
+@pytest.mark.chaos
+class TestChaosPartition:
+    """Partition the dist coordinator from half its workers, then kill
+    the coordinator too: replay + standby takeover must still deliver
+    every task exactly once."""
+
+    def test_partition_then_coordinator_crash(self, tmp_path):
+        tel = Telemetry()
+        farm, supervisor = make_supervised(
+            "dist", tmp_path / "journal.jsonl", tel, initial_workers=4
+        )
+        try:
+            total = 80
+            for i in range(total):
+                farm.submit((0.01, i))
+            wait_until(
+                lambda: farm.completed >= 5,
+                message="stream in flight before the partition",
+            )
+            # sever half the farm's connections: the coordinator declares
+            # them dead and replays their in-flight tasks on the survivors
+            victims = [w.worker_id for w in farm.farm.workers if w.connected][:2]
+            assert len(victims) == 2
+            dropped = [farm.farm.drop_connection(wid) for wid in victims]
+            assert dropped == victims
+            wait_until(
+                lambda: len(farm.farm.crashes) >= 2,
+                message="partitioned workers declared dead",
+            )
+            # now the coordinator itself dies; the standby adopts the
+            # surviving connected workers and replays the journal
+            supervisor.crash_coordinator()
+            wait_until(
+                lambda: supervisor.failovers >= 1,
+                message="standby promotion after the partition",
+            )
+            results = farm.drain_results(total, timeout=120.0)
+            assert_exactly_once(results, total)
+            assert farm.completed == total
+        finally:
+            supervisor.stop()
+            farm.shutdown()
+        crossed = assert_supervised_trees(tel, farm.name, total)
+        assert crossed > 0, "no trace crossed the coordinator crash"
+
+
+@pytest.mark.chaos
+class TestChaosWorkerCrashDuringFailover:
+    """A worker dies in the failover window, while its peers are still
+    reattaching — the replay of the replay must still be exactly-once."""
+
+    def test_worker_crash_in_failover_window(self, backend, tmp_path):
+        if backend == "thread":
+            pytest.skip(
+                "thread workers share the interpreter: no injectable crash "
+                "that would not take the test process down too"
+            )
+        tel = Telemetry()
+        farm, supervisor = make_supervised(
+            backend, tmp_path / "journal.jsonl", tel, initial_workers=3
+        )
+        try:
+            total = 80
+            for i in range(total):
+                farm.submit((0.01, i))
+            wait_until(
+                lambda: farm.completed >= 10,
+                message="stream in flight before the crash",
+            )
+            supervisor.crash_coordinator()
+            wait_until(
+                lambda: supervisor.failovers >= 1,
+                message="supervisor restarting the coordinator",
+            )
+            # fault the first worker of the fresh incarnation the moment
+            # one is live enough to be faulted
+            wait_until(
+                lambda: inject_fault(farm.farm) is not None,
+                message="worker fault in the failover window",
+            )
+            results = farm.drain_results(total, timeout=120.0)
+            assert_exactly_once(results, total)
+            assert farm.completed == total
+            assert farm.redispatched > 0
+        finally:
+            supervisor.stop()
+            farm.shutdown()
+        assert_supervised_trees(tel, farm.name, total)
+        assert tel.spans.open_spans() == []

@@ -1,0 +1,362 @@
+"""The dispatch journal and supervised failover, pinned down.
+
+Three layers of guarantees:
+
+* **DispatchJournal mechanics** — seq continuation across restarts,
+  fsync batching, torn-tail tolerance, closed-journal discipline;
+* **replay as a pure fold** — the Hypothesis suite: for *any* valid
+  event sequence and *any* crash point, replaying the prefix and then
+  applying the suffix equals replaying the whole; the completed/pending
+  sid sets partition exactly; quarantined-but-never-admitted workers
+  stay on their side of the gate; duplicate completions never win;
+* **SupervisedFarm end-to-end (thread)** — an explicit crash + failover
+  round-trip delivers every task exactly once with the quarantine
+  partition intact.  The full cross-backend story (process/dist standby
+  takeover, partitions, faults inside the failover window) lives in the
+  chaos tier of ``test_backend_conformance.py``.
+"""
+
+import json
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.supervision import (
+    DispatchJournal,
+    SupervisedFarm,
+    read_journal,
+    replay_events,
+    run_tagged,
+    tagged_envelope,
+)
+
+from .waiting import wait_until
+
+
+def supervised_task(payload):
+    """Module-level so the tagged runner can resolve it by name."""
+    work, value = payload
+    if work:
+        time.sleep(work)
+    return value * value
+
+
+# ----------------------------------------------------------------------
+# DispatchJournal mechanics
+# ----------------------------------------------------------------------
+
+
+class TestDispatchJournal:
+    def test_append_replay_roundtrip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = DispatchJournal(str(path), fsync_batch=4)
+        journal.append({"ev": "open", "name": "f", "backend": "thread", "fn": "m:f"})
+        journal.append({"ev": "submit", "sid": 0, "p": 7})
+        journal.append({"ev": "worker", "wid": 0, "quarantined": True})
+        journal.append({"ev": "complete", "sid": 0, "ok": True, "v": 49})
+        journal.sync()
+        state = journal.replay()
+        assert state.name == "f" and state.backend == "thread"
+        assert state.pending == {} and state.completed == {0: {"ok": True, "v": 49}}
+        assert state.quarantined_wids == [0]
+        journal.close()
+
+    def test_seq_continues_across_restart(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        first = DispatchJournal(str(path))
+        s0 = first.append({"ev": "submit", "sid": 0, "p": 1})
+        s1 = first.append({"ev": "submit", "sid": 1, "p": 2})
+        first.close()
+        second = DispatchJournal(str(path))
+        s2 = second.append({"ev": "submit", "sid": 2, "p": 3})
+        second.close()
+        assert (s0, s1, s2) == (0, 1, 2)
+        seqs = [e["seq"] for e in read_journal(str(path))]
+        assert seqs == sorted(seqs) == [0, 1, 2]
+
+    def test_fsync_batching(self, tmp_path):
+        journal = DispatchJournal(str(tmp_path / "j.jsonl"), fsync_batch=8)
+        for i in range(20):
+            journal.append({"ev": "submit", "sid": i, "p": i})
+        assert journal.fsyncs == 2  # two full batches, tail unsynced
+        journal.sync()
+        assert journal.fsyncs == 3
+        journal.close()
+
+    def test_closed_journal_refuses_appends(self, tmp_path):
+        journal = DispatchJournal(str(tmp_path / "j.jsonl"))
+        journal.close()
+        journal.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            journal.append({"ev": "submit", "sid": 0, "p": 0})
+
+    def test_fsync_batch_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            DispatchJournal(str(tmp_path / "j.jsonl"), fsync_batch=0)
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        lines = [
+            json.dumps({"ev": "submit", "sid": 0, "p": 1, "seq": 0}),
+            json.dumps({"ev": "submit", "sid": 1, "p": 2, "seq": 1}),
+            '{"ev": "compl',  # the line the crash interrupted
+        ]
+        path.write_text("\n".join(lines))
+        events = read_journal(str(path))
+        assert [e["sid"] for e in events] == [0, 1]
+        # recovery opens the same file and keeps numbering after the tear
+        journal = DispatchJournal(str(path))
+        assert journal.append({"ev": "submit", "sid": 2, "p": 3}) == 2
+        journal.close()
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_journal(str(tmp_path / "absent.jsonl")) == []
+
+
+# ----------------------------------------------------------------------
+# the tagged envelope runner
+# ----------------------------------------------------------------------
+
+
+class TestTaggedRunner:
+    def test_roundtrip(self):
+        env = tagged_envelope(
+            3, "tests.runtime.test_supervision:supervised_task", (0.0, 5)
+        )
+        out = run_tagged(env)
+        assert out == {"sid": 3, "ok": True, "value": 25}
+
+    def test_error_is_captured_not_raised(self):
+        env = tagged_envelope(
+            1, "tests.runtime.test_supervision:supervised_task", "not-a-pair"
+        )
+        out = run_tagged(env)
+        assert out["sid"] == 1 and out["ok"] is False
+        assert "error" in out
+
+
+# ----------------------------------------------------------------------
+# replay as a pure fold (Hypothesis)
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def journal_histories(draw):
+    """Event sequences shaped like what a real SupervisedFarm appends:
+    monotone sids/wids, completes only for submitted sids (duplicates
+    allowed — the at-least-once reality), actuators only for known wids.
+    """
+    events = [
+        {"ev": "open", "name": "h", "backend": "thread", "fn": "m:f", "epoch": 0}
+    ]
+    next_sid = 0
+    next_wid = 0
+    epoch = 0
+    sids = []
+    wids = []
+    for _ in range(draw(st.integers(min_value=0, max_value=40))):
+        kind = draw(
+            st.sampled_from(
+                [
+                    "submit", "submit", "complete", "complete", "worker",
+                    "admit", "secure", "secure_all", "remove", "epoch",
+                    "contract", "intent",
+                ]
+            )
+        )
+        if kind == "submit":
+            event = {"ev": "submit", "sid": next_sid, "p": draw(st.integers(0, 99))}
+            if draw(st.booleans()):
+                event["tenant"] = draw(st.sampled_from(["acme", "globex"]))
+            events.append(event)
+            sids.append(next_sid)
+            next_sid += 1
+        elif kind == "complete" and sids:
+            sid = draw(st.sampled_from(sids))
+            if draw(st.booleans()):
+                events.append({"ev": "complete", "sid": sid, "ok": True, "v": sid})
+            else:
+                events.append({"ev": "complete", "sid": sid, "ok": False, "err": "boom"})
+        elif kind == "worker":
+            events.append(
+                {
+                    "ev": "worker",
+                    "wid": next_wid,
+                    "quarantined": draw(st.booleans()),
+                    "secured": draw(st.booleans()),
+                }
+            )
+            wids.append(next_wid)
+            next_wid += 1
+        elif kind in ("admit", "secure", "remove") and wids:
+            events.append({"ev": kind, "wid": draw(st.sampled_from(wids))})
+        elif kind == "secure_all":
+            events.append({"ev": "secure_all"})
+        elif kind == "epoch":
+            epoch += 1
+            events.append({"ev": "epoch", "epoch": epoch})
+        elif kind == "contract":
+            events.append({"ev": "contract", "c": {"kind": "best_effort"}})
+        elif kind == "intent":
+            events.append(
+                {
+                    "ev": "intent",
+                    "originator": "am",
+                    "operation": "addWorker",
+                    "outcome": draw(st.sampled_from(["committed", "vetoed"])),
+                }
+            )
+    return events
+
+
+class TestReplayProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(events=journal_histories(), data=st.data())
+    def test_replay_crash_replay_is_idempotent(self, events, data):
+        """Replaying any prefix, 'crashing', and folding the suffix into
+        the recovered state equals replaying the whole journal — the
+        property that makes recovery-of-a-recovery safe."""
+        cut = data.draw(st.integers(min_value=0, max_value=len(events)))
+        whole = replay_events(events)
+        recovered = replay_events(events[:cut])
+        for event in events[cut:]:
+            recovered.apply(event)
+        assert recovered == whole
+
+    @settings(max_examples=80, deadline=None)
+    @given(events=journal_histories())
+    def test_replay_is_deterministic(self, events):
+        assert replay_events(events) == replay_events(list(events))
+
+    @settings(max_examples=80, deadline=None)
+    @given(events=journal_histories())
+    def test_completed_and_pending_partition_the_sids(self, events):
+        """Exactly-once at the state level: every admitted sid is in
+        exactly one of pending/completed, never both, never neither."""
+        state = replay_events(events)
+        completed = set(state.completed)
+        pending = set(state.pending)
+        assert not (completed & pending)
+        assert completed | pending == set(range(state.next_sid))
+        # tenants only tracked while pending
+        assert set(state.tenants) <= pending
+
+    @settings(max_examples=80, deadline=None)
+    @given(events=journal_histories())
+    def test_quarantine_partition_is_stable(self, events):
+        """A worker journaled quarantined and never admitted replays
+        quarantined; admitted/quarantined partition the active set."""
+        state = replay_events(events)
+        active = {wid for wid, w in state.workers.items() if w["active"]}
+        quarantined = set(state.quarantined_wids)
+        admitted = set(state.admitted_wids)
+        assert not (quarantined & admitted)
+        assert quarantined | admitted == active
+        # exact oracle: quarantined iff registered quarantined and never admitted
+        admits = {e["wid"] for e in events if e.get("ev") == "admit"}
+        born_gated = {
+            e["wid"]
+            for e in events
+            if e.get("ev") == "worker" and e.get("quarantined")
+        }
+        assert quarantined == (born_gated - admits) & active
+
+    @settings(max_examples=80, deadline=None)
+    @given(events=journal_histories())
+    def test_first_completion_wins(self, events):
+        """Duplicate completes (the at-least-once underbelly) never
+        overwrite the result that already left the farm."""
+        state = replay_events(events)
+        first = {}
+        for event in events:
+            if event.get("ev") == "complete" and event["sid"] not in first:
+                first[event["sid"]] = event
+        for sid, event in first.items():
+            expect = (
+                {"ok": True, "v": event.get("v")}
+                if event.get("ok")
+                else {"ok": False, "err": str(event.get("err", ""))}
+            )
+            assert state.completed[sid] == expect
+
+    @settings(max_examples=40, deadline=None)
+    @given(events=journal_histories(), cut=st.integers(min_value=0, max_value=20))
+    def test_torn_tail_replay_equals_intact_prefix(self, tmp_path_factory, events, cut):
+        """A journal torn mid-line replays exactly the intact prefix."""
+        path = tmp_path_factory.mktemp("journal") / "torn.jsonl"
+        keep = events[: min(cut, len(events))]
+        text = "".join(
+            json.dumps(dict(e, seq=i), separators=(",", ":")) + "\n"
+            for i, e in enumerate(keep)
+        )
+        path.write_text(text + '{"ev":"submit","sid"')
+        recovered = replay_events(read_journal(str(path)))
+        expected = replay_events(keep)
+        assert recovered == expected
+
+
+# ----------------------------------------------------------------------
+# SupervisedFarm end-to-end (thread; cross-backend lives in the chaos tier)
+# ----------------------------------------------------------------------
+
+
+class TestSupervisedFarmFailover:
+    def test_explicit_crash_failover_is_exactly_once(self, tmp_path):
+        farm = SupervisedFarm(
+            supervised_task,
+            backend="thread",
+            journal_path=str(tmp_path / "j.jsonl"),
+            initial_workers=2,
+        )
+        try:
+            gated = farm.add_worker(quarantined=True)
+            total = 30
+            for i in range(total):
+                farm.submit((0.005, i))
+            wait_until(
+                lambda: farm.completed >= 5,
+                message="stream in flight before the crash",
+            )
+            farm.crash_coordinator()
+            # submits during the outage are journaled, not lost
+            farm.submit((0.005, total))
+            state = farm.failover()
+            assert state.epoch == 1 and farm.epoch == 1
+            assert state.quarantined_wids, "quarantine lost in replay"
+            results = farm.drain_results(total + 1, timeout=60.0)
+            assert sorted(results) == [i * i for i in range(total + 1)]
+            assert farm.completed == total + 1
+            assert farm.quarantined_workers == 1
+            assert gated.dispatched == 0
+        finally:
+            farm.shutdown()
+
+    def test_failover_requires_a_crash(self, tmp_path):
+        farm = SupervisedFarm(
+            supervised_task,
+            backend="thread",
+            journal_path=str(tmp_path / "j.jsonl"),
+        )
+        try:
+            with pytest.raises(RuntimeError):
+                farm.failover()
+        finally:
+            farm.shutdown()
+
+    def test_actuators_refused_while_crashed(self, tmp_path):
+        farm = SupervisedFarm(
+            supervised_task,
+            backend="thread",
+            journal_path=str(tmp_path / "j.jsonl"),
+        )
+        try:
+            farm.crash_coordinator()
+            with pytest.raises(RuntimeError):
+                farm.add_worker()
+            assert farm.balance_load() == 0
+            farm.failover()
+            assert farm.add_worker() is not None
+        finally:
+            farm.shutdown()
