@@ -1,0 +1,108 @@
+"""CI bench-regression gate for the distributed transport.
+
+Compares a freshly produced ``benchmarks/out/BENCH_dist.json`` (smoke
+mode is fine — the baseline is a smoke-mode budget) against the
+committed ``benchmarks/baselines/BENCH_dist.baseline.json`` and exits
+non-zero — a hard CI failure, not a warning — when:
+
+* ``per_task_dist_ms`` regresses more than ``--max-regression``
+  (default 25%) over the baseline budget, or
+* the run lost tasks (``tasks_lost`` anywhere in the artefact), which
+  would make any timing number meaningless.
+
+Usage (what the ``bench-gate`` CI job runs)::
+
+    python benchmarks/check_regression.py
+
+Re-baselining is a deliberate act: edit the baseline JSON in its own
+commit with the reasoning in the message, never as a side effect of a
+feature PR going red.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).parent
+DEFAULT_CURRENT = HERE / "out" / "BENCH_dist.json"
+DEFAULT_BASELINE = HERE / "baselines" / "BENCH_dist.baseline.json"
+
+
+def iter_lost(node, path=""):
+    """Yield (path, value) for every ``tasks_lost`` entry in the artefact."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            where = f"{path}.{key}" if path else key
+            if key == "tasks_lost":
+                yield where, value
+            else:
+                yield from iter_lost(value, where)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current",
+        type=pathlib.Path,
+        default=DEFAULT_CURRENT,
+        help="freshly produced bench artefact (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline budget (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="tolerated fractional regression over baseline (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        current = json.loads(args.current.read_text())
+    except FileNotFoundError:
+        print(f"FAIL: no bench artefact at {args.current} — did the bench run?")
+        return 1
+    baseline = json.loads(args.baseline.read_text())
+
+    failures = []
+
+    measured = current.get("per_task_dist_ms")
+    budget = baseline["per_task_dist_ms"]
+    limit = budget * (1.0 + args.max_regression)
+    if measured is None:
+        failures.append("per_task_dist_ms missing from the bench artefact")
+    else:
+        verdict = "ok" if measured <= limit else "REGRESSION"
+        print(
+            f"per_task_dist_ms: measured {measured:.4f} ms vs baseline "
+            f"{budget:.4f} ms (limit {limit:.4f} ms, "
+            f"+{100 * args.max_regression:.0f}%) -> {verdict}"
+        )
+        if measured > limit:
+            failures.append(
+                f"per_task_dist_ms {measured:.4f} ms exceeds the gate "
+                f"{limit:.4f} ms (baseline {budget:.4f} ms "
+                f"+{100 * args.max_regression:.0f}%)"
+            )
+
+    for where, lost in iter_lost(current):
+        if lost:
+            failures.append(f"{where} = {lost}: the run lost tasks")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("bench-gate: transport within budget, no tasks lost")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

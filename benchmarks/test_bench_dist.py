@@ -1,22 +1,28 @@
-"""Bench the distributed farm: wire-protocol overhead and recovery latency.
+"""Bench the distributed farm: v4 transport overhead, throughput, recovery.
 
-Two measurements land in ``benchmarks/out/BENCH_dist.json``:
+Four measurements land in ``benchmarks/out/BENCH_dist.json``:
 
-* **serialization overhead** — the same stream of compute-free echo
-  tasks (a 64-element JSON payload each) through a 4-worker
-  :class:`ProcessFarm` (pickle over multiprocessing pipes) and a
-  4-worker :class:`DistFarm` (length-prefixed JSON over TCP).  With no
-  real work in the tasks, the wall-clock ratio *is* the price of the
-  wire format plus the socket hop — the number a later sharding PR
-  trades against multi-host capacity.
-* **recovery** — one worker's TCP connection is severed mid-stream (the
-  distributed fault: the process is healthy, the link is gone); we
-  record how long the coordinator takes to declare the death, how long
-  until every task (including replays) is accounted for, and how long
-  throughput needs to re-enter the contract stripe under the unmodified
+* **transport overhead** — the same stream of compute-free echo tasks
+  (a 64-element payload each) through a 4-worker :class:`ProcessFarm`
+  (pickle over multiprocessing pipes) and a 4-worker :class:`DistFarm`
+  on the protocol-v4 wire (binary frame header, negotiated codec,
+  ``task_batch``/``result_batch`` frames, a deep pipelined window).
+  With no real work in the tasks, the wall-clock ratio *is* the price
+  of the wire format plus the socket hop.  ``per_task_dist_ms`` is the
+  number the CI regression gate (``benchmarks/check_regression.py``)
+  holds against ``benchmarks/baselines/BENCH_dist.baseline.json``.
+* **sustained throughput** — a 100k-task echo stream (smoke: 2k)
+  through the tuned v4 farm, recorded as tasks/second; the "does the
+  batching hold up at volume, with zero loss" run.
+* **tracing overhead** — the identical echo stream with live tracing
+  (traceparents riding every batch entry, dispatch/execute spans) vs
+  tracing off, re-measured on the batched wire.
+* **recovery** — one worker's TCP connection is severed mid-stream; we
+  record detection latency, drain latency, and how long throughput
+  needs to re-enter the contract stripe under the unmodified
   ``CheckRateLow`` rule.
 
-Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks both workloads to CI-sized
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks every workload to CI-sized
 runs while still writing the artefact.
 """
 
@@ -27,12 +33,20 @@ import pytest
 from tests.runtime.waiting import wait_until
 
 from repro.core.contracts import MinThroughputContract
+from repro.obs.telemetry import Telemetry
 from repro.runtime.controller import FarmController
 from repro.runtime.dist_farm import DistFarm
+from repro.runtime.dist_proto import PROTOCOL_VERSION
 from repro.runtime.process_farm import ProcessFarm
 
 WORKERS = 4
 PAYLOAD_ITEMS = 64
+
+#: The tuned v4 data-plane configuration: a pipelined window deep enough
+#: to keep every worker busy between acks, batches that amortize the
+#: frame+syscall cost, and the negotiated fast-path codec (pickle for
+#: coordinator-spawned workers).
+TUNED = dict(max_inflight=64, batch_size=32)
 
 
 def echo_task(payload):
@@ -47,9 +61,9 @@ def sleep_task(payload):
     return value
 
 
-def run_echo_farm(farm_cls, n_tasks: int) -> float:
+def run_echo_farm(farm_cls, n_tasks: int, **farm_opts) -> float:
     """Wall-clock seconds to round-trip ``n_tasks`` echo payloads."""
-    farm = farm_cls(echo_task, initial_workers=WORKERS)
+    farm = farm_cls(echo_task, initial_workers=WORKERS, **farm_opts)
     try:
         payload = list(range(PAYLOAD_ITEMS))
         t0 = time.monotonic()
@@ -63,17 +77,28 @@ def run_echo_farm(farm_cls, n_tasks: int) -> float:
         farm.shutdown()
 
 
+def negotiated_codec() -> str:
+    """The codec a coordinator-spawned (trusted) worker negotiates."""
+    from repro.runtime.dist_proto import available_codecs, negotiate_codec
+
+    return negotiate_codec(available_codecs(), trusted=True)
+
+
 @pytest.mark.benchmark(group="dist")
 def test_dist_serialization_overhead(benchmark, json_sink, smoke_mode):
-    """JSON-over-TCP vs pickle-over-pipe on an identical echo stream."""
-    n_tasks = 60 if smoke_mode else 400
+    """Batched binary v4 over TCP vs pickle-over-pipe, plus sustained
+    throughput, tracing overhead and recovery — one artefact."""
+    # the smoke stream is sized so the per-task figure is stable enough
+    # for the CI regression gate: 60-task runs jitter ~2x on startup
+    # ramp alone, 400-task runs settle within the gate's tolerance
+    n_tasks = 400 if smoke_mode else 2000
     rounds = 1 if smoke_mode else 3
 
     process_times, dist_times = [], []
 
     def one_round():
         process_times.append(run_echo_farm(ProcessFarm, n_tasks))
-        dist_times.append(run_echo_farm(DistFarm, n_tasks))
+        dist_times.append(run_echo_farm(DistFarm, n_tasks, **TUNED))
         return dist_times[-1]
 
     assert benchmark.pedantic(one_round, rounds=rounds, iterations=1) > 0
@@ -83,9 +108,13 @@ def test_dist_serialization_overhead(benchmark, json_sink, smoke_mode):
 
     payload = {
         "kernel": "echo (zero compute, transport only)",
+        "protocol": PROTOCOL_VERSION,
+        "codec": negotiated_codec(),
         "workers": WORKERS,
         "tasks": n_tasks,
         "payload_items": PAYLOAD_ITEMS,
+        "max_inflight": TUNED["max_inflight"],
+        "batch_size": TUNED["batch_size"],
         "process_seconds": process_s,
         "dist_seconds": dist_s,
         "per_task_process_ms": 1000.0 * process_s / n_tasks,
@@ -94,18 +123,63 @@ def test_dist_serialization_overhead(benchmark, json_sink, smoke_mode):
         "smoke_mode": smoke_mode,
     }
 
+    payload["sustained"] = measure_sustained_throughput(smoke_mode)
+    payload["tracing_overhead"] = measure_tracing_overhead(smoke_mode)
     recovery = measure_connection_recovery(smoke_mode)
     payload["connection_recovery"] = recovery
     json_sink("dist", payload)
 
     # the wire may cost, but it must never lose
     assert recovery["tasks_lost"] == 0
+    assert payload["sustained"]["tasks_lost"] == 0
     if smoke_mode:
         return
     # EOF on an aborted connection is observed immediately — detection
     # must not wait out a heartbeat window, let alone seconds
     assert recovery["detection_latency_seconds"] is not None
     assert recovery["detection_latency_seconds"] < 2.0
+
+
+def measure_sustained_throughput(smoke_mode: bool) -> dict:
+    """A 100k-task echo stream through the tuned v4 farm (smoke: 2k)."""
+    n_tasks = 2_000 if smoke_mode else 100_000
+    farm = DistFarm(echo_task, initial_workers=WORKERS, **TUNED)
+    try:
+        payload = list(range(8))
+        expected = sum(payload)
+        t0 = time.monotonic()
+        for _ in range(n_tasks):
+            farm.submit(payload)
+        results = farm.drain_results(n_tasks, timeout=600.0)
+        elapsed = time.monotonic() - t0
+        lost = sum(1 for r in results if r != expected) + (n_tasks - len(results))
+        return {
+            "tasks": n_tasks,
+            "seconds": elapsed,
+            "tasks_per_second": n_tasks / elapsed if elapsed > 0 else float("inf"),
+            "per_task_ms": 1000.0 * elapsed / n_tasks,
+            "tasks_lost": lost,
+            "dead_letters": len(farm.dead_letters),
+        }
+    finally:
+        farm.shutdown()
+
+
+def measure_tracing_overhead(smoke_mode: bool) -> dict:
+    """The echo stream with spans + traceparents on vs tracing off."""
+    n_tasks = 60 if smoke_mode else 2000
+    plain_s = run_echo_farm(DistFarm, n_tasks, **TUNED)
+    traced_s = run_echo_farm(DistFarm, n_tasks, telemetry=Telemetry(), **TUNED)
+    return {
+        "tasks": n_tasks,
+        "plain_seconds": plain_s,
+        "traced_seconds": traced_s,
+        "per_task_plain_ms": 1000.0 * plain_s / n_tasks,
+        "per_task_traced_ms": 1000.0 * traced_s / n_tasks,
+        "overhead_traced_over_plain": (
+            traced_s / plain_s if plain_s > 0 else float("inf")
+        ),
+    }
 
 
 def measure_connection_recovery(smoke_mode: bool) -> dict:

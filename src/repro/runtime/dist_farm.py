@@ -5,8 +5,11 @@ simulator, the thread farm and the process farm — and the first with a
 real *network* boundary between manager and managed, which is the
 platform shape the paper's behavioural skeletons actually target
 (GCM/ProActive components steered across a grid).  The coordinator
-speaks the length-prefixed JSON protocol of :mod:`.dist_proto` over TCP
-to worker processes it spawns locally through
+speaks the binary batched protocol of :mod:`.dist_proto` over TCP —
+v4: struct-packed frame headers, a payload codec negotiated per worker
+at ``hello``, multi-task ``task_batch``/``result_batch`` frames, with
+v3 JSON peers still served via handshake downgrade — to worker
+processes it spawns locally through
 ``python -m repro.runtime.dist_worker`` — and since that entry point is
 just a CLI, extra workers can be attached by hand from any host that
 can reach ``host:port``.
@@ -43,6 +46,7 @@ lock, held only for short, non-blocking sections.
 from __future__ import annotations
 
 import asyncio
+import heapq
 import os
 import subprocess
 import sys
@@ -59,12 +63,16 @@ from ..obs.telemetry import NOOP, Telemetry
 from ..sim.metrics import WindowRateEstimator, queue_length_stats
 from .backend import RuntimeFarmSnapshot
 from .dist_proto import (
+    COMPAT_PROTOCOLS,
     PROTOCOL_VERSION,
+    ProtocolError,
     encode_frame,
+    encode_frame_v4,
     encode_payload,
     make_challenge,
+    negotiate_codec,
     version_mismatch_error,
-    read_frame,
+    read_frame_ex,
     verify_proof,
 )
 from .process_farm import DeadLetter
@@ -93,6 +101,27 @@ def fn_spec(fn: Any) -> str:
             f"(got {module}:{qualname}); move the function into a module"
         )
     return f"{module}:{qualname}"
+
+
+class _ResultBus(queue.Queue):
+    """A ``queue.Queue`` that can deliver a whole result batch at once.
+
+    ``put`` wakes the consumer (and trades the GIL) once *per item*; on
+    the batched wire a single ``result_batch`` frame carries dozens of
+    results, and that per-item handoff storm between the loop thread
+    and the draining caller was a measurable share of the transport
+    cost.  ``put_many`` appends the batch under one lock acquisition
+    and one wakeup.  Items are still individual results — only the
+    producer-side granularity changes.
+    """
+
+    def put_many(self, items: List[Any]) -> None:
+        if not items:
+            return
+        with self.mutex:
+            self.queue.extend(items)
+            self.unfinished_tasks += len(items)
+            self.not_empty.notify(len(items))
 
 
 @dataclass
@@ -130,6 +159,14 @@ class DistWorkerHandle:
     got_bye: bool = False
     spawned_at: float = 0.0
     last_seen: float = 0.0
+    #: protocol generation this session negotiated (3: legacy JSON
+    #: dialect — one task per frame, per-payload encryption; 4: binary
+    #: frames, batches)
+    proto: int = PROTOCOL_VERSION
+    #: frame layout the peer speaks (set from its hello; replies in kind)
+    wire: int = 3
+    #: payload codec negotiated at hello for this session's data frames
+    codec: str = "json"
     reported_completed: int = 0
     dispatched: int = 0
     outstanding: Set[int] = field(default_factory=set)
@@ -178,6 +215,19 @@ class DistFarm:
         spawn workers with ``--reconnect-attempts N`` so they survive a
         coordinator crash and reattach to the promoted standby (0, the
         default: workers exit on coordinator EOF, the pre-v3 behaviour).
+    ``codec``
+        payload codec for v4 sessions: ``"auto"`` (default) negotiates
+        per worker — pickle for workers this coordinator spawned or
+        adopted, the safe list for remote attachers — or a codec name
+        to pin every session to it.  v3 peers always speak json.
+    ``batch_size``
+        most tasks one ``task_batch`` frame carries; with the default
+        ``max_inflight`` of 2 batches degenerate to singletons, so
+        throughput configs raise both together.
+    ``max_buffered_bytes``
+        backpressure threshold: a worker whose socket write buffer
+        exceeds this is skipped by dispatch until it drains (the
+        supervisor tick and every ack re-run the fill pass).
     """
 
     #: ``add_worker`` accepts ``require_secure=True``, spawning workers
@@ -208,6 +258,9 @@ class DistFarm:
         port: int = 0,
         epoch: int = 0,
         worker_reconnect_attempts: int = 0,
+        codec: str = "auto",
+        batch_size: int = 32,
+        max_buffered_bytes: int = 256 * 1024,
     ) -> None:
         if initial_workers < 0:
             # 0 is legal: a promoted standby starts empty and adopts the
@@ -217,7 +270,13 @@ class DistFarm:
             raise ValueError("max_attempts must be at least 1")
         if max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
         self.fn_spec = fn_spec(fn)
+        self.codec = codec
+        self.batch_size = batch_size
+        self.max_buffered_bytes = max_buffered_bytes
+        self._fill_scheduled = False
         self.name = name
         self.max_workers = max_workers
         self.heartbeat_period = heartbeat_period
@@ -236,7 +295,7 @@ class DistFarm:
         self._clock = clock
         self._t0 = clock()
 
-        self.results: "queue.Queue[Any]" = queue.Queue()
+        self.results: "_ResultBus" = _ResultBus()
         self._lock = threading.RLock()
         self.workers: List[DistWorkerHandle] = []
         self._next_id = 0
@@ -249,6 +308,7 @@ class DistFarm:
         self._tasks: Dict[int, _TaskRecord] = {}
         self._ready: "deque[int]" = deque()
         self._ready_set: Set[int] = set()
+        self._retry_heap: List[Tuple[float, int]] = []  # (due, task_id)
         self._completed_ids: Set[int] = set()
         self._task_seq = 0
         self.submitted = 0
@@ -330,17 +390,24 @@ class DistFarm:
             return
 
     async def _serve_connection(self, reader, writer) -> None:
-        hello = await read_frame(reader)
+        # the hello travels as codec 0 (json) on either frame layout; a
+        # protocol violation before identification is just a bad client
+        try:
+            hello, wire = await read_frame_ex(reader, allowed=("json",))
+        except ProtocolError:
+            writer.close()
+            return
         if hello is None or hello.get("type") not in ("hello", "reattach"):
             writer.close()
             return
-        if hello.get("proto") != PROTOCOL_VERSION:
+        peer_proto = hello.get("proto")
+        if peer_proto not in COMPAT_PROTOCOLS:
             # refuse mismatched (or unversioned) peers up front with a
             # diagnosis, instead of failing opaquely on the first frame
             # the older peer does not understand
             writer.write(
-                encode_frame(
-                    version_mismatch_error(hello.get("proto"), role="coordinator")
+                self._encode_wire(
+                    version_mismatch_error(peer_proto, role="coordinator"), wire
                 )
             )
             try:
@@ -350,6 +417,36 @@ class DistFarm:
             writer.close()
             return
         claimed = int(hello.get("worker_id", -1))
+        # the session runs the v4 dialect only if the peer both announced
+        # v4 *and* framed its hello as v4 — a v4-version hello on v3
+        # frames (hand-rolled clients, tests) gets the legacy dialect
+        session_proto = 4 if (peer_proto == PROTOCOL_VERSION and wire == 4) else 3
+        codec = "json"
+        if session_proto == 4:
+            with self._lock:
+                existing = self._find_worker(claimed) if claimed >= 0 else None
+                # pickle is only negotiated with workers whose *process*
+                # this coordinator owns (spawned or adopted); a remote
+                # attacher negotiates down the safe list
+                trusted = existing is not None and existing.process is not None
+            try:
+                codec = negotiate_codec(
+                    hello.get("codecs") or ["json"],
+                    trusted=trusted,
+                    allowed=self.codec,
+                )
+            except ProtocolError as exc:
+                writer.write(
+                    encode_frame_v4(
+                        {"type": "error", "error": str(exc), "proto": PROTOCOL_VERSION}
+                    )
+                )
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+                writer.close()
+                return
         with self._lock:
             handle = self._find_worker(claimed) if claimed >= 0 else None
             reattaching = (
@@ -391,17 +488,21 @@ class DistFarm:
             handle.connected = True
             handle.ever_connected = True
             handle.last_seen = self.now()
+            handle.proto = session_proto
+            handle.wire = wire if session_proto == 4 else 3
+            handle.codec = codec
             retiring = handle.retiring
-        writer.write(
-            encode_frame(
-                {
-                    "type": "takeover" if reattaching else "welcome",
-                    "worker_id": handle.worker_id,
-                    "proto": PROTOCOL_VERSION,
-                    "epoch": self.epoch,
-                }
-            )
-        )
+        reply = {
+            "type": "takeover" if reattaching else "welcome",
+            "worker_id": handle.worker_id,
+            # echo the peer's own generation: a v3 peer must read the
+            # version it can serve, not the one we prefer
+            "proto": peer_proto,
+            "epoch": self.epoch,
+        }
+        if session_proto == 4:
+            reply["codec"] = codec
+        writer.write(self._encode_control(handle, reply))
         if reattaching:
             if self.telemetry.enabled:
                 self.telemetry.metrics.counter(
@@ -412,15 +513,41 @@ class DistFarm:
             self._request_fill()
         if retiring or self._shutdown.is_set():
             # retired (or farm torn down) before it finished connecting
-            writer.write(encode_frame({"type": "poison"}))
+            writer.write(self._encode_control(handle, {"type": "poison"}))
         self._count_frame("tx", 0)
+        # after negotiation the connection may only carry json (control
+        # frames) and the session codec; anything else is a violation
+        allowed = ("json", handle.codec)
         while True:
-            frame = await read_frame(reader)
-            if frame is None:
+            try:
+                frame = await read_frame_ex(reader, allowed=allowed)
+            except ProtocolError as exc:
+                # torn batch, oversized length, codec smuggling: the
+                # peer is faulty — disconnect, declare dead, replay its
+                # window elsewhere.  Never wait it out.
+                self._count_protocol_error(exc)
                 break
-            self._count_frame("rx", len(frame))
-            self._handle_message(handle, frame)
+            if frame[0] is None:
+                break
+            self._count_frame("rx", len(frame[0]))
+            self._handle_message(handle, frame[0])
+        writer.close()
         self._on_disconnect(handle)
+
+    def _encode_wire(self, message: dict, wire: int) -> bytes:
+        """Encode one control frame for a given frame layout (pre-handshake)."""
+        return encode_frame(message) if wire == 3 else encode_frame_v4(message)
+
+    def _encode_control(self, handle: DistWorkerHandle, message: dict) -> bytes:
+        """Encode one control frame on ``handle``'s dialect (json, clear)."""
+        return self._encode_wire(message, handle.wire)
+
+    def _count_protocol_error(self, exc: ProtocolError) -> None:
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter(
+                "repro_dist_protocol_errors_total",
+                "connections dropped for wire-protocol violations",
+            ).labels(farm=self.name).inc()
 
     def _on_disconnect(self, handle: DistWorkerHandle) -> None:
         with self._lock:
@@ -446,52 +573,70 @@ class DistFarm:
         if kind == "refused":
             self._handle_refused(handle, frame)
             return
+        if kind in ("result", "result_batch"):
+            # a result_batch acks a whole window in one frame; a lone
+            # result frame is just a batch of one with the legacy shape
+            entries = frame["results"] if kind == "result_batch" else (frame,)
+            deliver: List[Any] = []
+            with self._lock:
+                now = self.now()
+                handle.last_seen = now
+                self._note_worker_counter(handle, int(frame.get("completed", 0)))
+                for entry in entries:
+                    fresh, result = self._absorb_result(handle, entry, now)
+                    if fresh:
+                        deliver.append(result)
+            self.results.put_many(deliver)
+            self._fill()  # freed slots may unblock the ready queue
+            return
         with self._lock:
-            now = self.now()
-            handle.last_seen = now
+            handle.last_seen = self.now()
             if kind == "hb":
                 self._note_worker_counter(handle, int(frame.get("completed", 0)))
-                return
-            if kind == "bye":
+            elif kind == "bye":
                 handle.got_bye = True
                 self._note_worker_counter(handle, int(frame.get("completed", 0)))
-                return
-            if kind != "result":
-                return
-            task_id = int(frame["task_id"])
-            self._note_worker_counter(handle, int(frame.get("completed", 0)))
-            handle.outstanding.discard(task_id)
+
+    def _absorb_result(
+        self, handle: DistWorkerHandle, entry: dict, now: float
+    ) -> Tuple[bool, Any]:
+        """Account one result entry (lock held).
+
+        Returns ``(fresh, result)``; ``fresh`` is False for a duplicate
+        of an already-completed task — the at-least-once replay that
+        also finished on its original worker — including duplicates
+        *inside* one replayed batch: exactly-once outward either way.
+        """
+        task_id = int(entry["task_id"])
+        handle.outstanding.discard(task_id)
+        if self.telemetry.enabled:
+            # import the worker-side exec span even for a duplicate
+            # result: both executions of an at-least-once replay
+            # belong in the task's one trace tree
+            self.telemetry.import_span(entry.get("span"))
+        if task_id in self._completed_ids:
+            self.duplicates += 1
             if self.telemetry.enabled:
-                # import the worker-side exec span even for a duplicate
-                # result: both executions of an at-least-once replay
-                # belong in the task's one trace tree
-                self.telemetry.import_span(frame.get("span"))
-            if task_id in self._completed_ids:
-                # a replayed task also finished on its original worker:
-                # at-least-once underneath, exactly-once outward
-                self.duplicates += 1
-                if self.telemetry.enabled:
-                    self.telemetry.metrics.counter(
-                        "repro_dist_duplicate_results_total",
-                        "result frames dropped because the task already completed",
-                    ).labels(farm=self.name).inc()
-                return
-            self._completed_ids.add(task_id)
-            record = self._tasks.pop(task_id, None)
-            if "error" in frame:
-                result: Any = RuntimeError(frame["error"])
-            else:
-                result = frame.get("value")
-            mark = max(now, self.departure_est._last_mark or 0.0)
-            self.departure_est.mark(mark)
-            self.completed += 1
-            if record is not None:
-                self._latencies.append((mark, mark - record.submitted_at))
-                outcome = "error" if isinstance(result, Exception) else "ok"
-                self.telemetry.end_span(record.dispatch, outcome=outcome)
-                self.telemetry.end_span(record.root, outcome=outcome)
-        self.results.put(result)
-        self._fill()  # a freed slot may unblock the ready queue
+                self.telemetry.metrics.counter(
+                    "repro_dist_duplicate_results_total",
+                    "result frames dropped because the task already completed",
+                ).labels(farm=self.name).inc()
+            return False, None
+        self._completed_ids.add(task_id)
+        record = self._tasks.pop(task_id, None)
+        if "error" in entry:
+            result: Any = RuntimeError(entry["error"])
+        else:
+            result = entry.get("value")
+        mark = max(now, self.departure_est._last_mark or 0.0)
+        self.departure_est.mark(mark)
+        self.completed += 1
+        if record is not None:
+            self._latencies.append((mark, mark - record.submitted_at))
+            outcome = "error" if isinstance(result, Exception) else "ok"
+            self.telemetry.end_span(record.dispatch, outcome=outcome)
+            self.telemetry.end_span(record.root, outcome=outcome)
+        return True, result
 
     def _handle_secured(self, handle: DistWorkerHandle, frame: dict) -> None:
         """A worker answered a ``secure`` challenge (loop thread)."""
@@ -521,36 +666,47 @@ class DistFarm:
         replayed elsewhere, and a task that only ever meets refusals is
         dead-lettered rather than ping-ponged forever.
         """
+        raw_ids = frame.get("task_ids")
+        task_ids = (
+            [int(t) for t in raw_ids]
+            if raw_ids
+            else [int(frame.get("task_id", -1))]
+        )
         with self._lock:
             handle.last_seen = self.now()
-            task_id = int(frame.get("task_id", -1))
-            handle.outstanding.discard(task_id)
-            record = self._tasks.get(task_id)
-            if record is not None and task_id not in self._completed_ids:
-                record.worker_id = None
-                # the bounced attempt stays referenced by the record so
-                # the replay parents under it
-                self.telemetry.end_span(record.dispatch, outcome="refused")
-                if record.attempts >= self.max_attempts:
-                    del self._tasks[task_id]
-                    self.telemetry.end_span(record.root, outcome="dead-letter")
-                    self.dead_letters.append(
-                        DeadLetter(
-                            task_id=task_id,
-                            payload=record.payload,
-                            attempts=record.attempts,
-                            last_worker_id=handle.worker_id,
-                        )
-                    )
-                else:
-                    self.replays += 1
-                    self._enqueue_ready(task_id)
+            for task_id in task_ids:
+                self._refuse_one(handle, task_id)
         if self.telemetry.enabled:
             self.telemetry.metrics.counter(
                 "repro_dist_refused_frames_total",
                 "task frames bounced by workers awaiting the handshake",
             ).labels(farm=self.name).inc()
         self._fill()
+
+    def _refuse_one(self, handle: DistWorkerHandle, task_id: int) -> None:
+        """Account one bounced dispatch (lock held): replay or dead-letter."""
+        handle.outstanding.discard(task_id)
+        record = self._tasks.get(task_id)
+        if record is None or task_id in self._completed_ids:
+            return
+        record.worker_id = None
+        # the bounced attempt stays referenced by the record so the
+        # replay parents under it
+        self.telemetry.end_span(record.dispatch, outcome="refused")
+        if record.attempts >= self.max_attempts:
+            del self._tasks[task_id]
+            self.telemetry.end_span(record.root, outcome="dead-letter")
+            self.dead_letters.append(
+                DeadLetter(
+                    task_id=task_id,
+                    payload=record.payload,
+                    attempts=record.attempts,
+                    last_worker_id=handle.worker_id,
+                )
+            )
+        else:
+            self.replays += 1
+            self._enqueue_ready(task_id)
 
     def _note_worker_counter(self, handle: DistWorkerHandle, completed: int) -> None:
         handle.reported_completed = max(handle.reported_completed, completed)
@@ -630,17 +786,51 @@ class DistFarm:
             self._ready_set.add(task_id)
 
     def _request_fill(self) -> None:
-        """Schedule a dispatch pass on the loop thread (thread-safe)."""
+        """Schedule a dispatch pass on the loop thread (thread-safe).
+
+        Coalesced: a burst of submits lands one ``_fill`` on the loop,
+        not one per task — the single biggest win of the batched wire,
+        since that one pass then drains the whole burst as batch frames.
+        """
         if self._shutdown.is_set():
             return
+        with self._lock:
+            if self._fill_scheduled:
+                return
+            self._fill_scheduled = True
         try:
             self._loop.call_soon_threadsafe(self._fill)
         except RuntimeError:  # loop already closed
-            pass
+            with self._lock:
+                self._fill_scheduled = False
+
+    def _writable(self, w: DistWorkerHandle) -> bool:
+        """Backpressure check: is this worker's socket buffer shallow enough?
+
+        A worker that stops reading (wedged, partitioned, slow) piles
+        bytes into its transport buffer; skipping it keeps the pipeline
+        streaming to workers that are actually draining, and the next
+        ack or supervisor tick retries the skipped one.
+        """
+        writer = w.writer
+        if writer is None:
+            return False
+        try:
+            return writer.transport.get_write_buffer_size() < self.max_buffered_bytes
+        except Exception:  # noqa: BLE001 - transport mid-teardown
+            return True
 
     def _fill(self) -> None:
-        """Dispatch ready tasks into free worker windows (loop thread only)."""
+        """Dispatch ready tasks into free worker windows (loop thread only).
+
+        Each pass fills the least-loaded worker's free window slots with
+        up to ``batch_size`` tasks in one ``task_batch`` frame (v4
+        sessions; v3 sessions get one legacy frame per task) and moves
+        on, so a burst of submits streams out as a handful of writes
+        instead of a write per task.
+        """
         with self._lock:
+            self._fill_scheduled = False
             while self._ready:
                 candidates = [
                     w
@@ -651,42 +841,98 @@ class DistFarm:
                     and not w.quarantined
                     and w.writer is not None
                     and len(w.outstanding) < self.max_inflight
+                    and self._writable(w)
                 ]
                 if not candidates:
                     return
                 worker = min(
                     candidates, key=lambda w: (len(w.outstanding), w.worker_id)
                 )
-                task_id = self._ready.popleft()
-                self._ready_set.discard(task_id)
-                record = self._tasks.get(task_id)
-                if record is None or record.worker_id is not None:
-                    continue  # completed or already dispatched meanwhile
-                record.attempts += 1
-                record.worker_id = worker.worker_id
-                worker.outstanding.add(task_id)
-                traceparent = self._trace_dispatch(record, worker)
-                task_frame = {
+                budget = min(
+                    self.max_inflight - len(worker.outstanding), self.batch_size
+                )
+                entries: List[Tuple[_TaskRecord, Optional[str]]] = []
+                while self._ready and len(entries) < budget:
+                    task_id = self._ready.popleft()
+                    self._ready_set.discard(task_id)
+                    record = self._tasks.get(task_id)
+                    if record is None or record.worker_id is not None:
+                        continue  # completed or already dispatched meanwhile
+                    record.attempts += 1
+                    record.worker_id = worker.worker_id
+                    worker.outstanding.add(task_id)
+                    entries.append((record, self._trace_dispatch(record, worker)))
+                if not entries:
+                    continue
+                frames = self._encode_dispatch(worker, entries)
+                try:
+                    for data in frames:
+                        worker.writer.write(data)
+                except Exception:  # noqa: BLE001 - transport died under us
+                    for record, _ in entries:
+                        worker.outstanding.discard(record.task_id)
+                        record.worker_id = None
+                        self.telemetry.end_span(
+                            record.dispatch, outcome="write-failed"
+                        )
+                        self._enqueue_ready(record.task_id)
+                    return
+                for data in frames:
+                    self._count_frame("tx", len(data))
+                for _ in entries:
+                    self._count_dispatch(worker)
+                if len(entries) > 1 and self.telemetry.enabled:
+                    self.telemetry.metrics.counter(
+                        "repro_dist_batched_tasks_total",
+                        "tasks dispatched inside multi-task batch frames",
+                    ).labels(farm=self.name).inc(len(entries))
+
+    def _encode_dispatch(
+        self,
+        worker: DistWorkerHandle,
+        entries: List[Tuple[_TaskRecord, Optional[str]]],
+    ) -> List[bytes]:
+        """Encode one dispatch window on ``worker``'s dialect (lock held).
+
+        v3 sessions: one legacy ``task`` frame per entry, per-payload
+        encryption.  v4 singletons keep the legacy ``task`` shape (same
+        keys, binary framing); a window of two or more rides one
+        ``task_batch``, encrypted whole-frame when the channel is
+        secured, with each entry's traceparent riding beside it.
+        """
+        if worker.wire != 4:
+            frames = []
+            for record, traceparent in entries:
+                message = {
                     "type": "task",
-                    "task_id": task_id,
-                    "payload": encode_payload(
-                        record.payload, secured=worker.secured
-                    ),
+                    "task_id": record.task_id,
+                    "payload": encode_payload(record.payload, secured=worker.secured),
                     "enc": worker.secured,
                 }
                 if traceparent is not None:
-                    task_frame["traceparent"] = traceparent
-                frame = encode_frame(task_frame)
-                try:
-                    worker.writer.write(frame)
-                except Exception:  # noqa: BLE001 - transport died under us
-                    worker.outstanding.discard(task_id)
-                    record.worker_id = None
-                    self.telemetry.end_span(record.dispatch, outcome="write-failed")
-                    self._enqueue_ready(task_id)
-                    return
-                self._count_frame("tx", len(frame))
-                self._count_dispatch(worker)
+                    message["traceparent"] = traceparent
+                frames.append(encode_frame(message))
+            return frames
+        if len(entries) == 1:
+            record, traceparent = entries[0]
+            message = {
+                "type": "task",
+                "task_id": record.task_id,
+                "payload": record.payload,
+            }
+            if traceparent is not None:
+                message["traceparent"] = traceparent
+        else:
+            batch = []
+            for record, traceparent in entries:
+                entry = {"task_id": record.task_id, "payload": record.payload}
+                if traceparent is not None:
+                    entry["tp"] = traceparent
+                batch.append(entry)
+            message = {"type": "task_batch", "tasks": batch}
+        return [
+            encode_frame_v4(message, codec=worker.codec, secured=worker.secured)
+        ]
 
     def _trace_dispatch(
         self, record: _TaskRecord, worker: DistWorkerHandle
@@ -844,6 +1090,7 @@ class DistFarm:
             )
             record.worker_id = None
             record.next_retry_at = now + delay
+            heapq.heappush(self._retry_heap, (record.next_retry_at, record.task_id))
             self.replays += 1
             if self.telemetry.enabled:
                 self.telemetry.metrics.counter(
@@ -853,10 +1100,22 @@ class DistFarm:
         w.outstanding.clear()
 
     def _dispatch_due_retries(self, now: float) -> None:
-        """Queue replayed tasks whose backoff has elapsed (lock held)."""
-        for record in sorted(self._tasks.values(), key=lambda r: r.task_id):
-            if record.worker_id is None and record.next_retry_at <= now:
-                self._enqueue_ready(record.task_id)
+        """Queue replayed tasks whose backoff has elapsed (lock held).
+
+        Only tasks parked by a replay live on the heap, so the steady
+        state costs nothing per tick no matter how deep the live task
+        table is — scanning ``_tasks`` here was the supervision loop's
+        single biggest cost at 100k-task volumes.
+        """
+        while self._retry_heap and self._retry_heap[0][0] <= now:
+            _, task_id = heapq.heappop(self._retry_heap)
+            record = self._tasks.get(task_id)
+            if (
+                record is not None
+                and record.worker_id is None
+                and record.next_retry_at <= now
+            ):
+                self._enqueue_ready(task_id)
 
     # ------------------------------------------------------------------
     # monitoring
@@ -980,6 +1239,10 @@ class DistFarm:
             ]
             if require_secure:
                 cmd.append("--require-secure")
+            if self.codec != "auto":
+                # a pinned farm spawns workers that offer exactly that
+                # codec, so negotiation cannot land anywhere else
+                cmd += ["--codec", self.codec]
             if self.worker_reconnect_attempts > 0:
                 cmd += ["--reconnect-attempts", str(self.worker_reconnect_attempts)]
             env = dict(os.environ)
@@ -1090,8 +1353,8 @@ class DistFarm:
             else:
                 w.secure_challenge = make_challenge()
                 w.secure_waiter = waiter
-                frame = encode_frame(
-                    {"type": "secure", "challenge": w.secure_challenge}
+                frame = self._encode_control(
+                    w, {"type": "secure", "challenge": w.secure_challenge}
                 )
             writer = w.writer
         if frame is not None:
@@ -1169,11 +1432,10 @@ class DistFarm:
             victim = live[-1]
             victim.retiring = True
             writer = victim.writer
+            poison = self._encode_control(victim, {"type": "poison"})
         if writer is not None:
             try:
-                self._loop.call_soon_threadsafe(
-                    writer.write, encode_frame({"type": "poison"})
-                )
+                self._loop.call_soon_threadsafe(writer.write, poison)
             except RuntimeError:
                 pass
         # not yet connected: _on_connection poisons it right after welcome
@@ -1323,15 +1585,19 @@ class DistFarm:
         self._shutdown.set()
         with self._lock:
             workers = list(self.workers)
-            writers = [w.writer for w in workers if w.writer is not None]
+            writers = [
+                (w.writer, self._encode_control(w, {"type": "poison"}))
+                for w in workers
+                if w.writer is not None
+            ]
             for w in workers:
                 w.active = False
                 self._end_worker_span(w, outcome="shutdown")
 
         def poison_all() -> None:
-            for writer in writers:
+            for writer, poison in writers:
                 try:
-                    writer.write(encode_frame({"type": "poison"}))
+                    writer.write(poison)
                 except Exception:  # noqa: BLE001
                     pass
 

@@ -12,6 +12,16 @@ named function and acks each completion.  The coordinator spawns local
 workers through exactly this entry point, so a locally spawned and a
 remotely attached worker are indistinguishable on the wire.
 
+The wire is protocol v4 (:mod:`.dist_proto`): binary frames, a payload
+codec negotiated at ``hello`` (offer restricted with ``--codec``), and
+multi-task ``task_batch`` frames executed in arrival order with results
+accumulated and acked in ``result_batch`` frames — flushed whenever the
+input queue drains or enough results pile up, so a busy worker amortises
+acks without ever sitting on a finished result while idle.  Setting
+``REPRO_FORCE_PROTO=3`` in the environment pins the worker to the v3
+dialect — JSON frames, one task/result per frame, no codec offer —
+which is how CI proves a v4 coordinator still serves v3-only peers.
+
 Structure (one asyncio loop, three coroutines):
 
 * **reader** — drains frames into an in-order queue; EOF means the
@@ -40,22 +50,28 @@ import argparse
 import asyncio
 import concurrent.futures
 import importlib
-import json
 import os
 import sys
 import time
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..obs.propagation import TraceContext, make_span_record
 from .dist_proto import (
     PROTOCOL_VERSION,
+    ProtocolError,
+    available_codecs,
     decode_payload,
     encode_frame,
+    encode_frame_v4,
     prove_challenge,
-    read_frame,
+    read_frame_ex,
 )
 
 __all__ = ["resolve_fn", "run_worker", "main"]
+
+#: flush accumulated results once this many pile up even if the input
+#: queue never drains — bounds ack latency under a sustained stream
+RESULT_FLUSH = 32
 
 
 def resolve_fn(spec: str) -> Callable[[Any], Any]:
@@ -99,11 +115,16 @@ async def run_worker(
     connect_backoff_cap: float = 2.0,
     require_secure: bool = False,
     reconnect_attempts: int = 0,
+    codec: str = "auto",
 ) -> int:
     """Run one worker until poisoned (returns 0) or orphaned.
 
+    ``codec`` restricts the codec offer in the ``hello`` frame
+    (``"auto"``: offer everything this interpreter can speak); the
+    coordinator picks the session codec and announces it in ``welcome``.
+
     With ``require_secure`` the worker enforces the admission gate on
-    its *own* side of the wire: any ``task`` frame arriving before the
+    its *own* side of the wire: any task frame arriving before the
     ``secure`` handshake completes is bounced with a ``refused`` frame,
     never executed — so even a hand-rolled client speaking the raw
     protocol cannot push work onto an unsecured channel.
@@ -115,9 +136,10 @@ async def run_worker(
     id it was already assigned.  A promoted standby answers ``takeover``
     and the worker keeps serving under the new epoch.  The highest epoch
     ever seen is sticky: a session announcing a *lower* epoch is a stale
-    predecessor, and every task frame it sends is bounced with a
-    ``refused``/``stale epoch`` frame rather than executed — at most one
-    coordinator incarnation can get work out of this worker.
+    predecessor, and every task frame it sends — single or batch — is
+    bounced with a ``refused``/``stale epoch`` frame rather than
+    executed; at most one coordinator incarnation can get work out of
+    this worker.
 
     With ``reconnect_attempts <= 0`` (the default and the pre-v3
     behaviour) EOF hard-exits the process: there is nobody to ack to,
@@ -131,6 +153,13 @@ async def run_worker(
     completed = 0
     max_epoch = -1  # highest coordinator epoch this worker has served
     attached = False  # whether a coordinator ever assigned us an id
+    # REPRO_FORCE_PROTO=3 emulates a genuine v3-release worker: v3
+    # framing everywhere, proto 3 in the hello, no codec offer, one
+    # result per frame — the wire-compat CI leg runs the whole
+    # conformance story this way against a v4 coordinator
+    force_v3 = os.environ.get("REPRO_FORCE_PROTO") == "3"
+    my_proto = 3 if force_v3 else PROTOCOL_VERSION
+    offered = available_codecs() if codec == "auto" else (codec,)
 
     async def session() -> str:
         """One coordinator attachment; returns how it ended."""
@@ -145,15 +174,22 @@ async def run_worker(
         greeting = {
             "type": "reattach" if attached else "hello",
             "worker_id": worker_id,
-            "proto": PROTOCOL_VERSION,
+            "proto": my_proto,
         }
+        if not force_v3:
+            greeting["codecs"] = list(offered)
         if attached:
             greeting["completed"] = completed
-        writer.write(encode_frame(greeting))
-        welcome = await read_frame(reader)
+        writer.write(encode_frame(greeting) if force_v3 else encode_frame_v4(greeting))
+        try:
+            welcome, _ = await read_frame_ex(reader, allowed=("json",))
+        except ProtocolError:
+            writer.close()
+            return "bad-handshake"
         if welcome is not None and welcome.get("type") == "error":
             # the coordinator refused us (e.g. protocol-version
-            # mismatch): surface its diagnosis instead of dying silently
+            # mismatch, no acceptable codec): surface its diagnosis
+            # instead of dying silently
             print(
                 f"coordinator refused worker: {welcome.get('error', 'unknown error')}",
                 file=sys.stderr,
@@ -163,11 +199,20 @@ async def run_worker(
         if welcome is None or welcome.get("type") not in ("welcome", "takeover"):
             writer.close()
             return "bad-handshake"
-        coord_proto = welcome.get("proto", PROTOCOL_VERSION)  # absent = legacy peer
-        if coord_proto != PROTOCOL_VERSION:
+        coord_proto = welcome.get("proto", my_proto)  # absent = legacy peer
+        if coord_proto != my_proto:
             print(
                 f"protocol version mismatch: this worker speaks version "
-                f"{PROTOCOL_VERSION}, the coordinator announced {coord_proto}",
+                f"{my_proto}, the coordinator announced {coord_proto}",
+                file=sys.stderr,
+            )
+            writer.close()
+            return "bad-handshake"
+        session_codec = str(welcome.get("codec", "json"))
+        if session_codec != "json" and session_codec not in offered:
+            print(
+                f"coordinator picked codec {session_codec!r}, which this "
+                f"worker never offered (offered: {', '.join(offered)})",
                 file=sys.stderr,
             )
             writer.close()
@@ -178,51 +223,121 @@ async def run_worker(
         stale = max_epoch >= 0 and epoch < max_epoch
         max_epoch = max(max_epoch, epoch)
 
-        tasks: "asyncio.Queue[Optional[dict]]" = asyncio.Queue()
+        # queue items: (wire, [task entries]) batches, or None (poison)
+        tasks: "asyncio.Queue[Optional[Tuple[int, List[dict]]]]" = asyncio.Queue()
         secured = False
+        out_buf: List[dict] = []
+
+        def encode_out(message: dict) -> bytes:
+            if force_v3:
+                return encode_frame(message)
+            if message.get("type") in ("result", "result_batch"):
+                return encode_frame_v4(message, codec=session_codec)
+            return encode_frame_v4(message)
 
         def send(message: dict) -> None:
             try:
-                writer.write(encode_frame(message))
+                writer.write(encode_out(message))
             except Exception:  # noqa: BLE001 - connection died under us
                 pass
+
+        def flush_results() -> None:
+            """Ship accumulated result entries, batched when possible.
+
+            Encoding is optimistic: if a batch refuses the session codec
+            (one unserializable value), fall back to per-entry frames so
+            only the offending task degrades to an error result.
+            """
+            if not out_buf:
+                return
+            entries = out_buf[:]
+            out_buf.clear()
+            if not force_v3 and len(entries) > 1:
+                try:
+                    writer.write(
+                        encode_out(
+                            {
+                                "type": "result_batch",
+                                "results": entries,
+                                "completed": completed,
+                            }
+                        )
+                    )
+                    return
+                except (ConnectionError, OSError):
+                    return
+                except Exception:  # noqa: BLE001 - a value refused the codec
+                    pass
+            for entry in entries:
+                message = {"type": "result", **entry, "completed": completed}
+                try:
+                    data = encode_out(message)
+                except Exception as exc:  # noqa: BLE001 - unserializable value
+                    fallback = {
+                        "type": "result",
+                        "task_id": entry.get("task_id"),
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "completed": completed,
+                    }
+                    if "span" in entry:
+                        fallback["span"] = entry["span"]
+                    data = encode_out(fallback)
+                try:
+                    writer.write(data)
+                except Exception:  # noqa: BLE001
+                    return
+
+        def refuse(items: List[dict], reason: str) -> None:
+            if len(items) == 1:
+                send(
+                    {
+                        "type": "refused",
+                        "task_id": items[0].get("task_id"),
+                        "reason": reason,
+                    }
+                )
+            else:
+                send(
+                    {
+                        "type": "refused",
+                        "task_ids": [it.get("task_id") for it in items],
+                        "reason": reason,
+                    }
+                )
 
         async def reader_loop() -> str:
             nonlocal secured
             while True:
-                frame = await read_frame(reader)
+                try:
+                    frame, wire = await read_frame_ex(
+                        reader, allowed=("json", session_codec)
+                    )
+                except ProtocolError:
+                    # a malformed/torn frame means the coordinator-side
+                    # stream is garbage; treat it exactly like EOF
+                    frame = None
+                    wire = 3
                 if frame is None:
                     # the coordinator vanished mid-connection
                     if reconnect_attempts <= 0:
                         os._exit(1)
                     return "eof"
                 kind = frame.get("type")
-                if kind == "task":
+                if kind in ("task", "task_batch"):
+                    items = frame["tasks"] if kind == "task_batch" else [frame]
                     if stale:
                         # this session belongs to a superseded
                         # coordinator incarnation: never execute its
-                        # work, tell it why
-                        send(
-                            {
-                                "type": "refused",
-                                "task_id": frame.get("task_id"),
-                                "reason": "stale epoch",
-                            }
-                        )
+                        # work — single task or whole batch — tell it why
+                        refuse(items, "stale epoch")
                         continue
                     if require_secure and not secured:
                         # the worker-side half of the admission gate:
                         # bounce, never execute, until the channel
                         # handshake is done
-                        send(
-                            {
-                                "type": "refused",
-                                "task_id": frame.get("task_id"),
-                                "reason": "security handshake required",
-                            }
-                        )
+                        refuse(items, "security handshake required")
                         continue
-                    await tasks.put(frame)
+                    await tasks.put((wire, items))
                 elif kind == "secure":
                     send(
                         {
@@ -235,56 +350,76 @@ async def run_worker(
                     await tasks.put(None)
                     return "poison"
 
+        def run_entry(wire: int, task_frame: dict) -> dict:
+            """Execute one task entry (on the pool thread); the result.
+
+            The coordinator's dispatch span rides in as a traceparent
+            (``tp`` inside batch entries); this execution is recorded
+            as a child span and shipped back on the result entry, where
+            it is re-parented into the coordinator's trace store
+            (timestamps: epoch seconds, the same base the coordinator's
+            WallClock uses).
+            """
+            task_id = task_frame.get("task_id")
+            parent_ctx = TraceContext.from_traceparent(
+                task_frame.get("traceparent") or task_frame.get("tp")
+            )
+            started = time.time()
+            try:
+                if wire == 3:
+                    # v3 dialect: secured payloads are individually
+                    # encrypted and flagged; on v4 the whole frame body
+                    # was already decrypted by the frame reader
+                    payload = decode_payload(
+                        task_frame["payload"], secured=task_frame.get("enc", False)
+                    )
+                else:
+                    payload = task_frame["payload"]
+                entry = {"task_id": task_id, "value": fn(payload)}
+            except Exception as exc:  # noqa: BLE001 - surfaced as an error result
+                entry = {"task_id": task_id, "error": f"{type(exc).__name__}: {exc}"}
+            if parent_ctx is not None:
+                # the parent span id is unique per dispatch attempt,
+                # so the derived exec span id is too — replays never
+                # collide
+                ctx = parent_ctx.child(f"exec:{worker_id}:{parent_ctx.span_id}")
+                entry["span"] = make_span_record(
+                    ctx,
+                    "task.exec",
+                    actor=f"dworker-{worker_id}",
+                    start=started,
+                    end=time.time(),
+                    attributes={
+                        "worker": worker_id,
+                        "pid": os.getpid(),
+                        "outcome": "error" if "error" in entry else "ok",
+                    },
+                )
+            return entry
+
+        def run_entries(wire: int, items: List[dict]) -> List[dict]:
+            return [run_entry(wire, task_frame) for task_frame in items]
+
         async def executor_loop() -> None:
             nonlocal completed
             while True:
-                frame = await tasks.get()
-                if frame is None:
+                item = await tasks.get()
+                if item is None:
+                    flush_results()
                     send({"type": "bye", "completed": completed})
                     await writer.drain()
                     return
-                task_id = frame["task_id"]
-                # the coordinator's dispatch span rides in as a
-                # traceparent; record this execution as a child span and
-                # ship it back on the result frame, where it is
-                # re-parented into the coordinator's trace store
-                # (timestamps: epoch seconds, the same base the
-                # coordinator's WallClock uses)
-                parent_ctx = TraceContext.from_traceparent(frame.get("traceparent"))
-                started = time.time()
-                try:
-                    payload = decode_payload(
-                        frame["payload"], secured=frame.get("enc", False)
-                    )
-                    value = await loop.run_in_executor(pool, fn, payload)
-                    out = {"type": "result", "task_id": task_id, "value": value}
-                    json.dumps(value)  # fail here, not inside encode_frame
-                except Exception as exc:  # noqa: BLE001 - surfaced as an error result
-                    out = {
-                        "type": "result",
-                        "task_id": task_id,
-                        "error": f"{type(exc).__name__}: {exc}",
-                    }
-                if parent_ctx is not None:
-                    # the parent span id is unique per dispatch attempt,
-                    # so the derived exec span id is too — replays never
-                    # collide
-                    ctx = parent_ctx.child(f"exec:{worker_id}:{parent_ctx.span_id}")
-                    out["span"] = make_span_record(
-                        ctx,
-                        "task.exec",
-                        actor=f"dworker-{worker_id}",
-                        start=started,
-                        end=time.time(),
-                        attributes={
-                            "worker": worker_id,
-                            "pid": os.getpid(),
-                            "outcome": "error" if "error" in out else "ok",
-                        },
-                    )
-                completed += 1
-                out["completed"] = completed
-                send(out)
+                wire, items = item
+                # one executor hop for the whole batch: the per-task
+                # submit/wakeup round trip through the pool was the
+                # dominant worker-side cost for cheap tasks, and the
+                # event loop stays free for heartbeats either way
+                entries = await loop.run_in_executor(pool, run_entries, wire, items)
+                completed += len(entries)
+                out_buf.extend(entries)
+                if len(out_buf) >= RESULT_FLUSH or tasks.empty():
+                    # idle (or the queue drained): never sit on results
+                    flush_results()
 
         async def heartbeat_loop() -> None:
             while True:
@@ -354,6 +489,11 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--connect-attempts", type=int, default=40)
     parser.add_argument("--connect-backoff", type=float, default=0.05)
     parser.add_argument(
+        "--codec", default="auto", choices=("auto", *available_codecs()),
+        help="payload codec(s) to offer at hello (auto: everything this "
+        "interpreter can speak; the coordinator picks the session codec)",
+    )
+    parser.add_argument(
         "--require-secure", action="store_true",
         help="refuse task frames until the secure-channel handshake completes",
     )
@@ -377,6 +517,7 @@ def main(argv: Optional[list] = None) -> int:
                 connect_backoff=args.connect_backoff,
                 require_secure=args.require_secure,
                 reconnect_attempts=args.reconnect_attempts,
+                codec=args.codec,
             )
         )
     except (OSError, KeyboardInterrupt):

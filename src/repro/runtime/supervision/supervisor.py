@@ -210,6 +210,9 @@ class SupervisedFarm:
             opts.pop("connect_grace", None)
             opts.pop("start_timeout", None)
             opts.pop("max_inflight", None)
+            opts.pop("codec", None)
+            opts.pop("batch_size", None)
+            opts.pop("max_buffered_bytes", None)
             return ProcessFarm(
                 self._thread_fn(),
                 initial_workers=initial_workers,

@@ -20,6 +20,7 @@ from repro.runtime.dist_farm import DistFarm, fn_spec
 from repro.runtime.dist_proto import (
     MAX_FRAME,
     PROTOCOL_VERSION,
+    ProtocolError,
     decode_payload,
     encode_frame,
     encode_payload,
@@ -86,8 +87,12 @@ class TestWireProtocol:
         assert roundtrip(header + body) is None
 
     def test_oversize_length_prefix_rejected(self):
+        # rejected from the header alone — before the reader ever tries
+        # to buffer (or allocate) the announced body — with a diagnosis
+        # naming the limit, on both frame layouts
         header = (MAX_FRAME + 1).to_bytes(4, "big")
-        assert roundtrip(header + b"x") is None
+        with pytest.raises(ProtocolError, match="exceeds MAX_FRAME"):
+            roundtrip(header + b"x")
         with pytest.raises(ValueError):
             encode_frame({"pad": "x" * (MAX_FRAME + 10)})
 
@@ -268,8 +273,9 @@ class TestFaultEdges:
 
     def test_unserializable_result_surfaces_as_error_result(self):
         """A value that cannot cross the JSON wire is an *error result*,
-        not a lost task or a dead worker."""
-        farm = quick_farm(initial_workers=1)
+        not a lost task or a dead worker (pinned to the json codec: the
+        pickle fast path would happily serialize a set)."""
+        farm = quick_farm(initial_workers=1, codec="json")
         try:
             farm.submit((0.0, "unserializable"))
             farm.submit((0.0, 3))  # the worker must survive to serve this

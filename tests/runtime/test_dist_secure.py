@@ -85,11 +85,11 @@ class TestRequireSecureWire:
             try:
                 reader, writer = await asyncio.wait_for(conn, timeout=15.0)
                 hello = await next_frame(reader)
-                assert hello == {
-                    "type": "hello",
-                    "worker_id": 7,
-                    "proto": PROTOCOL_VERSION,
-                }
+                assert hello["type"] == "hello"
+                assert hello["worker_id"] == 7
+                assert hello["proto"] == PROTOCOL_VERSION
+                # v4 workers offer their codecs; json is always among them
+                assert "json" in hello["codecs"]
                 writer.write(
                     encode_frame(
                         {"type": "welcome", "worker_id": 7, "proto": PROTOCOL_VERSION}
