@@ -1,18 +1,22 @@
-"""CI bench-regression gate for the distributed transport.
+"""CI bench-regression gate: every budgeted artefact, one verdict.
 
-Compares a freshly produced ``benchmarks/out/BENCH_dist.json`` (smoke
-mode is fine — the baseline is a smoke-mode budget) against the
-committed ``benchmarks/baselines/BENCH_dist.baseline.json`` and exits
+Compares freshly produced ``benchmarks/out/BENCH_<name>.json`` artefacts
+(smoke mode is fine — the committed baselines are smoke-mode budgets)
+against ``benchmarks/baselines/BENCH_<name>.baseline.json`` and exits
 non-zero — a hard CI failure, not a warning — when:
 
-* ``per_task_dist_ms`` regresses more than ``--max-regression``
-  (default 25%) over the baseline budget, or
-* the run lost tasks (``tasks_lost`` anywhere in the artefact), which
-  would make any timing number meaningless.
+* any gated key regresses more than ``--max-regression`` (default 25%)
+  over its baseline budget — ``per_task_dist_ms`` for the transport,
+  ``thread_1ms.overhead_x`` for tracing, ``overhead_x`` and the
+  ``/query`` p95 latencies for the TSDB/SLO plane; or
+* any run lost tasks (``tasks_lost`` anywhere in an artefact), which
+  would make every timing number meaningless.
 
-Usage (what the ``bench-gate`` CI job runs)::
+Usage (what the ``bench-gate`` CI job runs after producing the
+artefacts)::
 
-    python benchmarks/check_regression.py
+    python benchmarks/check_regression.py            # gate everything
+    python benchmarks/check_regression.py --only dist obs
 
 Re-baselining is a deliberate act: edit the baseline JSON in its own
 commit with the reasoning in the message, never as a side effect of a
@@ -25,14 +29,44 @@ import argparse
 import json
 import pathlib
 import sys
+from dataclasses import dataclass
+from typing import Any, Iterator, Tuple
 
 HERE = pathlib.Path(__file__).parent
-DEFAULT_CURRENT = HERE / "out" / "BENCH_dist.json"
-DEFAULT_BASELINE = HERE / "baselines" / "BENCH_dist.baseline.json"
+OUT = HERE / "out"
+BASELINES = HERE / "baselines"
 
 
-def iter_lost(node, path=""):
-    """Yield (path, value) for every ``tasks_lost`` entry in the artefact."""
+@dataclass(frozen=True)
+class Gate:
+    """One budgeted number: a dotted path into current and baseline JSON."""
+
+    artefact: str  # BENCH_<artefact>.json / .baseline.json
+    key: str  # dotted path, e.g. "thread_1ms.overhead_x"
+    unit: str  # printed next to the numbers
+
+
+#: the full gate set; --only filters by artefact name
+GATES = [
+    Gate("dist", "per_task_dist_ms", "ms"),
+    Gate("obs", "thread_1ms.overhead_x", "x"),
+    Gate("slo", "overhead_x", "x"),
+    Gate("slo", "query_gauge_avg.p95_ms", "ms"),
+    Gate("slo", "query_histogram_p95.p95_ms", "ms"),
+]
+
+
+def dig(node: Any, dotted: str) -> Any:
+    """Resolve ``a.b.c`` into nested dicts; None when any hop is absent."""
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def iter_lost(node: Any, path: str = "") -> Iterator[Tuple[str, Any]]:
+    """Yield (path, value) for every ``tasks_lost`` entry in an artefact."""
     if isinstance(node, dict):
         for key, value in node.items():
             where = f"{path}.{key}" if path else key
@@ -45,16 +79,10 @@ def iter_lost(node, path=""):
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--current",
-        type=pathlib.Path,
-        default=DEFAULT_CURRENT,
-        help="freshly produced bench artefact (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--baseline",
-        type=pathlib.Path,
-        default=DEFAULT_BASELINE,
-        help="committed baseline budget (default: %(default)s)",
+        "--only",
+        nargs="*",
+        metavar="ARTEFACT",
+        help="gate only these artefacts (e.g. dist obs slo); default: all",
     )
     parser.add_argument(
         "--max-regression",
@@ -64,43 +92,75 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    try:
-        current = json.loads(args.current.read_text())
-    except FileNotFoundError:
-        print(f"FAIL: no bench artefact at {args.current} — did the bench run?")
+    names = {g.artefact for g in GATES}
+    selected = set(args.only) if args.only else names
+    unknown = selected - names
+    if unknown:
+        print(f"FAIL: unknown artefact(s) {sorted(unknown)}; know {sorted(names)}")
         return 1
-    baseline = json.loads(args.baseline.read_text())
 
     failures = []
+    checked = set()
+    for gate in GATES:
+        if gate.artefact not in selected:
+            continue
+        current_path = OUT / f"BENCH_{gate.artefact}.json"
+        baseline_path = BASELINES / f"BENCH_{gate.artefact}.baseline.json"
+        try:
+            current = json.loads(current_path.read_text())
+        except FileNotFoundError:
+            if gate.artefact not in checked:
+                failures.append(
+                    f"no bench artefact at {current_path} — did the bench run?"
+                )
+                checked.add(gate.artefact)
+            continue
+        baseline = json.loads(baseline_path.read_text())
 
-    measured = current.get("per_task_dist_ms")
-    budget = baseline["per_task_dist_ms"]
-    limit = budget * (1.0 + args.max_regression)
-    if measured is None:
-        failures.append("per_task_dist_ms missing from the bench artefact")
-    else:
+        if gate.artefact not in checked:
+            checked.add(gate.artefact)
+            for where, lost in iter_lost(current):
+                if lost:
+                    failures.append(
+                        f"{gate.artefact}: {where} = {lost}: the run lost tasks"
+                    )
+
+        budget = dig(baseline, gate.key)
+        if budget is None:
+            failures.append(
+                f"{gate.artefact}: baseline {baseline_path.name} has no "
+                f"{gate.key!r} budget"
+            )
+            continue
+        measured = dig(current, gate.key)
+        limit = budget * (1.0 + args.max_regression)
+        if measured is None:
+            failures.append(
+                f"{gate.artefact}: {gate.key} missing from the bench artefact"
+            )
+            continue
         verdict = "ok" if measured <= limit else "REGRESSION"
         print(
-            f"per_task_dist_ms: measured {measured:.4f} ms vs baseline "
-            f"{budget:.4f} ms (limit {limit:.4f} ms, "
+            f"{gate.artefact}:{gate.key}: measured {measured:.4f} {gate.unit} "
+            f"vs budget {budget:.4f} {gate.unit} (limit {limit:.4f}, "
             f"+{100 * args.max_regression:.0f}%) -> {verdict}"
         )
         if measured > limit:
             failures.append(
-                f"per_task_dist_ms {measured:.4f} ms exceeds the gate "
-                f"{limit:.4f} ms (baseline {budget:.4f} ms "
+                f"{gate.artefact}: {gate.key} {measured:.4f} {gate.unit} "
+                f"exceeds the gate {limit:.4f} (budget {budget:.4f} "
                 f"+{100 * args.max_regression:.0f}%)"
             )
-
-    for where, lost in iter_lost(current):
-        if lost:
-            failures.append(f"{where} = {lost}: the run lost tasks")
 
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")
         return 1
-    print("bench-gate: transport within budget, no tasks lost")
+    print(
+        "bench-gate: "
+        + ", ".join(sorted(selected))
+        + " within budget, no tasks lost"
+    )
     return 0
 
 

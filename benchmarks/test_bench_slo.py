@@ -1,0 +1,211 @@
+"""Bench the longitudinal plane: TSDB scraping + SLO evaluation + /query.
+
+The time-series store scrapes the whole metrics registry on a wall
+clock interval and the SLO engine re-judges every objective after each
+scrape — both ride alongside the hot path, never on it, so their cost
+must stay in the noise even at an aggressive 10 ms interval (100x
+denser than the 1 s production default).  This bench pins that down in
+``benchmarks/out/BENCH_slo.json``:
+
+* **scrape+eval overhead** — wall time of a 1 ms-task thread-farm
+  stream with the TSDB scraping at 10 ms and a throughput SLO being
+  evaluated on every scrape, over the same stream with plain telemetry
+  (tracing on, no TSDB).  The assertion: the longitudinal plane costs
+  at most ``OVERHEAD_CEILING``x (5%) on top of tracing.
+* **/query latency at full retention** — median and p95 milliseconds
+  for a windowed-p95 histogram query and a downsampled gauge query over
+  the HTTP surface once every ring buffer is at capacity, i.e. the
+  worst case the dashboard's refresh loop ever sees.
+
+Smoke mode shrinks the stream and skips the ceiling assertion while
+still writing the artefact; the committed baseline is a smoke-mode
+budget enforced by ``check_regression.py`` in the bench-gate CI job.
+"""
+
+import statistics
+import time
+import urllib.request
+
+import pytest
+
+from repro.core.contracts import MinThroughputContract
+from repro.obs import Telemetry
+from repro.obs.clock import ManualClock
+from repro.obs.slo import SLO, BurnWindows, SLOEngine
+from repro.runtime.farm_runtime import ThreadFarm
+
+WORKERS = 4
+SCRAPE_INTERVAL = 0.01
+
+#: instrumented wall time may be at most this multiple of plain-telemetry
+OVERHEAD_CEILING = 1.05
+
+
+def sleep_task(payload):
+    """1 ms of blocking work: the realistic mixed-cost shape."""
+    work, value = payload
+    time.sleep(work)
+    return value
+
+
+def run_plain(payloads):
+    """Seconds to drain the stream with tracing on but no TSDB/SLO."""
+    tel = Telemetry()
+    farm = ThreadFarm(sleep_task, initial_workers=WORKERS, telemetry=tel)
+    try:
+        t0 = time.monotonic()
+        for p in payloads:
+            farm.submit(p)
+        farm.drain_results(len(payloads), timeout=600.0)
+        return time.monotonic() - t0
+    finally:
+        farm.shutdown()
+
+
+def run_instrumented(payloads):
+    """Same stream with a 10 ms scraper and a live SLO engine attached.
+
+    Returns (seconds, scrapes, evaluations) so the artefact can prove
+    the longitudinal plane was actually running during the measurement.
+    """
+    tel = Telemetry()
+    tel.start_timeseries(
+        interval=SCRAPE_INTERVAL, retention=30.0, scraper_thread=True
+    )
+    farm = ThreadFarm(sleep_task, initial_workers=WORKERS, telemetry=tel)
+
+    def sample(store, now):
+        rate = store.window_rate(
+            "repro_mc_dispatch_total", 0.5, {"farm": farm.name}
+        )
+        return {} if rate is None else {"departure_rate": rate}
+
+    engine = SLOEngine(
+        tel,
+        tel.timeseries,
+        [SLO("bench.throughput", MinThroughputContract(1.0), sample)],
+        windows=BurnWindows().scaled(1.0 / 150.0),
+    )
+    try:
+        t0 = time.monotonic()
+        for p in payloads:
+            farm.submit(p)
+        farm.drain_results(len(payloads), timeout=600.0)
+        elapsed = time.monotonic() - t0
+        return elapsed, tel.timeseries.scrapes, engine.evaluations
+    finally:
+        farm.shutdown()
+        tel.stop_timeseries()
+
+
+def fill_to_retention(samples):
+    """A telemetry whose every ring buffer sits at capacity.
+
+    One gauge family with four label sets, one counter and one
+    histogram, scraped ``samples`` times on a manual clock — the
+    densest store the dashboard ever queries.
+    """
+    clock = ManualClock()
+    tel = Telemetry(clock)
+    gauges = [
+        tel.metrics.gauge("repro_farm_departure_rate", "r").labels(
+            manager=f"AM_b{i}"
+        )
+        for i in range(4)
+    ]
+    counter = tel.metrics.counter("repro_bench_total", "c").labels()
+    hist = tel.metrics.histogram(
+        "repro_farm_latency_seconds", "l"
+    ).labels(manager="AM_b0")
+    tel.start_timeseries(
+        interval=SCRAPE_INTERVAL,
+        retention=samples * SCRAPE_INTERVAL,
+        scraper_thread=False,
+    )
+    # overfill by 25% so the rings have demonstrably wrapped
+    for step in range(int(samples * 1.25)):
+        for k, g in enumerate(gauges):
+            g.set(40.0 + (step + k) % 17)
+        counter.inc(3)
+        hist.observe(0.001 * (1 + step % 9))
+        clock.advance(SCRAPE_INTERVAL)
+        tel.timeseries.scrape_once()
+    return tel
+
+
+def timed_queries(url, rounds):
+    """Median/p95 milliseconds over ``rounds`` HTTP round trips."""
+    laps = []
+    for _ in range(rounds):
+        t0 = time.monotonic()
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            resp.read()
+        laps.append((time.monotonic() - t0) * 1000.0)
+    laps.sort()
+    return {
+        "median_ms": statistics.median(laps),
+        "p95_ms": laps[min(len(laps) - 1, int(len(laps) * 0.95))],
+    }
+
+
+@pytest.mark.benchmark(group="slo")
+def test_slo_overhead_and_query_latency(benchmark, json_sink, smoke_mode):
+    n_tasks = 100 if smoke_mode else 1000
+    rounds = 1 if smoke_mode else 3
+    retention_samples = 200 if smoke_mode else 1000
+    query_rounds = 20 if smoke_mode else 100
+
+    payloads = [(0.001, i) for i in range(n_tasks)]
+
+    def one_round():
+        return run_plain(payloads)
+
+    assert benchmark.pedantic(one_round, rounds=rounds, iterations=1) > 0
+
+    plain = min(run_plain(payloads) for _ in range(rounds))
+    instrumented, scrapes, evaluations = min(
+        (run_instrumented(payloads) for _ in range(rounds)),
+        key=lambda r: r[0],
+    )
+
+    tel = fill_to_retention(retention_samples)
+    with tel.serve(port=0) as srv:
+        gauge_q = timed_queries(
+            srv.url(
+                "/query?metric=repro_farm_departure_rate"
+                f"&since=-{retention_samples * SCRAPE_INTERVAL}"
+                f"&step={SCRAPE_INTERVAL * 10}&field=avg"
+            ),
+            query_rounds,
+        )
+        hist_q = timed_queries(
+            srv.url(
+                "/query?metric=repro_farm_latency_seconds"
+                f"&since=-{retention_samples * SCRAPE_INTERVAL}"
+                f"&step={SCRAPE_INTERVAL * 10}&field=p95"
+            ),
+            query_rounds,
+        )
+    tel.stop_timeseries()
+
+    payload = {
+        "workers": WORKERS,
+        "tasks": n_tasks,
+        "scrape_interval_s": SCRAPE_INTERVAL,
+        "plain_seconds": plain,
+        "instrumented_seconds": instrumented,
+        "overhead_x": instrumented / plain if plain > 0 else float("inf"),
+        "scrapes_during_run": scrapes,
+        "slo_evaluations": evaluations,
+        "retention_samples": retention_samples,
+        "query_gauge_avg": gauge_q,
+        "query_histogram_p95": hist_q,
+        "overhead_ceiling_x": OVERHEAD_CEILING,
+        "smoke_mode": smoke_mode,
+    }
+    json_sink("slo", payload)
+
+    # the longitudinal plane was demonstrably live during the run
+    assert scrapes > 0 and evaluations > 0
+    if not smoke_mode:
+        assert payload["overhead_x"] < OVERHEAD_CEILING

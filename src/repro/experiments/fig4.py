@@ -271,8 +271,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--serve-telemetry", action="store_true",
-        help="live backends: serve /metrics, /traces, /trace/<id> and "
-        "/healthz over HTTP for the duration of the run",
+        help="live backends: serve /metrics, /traces, /trace/<id>, "
+        "/healthz, /query, /slo and /stream over HTTP for the duration "
+        "of the run (watch it live with python -m repro.obs.top)",
+    )
+    parser.add_argument(
+        "--no-slo", action="store_true",
+        help="live backends: skip deriving SLO burn-rate objectives "
+        "from the contract (on by default when telemetry is enabled)",
     )
     parser.add_argument(
         "--telemetry-port", type=int, default=0, metavar="PORT",
@@ -345,6 +351,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             serve_telemetry=args.serve_telemetry,
             telemetry_port=args.telemetry_port,
             kill_coordinator=args.kill_coordinator,
+            with_slo=not args.no_slo,
         )
         live_telemetry = None
         if args.trace_out or args.metrics_out:

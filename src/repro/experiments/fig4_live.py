@@ -98,6 +98,12 @@ class Fig4LiveConfig:
     telemetry_port: int = 0          # 0 = pick a free port
     kill_coordinator: bool = False   # crash the whole coordinator stack mid-feed
     journal_path: str = ""           # dispatch journal ("" = private temp file)
+    # -- SLO engine (attached whenever the run has real telemetry) ------
+    with_slo: bool = True            # compile the contract into live SLOs
+    slo_window_scale: float = 1.0 / 150.0  # SRE minutes → fig4 seconds
+    slo_budget_window: float = 30.0  # error-budget horizon (s)
+    slo_budget_fraction: float = 0.05
+    scrape_interval: float = 0.0     # TSDB scrape period (0 = control_period/2)
 
 
 @dataclass
@@ -134,6 +140,15 @@ class Fig4LiveResult:
     redispatched: int = 0
     #: base URL the live telemetry endpoint served on (when enabled)
     telemetry_url: str = ""
+    # -- SLO story (populated whenever the run had real telemetry) ------
+    slo_objectives: int = 0
+    #: (t, slo, from_level, to_level) for every alert transition
+    slo_transitions: List[Tuple[float, str, str, str]] = field(default_factory=list)
+    slo_pages: int = 0
+    slo_violation_seconds: float = 0.0
+    adaptation_cycles: int = 0
+    #: violation-observed → effect-visible latency of the first full cycle
+    adaptation_latency: float = 0.0
 
     # -- figure-level checks -------------------------------------------
     def grew(self) -> bool:
@@ -164,6 +179,16 @@ class Fig4LiveResult:
         tasks in flight and the supervisor recovered every one of them
         exactly once."""
         return self.failovers > 0 and self.zero_loss()
+
+    def slo_story_ok(self) -> bool:
+        """The observability invariant: objectives were derived from the
+        live contract, the starve phase burned budget loudly enough to
+        raise at least one alert, and the violation time was accounted."""
+        return (
+            self.slo_objectives > 0
+            and any(to != "ok" for _, _, _, to in self.slo_transitions)
+            and self.slo_violation_seconds > 0.0
+        )
 
 
 def live_task(payload: Any) -> Any:
@@ -211,6 +236,59 @@ def make_backend(
     raise ValueError(f"unknown live backend {cfg.backend!r} (choose from {LIVE_BACKENDS})")
 
 
+def _attach_slo(
+    cfg: Fig4LiveConfig, telemetry: Optional[Telemetry], contract: Any, manager: str
+) -> Optional[Any]:
+    """Compile the run's contract into live SLOs — no manual alert config.
+
+    Starts the embedded TSDB (scraping at half the control period so
+    every MAPE tick is observed), derives objectives straight from the
+    active contract via :func:`repro.obs.slo.slo_from_contract`, and
+    evaluates them with the SRE burn-rate windows scaled from minutes to
+    fig4's seconds.
+    """
+    if telemetry is None or not telemetry.enabled or not cfg.with_slo:
+        return None
+    from ..obs.slo import BurnWindows, SLOEngine, slo_from_contract
+
+    interval = cfg.scrape_interval or cfg.control_period / 2.0
+    store = telemetry.start_timeseries(
+        interval=interval, retention=600.0, scraper_thread=True
+    )
+    slos = slo_from_contract(
+        contract,
+        name=f"fig4.{cfg.backend}",
+        manager=manager,
+        budget_fraction=cfg.slo_budget_fraction,
+        budget_window=cfg.slo_budget_window,
+    )
+    return SLOEngine(
+        telemetry,
+        store,
+        slos,
+        windows=BurnWindows().scaled(cfg.slo_window_scale),
+        broker=telemetry.stream,
+    )
+
+
+def _harvest_slo(result: Fig4LiveResult, telemetry: Optional[Telemetry]) -> None:
+    """Fold the engine's accounting into the run result (None-safe)."""
+    engine = getattr(telemetry, "slo", None) if telemetry is not None else None
+    if engine is None:
+        return
+    result.slo_objectives = len(engine.slos)
+    for name, transitions in engine.transitions().items():
+        for tr in transitions:
+            result.slo_transitions.append((tr["t"], name, tr["from"], tr["to"]))
+    result.slo_transitions.sort()
+    result.slo_pages = sum(1 for *_rest, to in result.slo_transitions if to == "page")
+    result.slo_violation_seconds = sum(engine.violation_seconds().values())
+    tracker = getattr(telemetry, "adaptation", None)
+    if tracker is not None and tracker.cycles:
+        result.adaptation_cycles = len(tracker.cycles)
+        result.adaptation_latency = tracker.cycles[0]["total"]
+
+
 def run_fig4_live(
     config: Optional[Fig4LiveConfig] = None, *, telemetry: Optional[Telemetry] = None
 ) -> Fig4LiveResult:
@@ -232,17 +310,19 @@ def run_fig4_live(
         server = telemetry.serve(port=cfg.telemetry_port)
         print(
             f"live telemetry on http://{server.host}:{server.port} "
-            "(/metrics, /traces, /trace/<id>, /healthz)"
+            "(/metrics, /traces, /trace/<id>, /healthz, /query, /slo, /stream)"
         )
     farm = make_backend(cfg, telemetry)
+    contract = ThroughputRangeContract(cfg.contract_low, cfg.contract_high)
     controller = FarmController(
         farm,
-        ThroughputRangeContract(cfg.contract_low, cfg.contract_high),
+        contract,
         control_period=cfg.control_period,
         max_workers=cfg.max_workers,
         telemetry=telemetry,
         name=f"AM_{cfg.backend}",
     )
+    _attach_slo(cfg, telemetry, contract, f"AM_{cfg.backend}")
     security: Optional[LiveSecurityManager] = None
     gm: Optional[LiveGeneralManager] = None
     if cfg.with_security:
@@ -340,6 +420,7 @@ def run_fig4_live(
             duplicates=getattr(farm, "duplicates", 0),
             dead_letters=len(getattr(farm, "dead_letters", [])),
         )
+        _harvest_slo(result, telemetry)
         if gm is not None and telemetry is not None:
             outcomes = gm.outcomes()
             result.mc_committed = outcomes.get("committed", 0) + outcomes.get("partial", 0)
@@ -365,6 +446,8 @@ def run_fig4_live(
         if security is not None:
             security.stop()
         controller.stop()
+        if telemetry is not None:
+            telemetry.stop_timeseries()
         farm.shutdown()
         if server is not None:
             server.close()
@@ -403,7 +486,7 @@ def _run_fig4_supervised(
         server = telemetry.serve(port=cfg.telemetry_port)
         print(
             f"live telemetry on http://{server.host}:{server.port} "
-            "(/metrics, /traces, /trace/<id>, /healthz)"
+            "(/metrics, /traces, /trace/<id>, /healthz, /query, /slo, /stream)"
         )
     journal_path = cfg.journal_path
     cleanup_journal = False
@@ -421,13 +504,18 @@ def _run_fig4_supervised(
         telemetry=telemetry,
         farm_options={"rate_window": cfg.rate_window},
     )
+    contract = ThroughputRangeContract(cfg.contract_low, cfg.contract_high)
     supervisor = Supervisor(
         farm,
-        contract=ThroughputRangeContract(cfg.contract_low, cfg.contract_high),
+        contract=contract,
         control_period=cfg.control_period,
         max_workers=cfg.max_workers,
         telemetry=telemetry,
     ).start()
+    # the supervised controller keeps an epoch-stable manager name, so
+    # its gauges form one series across failovers and these objectives
+    # keep judging the farm through the coordinator's death
+    _attach_slo(cfg, telemetry, contract, f"{supervisor.name}-am")
 
     worker_series: List[Tuple[float, float]] = []
     throughput_series: List[Tuple[float, float]] = []
@@ -503,11 +591,14 @@ def _run_fig4_supervised(
             final_epoch=farm.epoch,
             redispatched=farm.redispatched,
         )
+        _harvest_slo(result, telemetry)
         if server is not None:
             result.telemetry_url = f"http://{server.host}:{server.port}"
         return result
     finally:
         supervisor.stop()
+        if telemetry is not None:
+            telemetry.stop_timeseries()
         farm.shutdown()
         if server is not None:
             server.close()
@@ -779,6 +870,19 @@ def render_fig4_live(r: Fig4LiveResult) -> str:
             ["task dispatches replayed", r.replays],
             ["duplicate acks suppressed", r.duplicates],
             ["dead-lettered tasks", r.dead_letters],
+        ]
+    if r.slo_objectives:
+        checks += [
+            ["SLOs derived from the contract", r.slo_objectives],
+            ["SLO alert transitions", len(r.slo_transitions)],
+            ["page-grade alerts (fast burn)", r.slo_pages],
+            ["SLA violation seconds accounted", f"{r.slo_violation_seconds:.2f}s"],
+            ["adaptation cycles (observe→effect)", r.adaptation_cycles],
+            [
+                "first adaptation latency",
+                f"{r.adaptation_latency * 1000:.0f} ms" if r.adaptation_cycles else "n/a",
+            ],
+            ["SLO story holds", r.slo_story_ok()],
         ]
     if cfg.with_security:
         checks += [

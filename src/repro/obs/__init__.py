@@ -23,10 +23,20 @@ One substrate-agnostic telemetry spine for the whole stack:
   replay)* → exec → result is one causal tree on every backend;
 * **live surface** (:mod:`repro.obs.live`) — a stdlib ``http.server``
   endpoint (``Telemetry.serve(port)``) exposing ``/metrics``,
-  ``/trace/<trace_id>``, ``/traces`` and ``/healthz`` while a farm runs;
+  ``/trace/<trace_id>``, ``/traces``, ``/healthz``, ``/query``, ``/slo``
+  and an SSE ``/stream`` while a farm runs;
+* **time series** (:mod:`repro.obs.timeseries`) — a fixed-retention
+  ring-buffer TSDB scraping the registry on an injectable-clock
+  interval: counter rates, gauge history, windowed histogram quantiles;
+* **SLOs** (:mod:`repro.obs.slo`) — objectives compiled straight from
+  the live SLA contracts, scored with multi-window multi-burn-rate
+  rules, error budgets and adaptation-latency timestamps;
+* **dashboard** (:mod:`repro.obs.top`) — ``python -m repro.obs.top``
+  renders a curses-free ASCII view of farms, tenants, burn rates and
+  open alerts against a running endpoint;
 * **explain** (:mod:`repro.obs.explain`) — ``python -m repro.obs.explain
   audit.jsonl`` reconstructs the causal chain of an actuation or task
-  from an exported trace.
+  from an exported trace (``--slo`` narrates alert→actuation→recovery).
 
 Everything hangs off a :class:`Telemetry` object that instrumented
 layers accept optionally; the :data:`NOOP` null telemetry is the
@@ -63,8 +73,17 @@ from .metrics import (
     MetricFamily,
     MetricsRegistry,
 )
+from .slo import (
+    SLO,
+    AdaptationTracker,
+    BurnWindows,
+    SLOEngine,
+    slo_from_contract,
+    slos_for_sharded,
+)
 from .spans import Span, SpanEvent, SpanRecorder
 from .telemetry import NOOP, NullTelemetry, Telemetry
+from .timeseries import HistogramSnapshot, StreamBroker, TimeSeriesStore
 
 __all__ = [
     # clocks
@@ -109,4 +128,15 @@ __all__ = [
     "list_traces",
     # live surface
     "TelemetryServer",
+    # time series
+    "TimeSeriesStore",
+    "HistogramSnapshot",
+    "StreamBroker",
+    # SLOs
+    "SLO",
+    "SLOEngine",
+    "BurnWindows",
+    "AdaptationTracker",
+    "slo_from_contract",
+    "slos_for_sharded",
 ]

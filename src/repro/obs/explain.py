@@ -25,6 +25,7 @@ Usage::
     python -m repro.obs.explain trace.jsonl --actuation 2  # one actuation's chain
     python -m repro.obs.explain trace.jsonl --tenant acme  # one tenant's story
     python -m repro.obs.explain trace.jsonl --failovers    # coordinator failovers
+    python -m repro.obs.explain trace.jsonl --slo          # SLO alert episodes
 
 Everything here is read-only over a list of :class:`~repro.obs.spans.Span`
 objects, so the same functions also serve tests and notebooks directly
@@ -36,7 +37,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Any, Dict, List, Optional, Sequence, TextIO
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple
 
 from .export import read_trace_jsonl
 from .propagation import list_traces
@@ -47,11 +48,13 @@ __all__ = [
     "children_index",
     "find_actuations",
     "find_failovers",
+    "find_slo_alerts",
     "explain_task",
     "explain_actuation",
     "explain_tenant",
     "explain_trace",
     "explain_failovers",
+    "explain_slo",
     "main",
 ]
 
@@ -320,6 +323,156 @@ def explain_failovers(spans: Sequence[Span], *, out: TextIO) -> bool:
                 f"{quarantined} quarantined worker(s) stayed gated",
                 file=out,
             )
+    return True
+
+
+# ----------------------------------------------------------------------
+# SLO alert narratives
+# ----------------------------------------------------------------------
+
+
+def find_slo_alerts(spans: Sequence[Span]) -> List[Span]:
+    """Every ``slo.alert`` episode span, in start order."""
+    return sorted(
+        (s for s in spans if s.name == "slo.alert"),
+        key=lambda s: (s.start, s.span_id),
+    )
+
+
+def _pct(value: Any) -> str:
+    try:
+        return f"{float(value) * 100.0:.1f}%"
+    except (TypeError, ValueError):
+        return "?"
+
+
+def explain_slo(spans: Sequence[Span], *, out: TextIO) -> bool:
+    """Narrate every SLO alert episode in the export; False if none.
+
+    Each ``slo.alert`` span is one alert episode opened by the burn-rate
+    rules (fast windows page, slow windows warn).  The narration ties
+    the episode to the autonomic response: the ``slo.adaptation`` spans
+    that overlap it (violation observed → plan committed → effect
+    visible, the ROADMAP item-4 yardstick) and any actuation spans that
+    fired inside the episode window, plus the error budget burned
+    between open and close.
+    """
+    alerts = find_slo_alerts(spans)
+    if not alerts:
+        print(
+            "no 'slo.alert' span recorded (no SLO engine attached, or "
+            "no objective left its error budget)",
+            file=out,
+        )
+        return False
+    objectives = sorted({str(s.attributes.get("slo")) for s in alerts})
+    print(
+        f"{len(alerts)} SLO alert episode(s) across {len(objectives)} "
+        f"objective(s): {', '.join(objectives)}",
+        file=out,
+    )
+    adaptations = sorted(
+        (s for s in spans if s.name == "slo.adaptation"),
+        key=lambda s: (s.start, s.span_id),
+    )
+    actuations = find_actuations(spans)
+    for i, span in enumerate(alerts, start=1):
+        # the span's level attribute tracks the *current* level, so the
+        # opening level is the first escalation's previous when any
+        # escalation happened inside the episode
+        escalations = [e for e in span.events if e.name == "slo.escalation"]
+        opened = (
+            escalations[0].attributes.get("previous")
+            if escalations
+            else span.attributes.get("level", "?")
+        )
+        level = str(opened).upper()
+        print(
+            f"#{i}  t={span.start:9.3f}  SLO '{span.attributes.get('slo')}' "
+            f"— {span.attributes.get('objective')}",
+            file=out,
+        )
+        print(
+            f"    opened at {level}: burn {span.attributes.get('burn_fast')}x "
+            f"over the fast windows, {span.attributes.get('burn_slow')}x over "
+            f"the slow; budget {_pct(span.attributes.get('budget_remaining_open'))} "
+            f"remaining",
+            file=out,
+        )
+        for event in span.events:
+            if event.name == "slo.escalation":
+                print(
+                    f"    t={event.time:9.3f}  "
+                    f"{event.attributes.get('previous')} → "
+                    f"{event.attributes.get('level')}",
+                    file=out,
+                )
+        window_end = span.end if span.end is not None else float("inf")
+        for adapt in adaptations:
+            a_end = adapt.end if adapt.end is not None else float("inf")
+            if a_end < span.start or adapt.start > window_end:
+                continue
+            observed = adapt.attributes.get("observed_at", adapt.start)
+            print(
+                f"    adaptation: violation {adapt.attributes.get('kind')!r} "
+                f"observed at t={observed:.3f}",
+                file=out,
+            )
+            committed = adapt.attributes.get("committed_at")
+            if committed is not None:
+                print(
+                    f"      plan committed: {adapt.attributes.get('action')} "
+                    f"after {committed - observed:.3f}s",
+                    file=out,
+                )
+            effect = adapt.attributes.get("effect_at")
+            if effect is not None:
+                legs = f"total {adapt.attributes.get('total_latency')}s"
+                if adapt.attributes.get("self_resolved"):
+                    legs += ", self-resolved (no actuation needed)"
+                print(f"      effect visible at t={effect:.3f} ({legs})", file=out)
+        fired_inside = [
+            a for a in actuations if span.start <= a.start <= window_end
+        ]
+        if fired_inside:
+            # grouped by (name, actor): a starving farm fires a rule on
+            # every MAPE cycle, and twenty identical lines say less than
+            # one line with a count and the episode's time bounds
+            groups: Dict[Tuple[str, str], List[Span]] = {}
+            for a in fired_inside:
+                groups.setdefault((a.name, a.actor), []).append(a)
+            parts = []
+            for (name, actor), group in groups.items():
+                if len(group) == 1:
+                    parts.append(f"{name} by {actor} at t={group[0].start:.3f}")
+                else:
+                    parts.append(
+                        f"{name} by {actor} x{len(group)} "
+                        f"(t={group[0].start:.3f}..{group[-1].start:.3f})"
+                    )
+            print(
+                f"    actuation(s) inside the episode: {', '.join(parts)}",
+                file=out,
+            )
+        if span.end is None:
+            print("    still open at export (alert not yet resolved)", file=out)
+            continue
+        burned = ""
+        opened = span.attributes.get("budget_remaining_open")
+        closed = span.attributes.get("budget_remaining_close")
+        if opened is not None and closed is not None:
+            burned = f"; budget burned {_pct(float(opened) - float(closed))}"
+        closed_how = (
+            "resolved"
+            if span.attributes.get("resolved", True)
+            else "closed unresolved at export"
+        )
+        print(
+            f"    {closed_how} after {span.end - span.start:.3f}s — "
+            f"{span.attributes.get('violation_seconds')} violation-second(s), "
+            f"budget {_pct(closed)} remaining{burned}",
+            file=out,
+        )
     return True
 
 
@@ -614,6 +767,9 @@ def _overview(spans: Sequence[Span], out: TextIO) -> None:
     failovers = find_failovers(spans)
     if failovers:
         print(f"{len(failovers)} coordinator failover(s) — see --failovers", file=out)
+    alerts = find_slo_alerts(spans)
+    if alerts:
+        print(f"{len(alerts)} SLO alert episode(s) — see --slo", file=out)
     print("explore with --list-traces, --actuations, --trace, --task, --actuation", file=out)
 
 
@@ -673,6 +829,10 @@ def main(argv: Optional[List[str]] = None, *, out: TextIO = None) -> int:
         "--failovers", action="store_true",
         help="narrate coordinator failovers (journal replay, redispatch)",
     )
+    group.add_argument(
+        "--slo", action="store_true",
+        help="narrate SLO alert episodes (burn rates, budget, adaptations)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -697,6 +857,8 @@ def main(argv: Optional[List[str]] = None, *, out: TextIO = None) -> int:
         return 0 if explain_tenant(spans, args.tenant, out=out) else 2
     if args.failovers:
         return 0 if explain_failovers(spans, out=out) else 2
+    if args.slo:
+        return 0 if explain_slo(spans, out=out) else 2
     _overview(spans, out)
     return 0
 

@@ -82,6 +82,13 @@ class Telemetry:
         self.trace = trace
         #: span-events recorded while no span was open
         self.orphan_events: List[SpanEvent] = []
+        #: attachment points the longitudinal layer fills in lazily —
+        #: kept as plain attributes so runtime hook sites can probe them
+        #: with getattr and never import repro.obs.slo/timeseries
+        self.timeseries = None  # TimeSeriesStore after start_timeseries()
+        self.stream = None  # StreamBroker feeding /stream subscribers
+        self.slo = None  # SLOEngine once objectives are installed
+        self.adaptation = None  # AdaptationTracker (set by the SLOEngine)
 
     # -- spans -----------------------------------------------------------
     def span(
@@ -142,6 +149,48 @@ class Telemetry:
         not leak open spans into exported traces.
         """
         return self.spans.flush(self.clock.now())
+
+    # -- longitudinal surface --------------------------------------------
+    def start_timeseries(
+        self,
+        *,
+        interval: float = 1.0,
+        retention: float = 600.0,
+        stream: bool = True,
+        scraper_thread: bool = False,
+    ):
+        """Attach the ring-buffer TSDB (and the ``/stream`` broker) here.
+
+        Idempotent: a second call returns the existing store.  With
+        ``scraper_thread=True`` a daemon thread scrapes on ``interval``
+        wall-clock seconds; tests drive :meth:`TimeSeriesStore.scrape_once`
+        themselves with a manual clock instead.
+        """
+        if self.timeseries is not None:
+            return self.timeseries
+        from .timeseries import (  # deferred: cold path, mirrors serve()
+            MetricsDeltaPublisher,
+            StreamBroker,
+            TimeSeriesStore,
+        )
+
+        store = TimeSeriesStore(
+            self.metrics, self.clock, interval=interval, retention=retention
+        )
+        if stream:
+            self.stream = StreamBroker()
+            store.add_listener(MetricsDeltaPublisher(self.stream))
+        self.timeseries = store
+        if scraper_thread:
+            store.start()
+        return store
+
+    def stop_timeseries(self) -> None:
+        """Stop the scraper thread (if any) and close open alert spans."""
+        if self.slo is not None:
+            self.slo.close()
+        if self.timeseries is not None:
+            self.timeseries.stop()
 
     # -- live surface ----------------------------------------------------
     def serve(self, port: int = 0, host: str = "127.0.0.1") -> "TelemetryServer":
@@ -264,6 +313,10 @@ class NullTelemetry:
     trace = None
     metrics = _NULL_METRICS
     orphan_events: list = []
+    timeseries = None
+    stream = None
+    slo = None
+    adaptation = None
 
     def span(self, name: str, *, actor: str = "", **attributes: Any) -> _NullSpanContext:
         return _NULL_SPAN_CONTEXT
@@ -282,6 +335,12 @@ class NullTelemetry:
 
     def flush(self) -> int:
         return 0
+
+    def start_timeseries(self, **kwargs: Any) -> None:
+        return None
+
+    def stop_timeseries(self) -> None:
+        return None
 
     def serve(self, port: int = 0, host: str = "127.0.0.1") -> None:
         raise RuntimeError(

@@ -1,0 +1,238 @@
+"""``python -m repro.obs.top`` — a curses-free ASCII dashboard.
+
+Points at a running :class:`~repro.obs.live.TelemetryServer` and redraws
+one frame per interval: farm throughput with sparklines, worker counts,
+tenant backlogs, SLO burn rates and open alerts.  Pure line-redraw (the
+cursor jumps back up with one escape sequence when stdout is a TTY), so
+it works over ssh, inside tmux and in CI logs alike; with ``NO_COLOR``
+set or stdout redirected the frames are plain ASCII with no escape
+codes at all.
+
+Usage::
+
+    python -m repro.experiments.fig4 --backend=dist --serve-telemetry &
+    python -m repro.obs.top --url http://127.0.0.1:9177
+
+Rendering is split from fetching so tests (and the CI smoke job) can
+build a frame from a scripted snapshot without any HTTP server:
+:func:`render_frame` is a pure function of the snapshot dict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["fetch_snapshot", "render_frame", "main"]
+
+#: sparkline ramp, lowest to highest (pure ASCII on purpose)
+_RAMP = " .:-=+*#%@"
+
+_ANSI = {
+    "reset": "\x1b[0m",
+    "bold": "\x1b[1m",
+    "dim": "\x1b[2m",
+    "red": "\x1b[31m",
+    "yellow": "\x1b[33m",
+    "green": "\x1b[32m",
+    "cyan": "\x1b[36m",
+}
+
+_LEVEL_PAINT = {"page": "red", "warn": "yellow", "ok": "green"}
+
+#: the metric queries one frame is built from
+_FRAME_QUERIES = (
+    ("farm_rate", "repro_farm_departure_rate", {"since": "-30", "field": "last"}),
+    ("farm_workers", "repro_farm_workers", {"since": "-30", "field": "last"}),
+    ("tenant_backlog", "repro_tenant_backlog", {"since": "-30", "field": "last"}),
+)
+
+
+def _get_json(url: str, timeout: float) -> Optional[Dict[str, Any]]:
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return json.loads(resp.read().decode())
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+
+
+def fetch_snapshot(base_url: str, *, timeout: float = 2.0) -> Dict[str, Any]:
+    """Assemble one dashboard snapshot from a live telemetry endpoint."""
+    base = base_url.rstrip("/")
+    snapshot: Dict[str, Any] = {
+        "url": base,
+        "healthz": _get_json(f"{base}/healthz", timeout),
+        "slo": _get_json(f"{base}/slo", timeout),
+        "series": {},
+    }
+    for key, metric, params in _FRAME_QUERIES:
+        qs = "&".join([f"metric={metric}"] + [f"{k}={v}" for k, v in params.items()])
+        snapshot["series"][key] = _get_json(f"{base}/query?{qs}", timeout)
+    return snapshot
+
+
+def sparkline(points: Sequence[Sequence[float]], width: int = 16) -> str:
+    """Render ``[[t, v], …]`` as a fixed-width ASCII sparkline."""
+    values = [p[1] for p in points][-width:]
+    if not values:
+        return " " * width
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        frac = 0.5 if span <= 0 else (v - lo) / span
+        out.append(_RAMP[min(len(_RAMP) - 1, int(frac * (len(_RAMP) - 1) + 0.5))])
+    return "".join(out).rjust(width)
+
+
+def _paint(text: str, code: str, color: bool) -> str:
+    if not color or code not in _ANSI:
+        return text
+    return f"{_ANSI[code]}{text}{_ANSI['reset']}"
+
+
+def render_frame(
+    snapshot: Dict[str, Any], *, width: int = 78, color: bool = False
+) -> str:
+    """One full dashboard frame (a pure function — no I/O, no clock)."""
+    lines: List[str] = []
+    rule = "-" * width
+
+    health = snapshot.get("healthz")
+    header = f"repro.obs.top — {snapshot.get('url', '?')}"
+    lines.append(_paint(header[:width], "bold", color))
+    if health is None:
+        lines.append(_paint("  telemetry endpoint unreachable", "red", color))
+        return "\n".join(lines) + "\n"
+    ts = health.get("timeseries")
+    stats = (
+        f"  spans={health.get('spans', 0)}"
+        f" open={health.get('open_spans', 0)}"
+        f" traces={health.get('traces', 0)}"
+    )
+    if ts:
+        stats += f" scrapes={ts.get('scrapes', 0)} metrics={ts.get('metrics', 0)}"
+    lines.append(_paint(stats, "dim", color))
+    lines.append(rule)
+
+    # -- farms ----------------------------------------------------------
+    rates = _series_map(snapshot, "farm_rate", "manager")
+    workers = _series_map(snapshot, "farm_workers", "manager")
+    lines.append(_paint("FARMS", "cyan", color))
+    if not rates:
+        lines.append("  (no farm gauges yet)")
+    for manager in sorted(rates):
+        points = rates[manager]
+        last = points[-1][1] if points else 0.0
+        wpoints = workers.get(manager, [])
+        nworkers = int(wpoints[-1][1]) if wpoints else 0
+        lines.append(
+            f"  {manager:<22.22s} {sparkline(points)} "
+            f"{last:8.1f} t/s  workers={nworkers}"
+        )
+    lines.append(rule)
+
+    # -- tenants --------------------------------------------------------
+    backlogs = _series_map(snapshot, "tenant_backlog", "tenant")
+    if backlogs:
+        lines.append(_paint("TENANTS", "cyan", color))
+        for tenant in sorted(backlogs):
+            points = backlogs[tenant]
+            last = int(points[-1][1]) if points else 0
+            lines.append(f"  {tenant:<22.22s} {sparkline(points)} backlog={last}")
+        lines.append(rule)
+
+    # -- SLOs -----------------------------------------------------------
+    slo = snapshot.get("slo")
+    lines.append(_paint("SLOs", "cyan", color))
+    if not slo or "objectives" not in slo:
+        lines.append("  (no slo engine attached)")
+    else:
+        open_alerts = slo.get("open_alerts", 0)
+        summary = f"  objectives={len(slo['objectives'])} open_alerts={open_alerts}"
+        lines.append(
+            _paint(summary, "red" if open_alerts else "dim", color)
+        )
+        for obj in slo["objectives"]:
+            level = obj.get("level", "ok")
+            tag = _paint(f"[{level:^4s}]", _LEVEL_PAINT.get(level, "dim"), color)
+            lines.append(
+                f"  {tag} {obj['name']:<20.20s}"
+                f" burn fast={obj.get('burn_fast', 0.0):6.2f}"
+                f" slow={obj.get('burn_slow', 0.0):6.2f}"
+                f" budget={obj.get('budget_remaining', 1.0):7.2%}"
+                f" viol={obj.get('violation_seconds', 0.0):.2f}s"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _series_map(
+    snapshot: Dict[str, Any], key: str, label: str
+) -> Dict[str, List[List[float]]]:
+    payload = (snapshot.get("series") or {}).get(key)
+    out: Dict[str, List[List[float]]] = {}
+    if not payload:
+        return out
+    for series in payload.get("series", []):
+        name = series.get("labels", {}).get(label, "") or "(all)"
+        out[name] = series.get("points", [])
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.top", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:9177",
+        help="telemetry endpoint base URL (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0, help="seconds between frames"
+    )
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        help="stop after N frames (default: run until interrupted)",
+    )
+    parser.add_argument(
+        "--once", action="store_true", help="render a single frame and exit"
+    )
+    parser.add_argument("--width", type=int, default=78)
+    args = parser.parse_args(argv)
+
+    import os
+
+    color = sys.stdout.isatty() and not os.environ.get("NO_COLOR")
+    frames = 1 if args.once else args.frames
+    count = 0
+    prev_lines = 0
+    try:
+        while frames is None or count < frames:
+            frame = render_frame(
+                fetch_snapshot(args.url), width=args.width, color=color
+            )
+            if color and prev_lines:
+                # line-redraw: jump back to the top of the previous frame
+                sys.stdout.write(f"\x1b[{prev_lines}F\x1b[J")
+            sys.stdout.write(frame)
+            sys.stdout.flush()
+            prev_lines = frame.count("\n")
+            count += 1
+            if frames is not None and count >= frames:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m smoke test
+    sys.exit(main())

@@ -189,6 +189,9 @@ class FarmController:
                     m.gauge(
                         "repro_farm_queue_variance", "variance of per-worker queue lengths"
                     ).labels(manager=self.name).set(snap.queue_variance)
+                    m.gauge(
+                        "repro_farm_latency_seconds", "windowed mean task latency"
+                    ).labels(manager=self.name).set(snap.mean_latency)
             with tel.span("mape.plan", actor=self.name) as plan:
                 agenda = self.engine.agenda()
                 if tel.enabled:
@@ -211,8 +214,14 @@ class FarmController:
 
     def _sink(self, op: ManagerOperation, data: Any) -> None:
         now = self.farm.now()
+        # adaptation-latency yardstick (ROADMAP item 4): the tracker, when
+        # attached by an SLOEngine, stamps violation-observed and
+        # plan-committed timestamps off these exact hook points
+        adaptation = getattr(self.telemetry, "adaptation", None)
         if op is ManagerOperation.RAISE_VIOLATION:
             self.violations.append((now, str(data)))
+            if adaptation is not None:
+                adaptation.violation_observed(str(data), manager=self.name)
             return
         if op is ManagerOperation.ADD_EXECUTOR:
             count = int(data.get("count", 1)) if isinstance(data, Mapping) else 1
@@ -222,6 +231,8 @@ class FarmController:
                 # veto before any worker is instantiated)
                 if self.coordinator.execute_intent(self, op, data):
                     self.actions.append((now, f"addWorker x{count} (intent)"))
+                    if adaptation is not None:
+                        adaptation.plan_committed("addWorker", manager=self.name)
                 else:
                     self.violations.append((now, ViolationKind.NO_LOCAL_PLAN))
                 return
@@ -234,12 +245,16 @@ class FarmController:
                     break
             if added:
                 self.actions.append((now, f"addWorker x{added}"))
+                if adaptation is not None:
+                    adaptation.plan_committed("addWorker", manager=self.name)
             else:
                 self.violations.append((now, ViolationKind.NO_LOCAL_PLAN))
             return
         if op is ManagerOperation.REMOVE_EXECUTOR:
             if self.farm.remove_worker() is not None:
                 self.actions.append((now, "removeWorker"))
+                if adaptation is not None:
+                    adaptation.plan_committed("removeWorker", manager=self.name)
             return
         if op is ManagerOperation.BALANCE_LOAD:
             moved = self.farm.balance_load()

@@ -273,6 +273,11 @@ class DistFarm:
         if batch_size < 1:
             raise ValueError("batch_size must be at least 1")
         self.fn_spec = fn_spec(fn)
+        if codec == "auto":
+            # REPRO_DIST_CODEC pins every session without touching call
+            # sites — how the CI msgpack conformance leg forces the
+            # optional codec onto the whole grow/crash story
+            codec = os.environ.get("REPRO_DIST_CODEC") or "auto"
         self.codec = codec
         self.batch_size = batch_size
         self.max_buffered_bytes = max_buffered_bytes

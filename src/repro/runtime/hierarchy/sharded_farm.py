@@ -398,6 +398,11 @@ class ShardedFarm:
                         "shard violations aggregated by the parent",
                     ).labels(farm=self.name, shard=str(report.shard_id),
                              kind=kind).inc()
+                    adaptation = getattr(tel, "adaptation", None)
+                    if adaptation is not None:
+                        adaptation.violation_observed(
+                            kind, farm=self.name, shard=report.shard_id
+                        )
             if tel.enabled:
                 m = tel.metrics
                 labels = dict(farm=self.name, shard=str(report.shard_id))
@@ -517,6 +522,11 @@ class ShardedFarm:
                 "repro_hier_rebalance_latency_seconds",
                 "starvation observed to budget transferred",
             ).labels(farm=self.name).observe(latency)
+            adaptation = getattr(self.telemetry, "adaptation", None)
+            if adaptation is not None:
+                adaptation.plan_committed(
+                    "rebalance", farm=self.name, source=donor_id, target=target_id
+                )
             self.telemetry.event(
                 "hier.rebalance",
                 source=donor_id,

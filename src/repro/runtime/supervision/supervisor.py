@@ -437,6 +437,11 @@ class SupervisedFarm:
         which contract the restarted controller enforces.
         """
         t0 = time.monotonic()
+        adaptation = getattr(self.telemetry, "adaptation", None)
+        if adaptation is not None:
+            # the dependability concern's adaptation cycle: the crash is
+            # the observed violation, the rebuilt coordinator the plan
+            adaptation.violation_observed("coordinator-crashed", farm=self.name)
         with self._lock:
             if self._shutdown_done or not self.crashed:
                 raise RuntimeError("failover requires a crashed coordinator")
@@ -465,6 +470,11 @@ class SupervisedFarm:
             self._start_pump()
         elapsed = time.monotonic() - t0
         self.last_failover_seconds = elapsed
+        if adaptation is not None:
+            adaptation.plan_committed(
+                "failover", farm=self.name, epoch=self.epoch,
+                redispatched=len(state.pending),
+            )
         if self.telemetry.enabled:
             if span is not None:
                 self.telemetry.end_span(
@@ -746,13 +756,18 @@ class Supervisor:
             self.controller.stop(timeout)
 
     def _make_controller(self, contract: Any) -> FarmController:
+        # the name is deliberately epoch-stable: the manager *role*
+        # outlives any coordinator incarnation, so its gauges form one
+        # continuous series the SLO layer can judge across failovers
+        # (each incarnation is still distinguishable via repro_sup_epoch
+        # and the sup.failover spans)
         return FarmController(
             self.farm,
             contract,
             control_period=self.control_period,
             max_workers=self.max_workers,
             telemetry=self.telemetry,
-            name=f"{self.name}-am-e{self.farm.epoch}",
+            name=f"{self.name}-am",
         ).start()
 
     # -- contract (journaled swap) ---------------------------------------

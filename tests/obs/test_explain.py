@@ -170,6 +170,70 @@ class TestActuationChain:
         assert "no actuation #7" in text
 
 
+class TestSloNarrative:
+    @pytest.fixture(scope="class")
+    def slo_trace(self, tmp_path_factory):
+        """A scripted SLO alert episode with one adaptation cycle."""
+        from repro.core.contracts import MinThroughputContract
+        from repro.obs.clock import ManualClock
+        from repro.obs.slo import SLO, BurnWindows, SLOEngine
+        from repro.obs.timeseries import TimeSeriesStore
+
+        clock = ManualClock()
+        tel = Telemetry(clock)
+        g = tel.metrics.gauge("repro_farm_departure_rate", "r").labels(manager="AM_t")
+        store = TimeSeriesStore(tel.metrics, clock, interval=0.5)
+
+        def sample(s, now):
+            v = s.latest("repro_farm_departure_rate", {"manager": "AM_t"})
+            return {} if v is None else {"departure_rate": v}
+
+        engine = SLOEngine(
+            tel,
+            store,
+            [SLO("t", MinThroughputContract(40.0), sample)],
+            windows=BurnWindows().scaled(1.0 / 150.0),
+        )
+        g.set(50.0)
+        for _ in range(8):
+            clock.advance(0.5)
+            store.scrape_once()
+        g.set(5.0)
+        for i in range(10):
+            clock.advance(0.5)
+            store.scrape_once()
+            if i == 3:
+                tel.adaptation.plan_committed("addWorker", manager="AM_t")
+        g.set(50.0)
+        for _ in range(120):
+            clock.advance(0.5)
+            store.scrape_once()
+        engine.close()
+        path = tmp_path_factory.mktemp("slo") / "trace.jsonl"
+        write_trace_jsonl(str(path), tel)
+        return path
+
+    def test_alert_episode_narrated_end_to_end(self, slo_trace):
+        code, text = _run(slo_trace, "--slo")
+        assert code == 0
+        assert "SLO 't'" in text
+        assert "burn" in text and "budget" in text
+        assert "plan committed: addWorker" in text
+        assert "effect visible" in text
+        assert "resolved after" in text
+        assert "budget burned" in text
+
+    def test_overview_advertises_the_flag(self, slo_trace):
+        code, text = _run(slo_trace)
+        assert code == 0
+        assert "SLO alert episode(s) — see --slo" in text
+
+    def test_no_alerts_exits_2(self, intent_trace):
+        code, text = _run(intent_trace, "--slo")
+        assert code == 2
+        assert "no 'slo.alert' span" in text
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_runs(self, crash_trace):
         """The documented invocation works end to end as a subprocess."""

@@ -1,0 +1,357 @@
+"""The SLO engine: contract compilation, burn-rate alerting, budgets.
+
+Everything runs on a :class:`ManualClock` with hand-driven scrapes —
+the same engine the live fig4 run attaches, but with exact time.
+"""
+
+import pytest
+
+from repro.core.contracts import (
+    BestEffortContract,
+    CompositeContract,
+    MaxLatencyContract,
+    MinThroughputContract,
+    RateContract,
+    SecurityContract,
+    ThroughputRangeContract,
+)
+from repro.obs.clock import ManualClock
+from repro.obs.slo import (
+    LEVEL_OK,
+    LEVEL_PAGE,
+    SLO,
+    AdaptationTracker,
+    BurnWindows,
+    SLOEngine,
+    slo_from_contract,
+    slos_for_sharded,
+)
+from repro.obs.telemetry import Telemetry
+from repro.obs.timeseries import StreamBroker, TimeSeriesStore
+
+
+@pytest.fixture()
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture()
+def telemetry(clock):
+    return Telemetry(clock)
+
+
+@pytest.fixture()
+def store(telemetry, clock):
+    return TimeSeriesStore(telemetry.metrics, clock, interval=0.5, retention=600.0)
+
+
+def _throughput_slo(contract=None):
+    contract = contract or MinThroughputContract(40.0)
+
+    def sample(store, now):
+        v = store.latest("repro_farm_departure_rate", {"manager": "AM_t"})
+        return {} if v is None else {"departure_rate": v}
+
+    return SLO(name="t", contract=contract, sample=sample)
+
+
+def _engine(telemetry, store, slo, **kwargs):
+    kwargs.setdefault("windows", BurnWindows().scaled(1.0 / 150.0))
+    return SLOEngine(telemetry, store, [slo], **kwargs)
+
+
+def _tick(clock, store, n=1, dt=0.5):
+    for _ in range(n):
+        clock.advance(dt)
+        store.scrape_once()
+
+
+class TestBurnWindows:
+    def test_scaled_shrinks_windows_not_thresholds(self):
+        w = BurnWindows().scaled(1.0 / 150.0)
+        assert w.fast_short == pytest.approx(0.4)
+        assert w.slow_long == pytest.approx(48.0)
+        assert w.page_burn == 14.4 and w.warn_burn == 3.0
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BurnWindows().scaled(0.0)
+
+    def test_horizon_is_the_widest_window(self):
+        assert BurnWindows().horizon == 7200.0
+
+
+class TestSLOValidation:
+    def test_budget_fraction_must_be_a_fraction(self):
+        with pytest.raises(ValueError):
+            SLO("x", MinThroughputContract(1.0), lambda s, t: {}, budget_fraction=1.5)
+
+    def test_budget_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SLO("x", MinThroughputContract(1.0), lambda s, t: {}, budget_window=0.0)
+
+    def test_description_defaults_to_the_contract(self):
+        slo = SLO("x", MinThroughputContract(40.0), lambda s, t: {})
+        assert slo.description == MinThroughputContract(40.0).describe()
+
+    def test_duplicate_names_rejected(self, telemetry, store):
+        engine = _engine(telemetry, store, _throughput_slo())
+        with pytest.raises(ValueError):
+            engine.add(_throughput_slo())
+
+
+class TestSLOEngine:
+    def test_installs_itself_on_telemetry(self, telemetry, store):
+        engine = _engine(telemetry, store, _throughput_slo())
+        assert telemetry.slo is engine
+        assert isinstance(telemetry.adaptation, AdaptationTracker)
+
+    def test_healthy_farm_stays_ok(self, telemetry, store, clock):
+        engine = _engine(telemetry, store, _throughput_slo())
+        telemetry.metrics.gauge("repro_farm_departure_rate", "r").labels(
+            manager="AM_t"
+        ).set(50.0)
+        _tick(clock, store, 20)
+        assert engine.transitions() == {}
+        assert engine.violation_seconds()["t"] == 0.0
+        body = engine.describe()
+        assert body["open_alerts"] == 0
+        assert body["objectives"][0]["level"] == LEVEL_OK
+
+    def test_violation_pages_then_recovers(self, telemetry, store, clock):
+        engine = _engine(telemetry, store, _throughput_slo())
+        g = telemetry.metrics.gauge("repro_farm_departure_rate", "r").labels(
+            manager="AM_t"
+        )
+        g.set(50.0)
+        _tick(clock, store, 8)
+        g.set(5.0)
+        _tick(clock, store, 10)
+        levels = [t["to"] for t in engine.transitions()["t"]]
+        assert LEVEL_PAGE in levels
+        assert engine.violation_seconds()["t"] > 0
+        # recovery drains the fast window back below every threshold
+        g.set(50.0)
+        _tick(clock, store, 120)
+        assert engine.transitions()["t"][-1]["to"] == LEVEL_OK
+
+    def test_alert_episode_opens_and_closes_a_span(self, telemetry, store, clock):
+        _engine(telemetry, store, _throughput_slo())
+        g = telemetry.metrics.gauge("repro_farm_departure_rate", "r").labels(
+            manager="AM_t"
+        )
+        g.set(50.0)
+        _tick(clock, store, 8)
+        g.set(5.0)
+        _tick(clock, store, 10)
+        alerts = [s for s in telemetry.spans.spans if s.name == "slo.alert"]
+        assert len(alerts) == 1 and alerts[0].end is None
+        g.set(50.0)
+        _tick(clock, store, 120)
+        alerts = [s for s in telemetry.spans.spans if s.name == "slo.alert"]
+        assert alerts[0].end is not None
+        assert alerts[0].attributes["resolved"] is True
+        assert alerts[0].attributes["violation_seconds"] > 0
+
+    def test_transitions_publish_to_the_broker(self, telemetry, store, clock):
+        broker = StreamBroker()
+        q = broker.subscribe()
+        _engine(telemetry, store, _throughput_slo(), broker=broker)
+        g = telemetry.metrics.gauge("repro_farm_departure_rate", "r").labels(
+            manager="AM_t"
+        )
+        g.set(50.0)
+        _tick(clock, store, 8)
+        g.set(5.0)
+        _tick(clock, store, 10)
+        events = []
+        while not q.empty():
+            events.append(q.get_nowait())
+        assert any(e["type"] == "slo" and e["level"] == LEVEL_PAGE for e in events)
+
+    def test_budget_gauge_tracks_overspend(self, telemetry, store, clock):
+        slo = _throughput_slo()
+        slo.budget_window = 30.0
+        engine = _engine(telemetry, store, slo)
+        g = telemetry.metrics.gauge("repro_farm_departure_rate", "r").labels(
+            manager="AM_t"
+        )
+        g.set(5.0)  # violating from the very first judged sample
+        _tick(clock, store, 20)
+        remaining = (
+            telemetry.metrics.gauge("repro_slo_budget_remaining", "x")
+            .labels(slo="t")
+            .value
+        )
+        # 9.5 violating seconds against a 1.5s budget: deep overspend
+        assert remaining < 0
+        assert engine.describe()["objectives"][0]["budget_remaining"] < 0
+
+    def test_unjudgeable_samples_are_not_violations(self, telemetry, store, clock):
+        engine = _engine(telemetry, store, _throughput_slo())
+        _tick(clock, store, 20)  # the gauge never appears: sample() is empty
+        assert engine.transitions() == {}
+        assert engine.violation_seconds()["t"] == 0.0
+
+    def test_a_raising_sample_does_not_kill_the_loop(self, telemetry, store, clock):
+        def bad_sample(store, now):
+            raise RuntimeError("boom")
+
+        engine = _engine(
+            telemetry,
+            store,
+            SLO("bad", MinThroughputContract(1.0), bad_sample),
+        )
+        _tick(clock, store, 3)
+        assert engine.evaluations == 3
+
+    def test_close_flushes_open_alert_spans(self, telemetry, store, clock):
+        engine = _engine(telemetry, store, _throughput_slo())
+        g = telemetry.metrics.gauge("repro_farm_departure_rate", "r").labels(
+            manager="AM_t"
+        )
+        g.set(50.0)
+        _tick(clock, store, 8)
+        g.set(5.0)
+        _tick(clock, store, 10)
+        engine.close()
+        alerts = [s for s in telemetry.spans.spans if s.name == "slo.alert"]
+        assert alerts[0].end is not None
+        assert alerts[0].attributes["resolved"] is False
+
+
+class TestAdaptationTracker:
+    def test_full_cycle_records_three_legs(self, telemetry):
+        tracker = AdaptationTracker(telemetry)
+        tracker.violation_observed("rate-low", now=1.0)
+        tracker.plan_committed("addWorker", now=3.0)
+        tracker.effect_visible(now=6.0)
+        (cycle,) = tracker.cycles
+        assert cycle["total"] == pytest.approx(5.0)
+        assert cycle["committed_at"] == 3.0
+        assert cycle["self_resolved"] is False
+        span = next(s for s in telemetry.spans.spans if s.name == "slo.adaptation")
+        assert span.attributes["action"] == "addWorker"
+        assert span.attributes["effect_at"] == 6.0
+        assert span.end is not None
+
+    def test_first_observation_wins(self, telemetry):
+        tracker = AdaptationTracker(telemetry)
+        tracker.violation_observed("rate-low", now=1.0)
+        tracker.violation_observed("rate-low", now=2.0)  # coalesced
+        tracker.effect_visible(now=4.0)
+        (cycle,) = tracker.cycles
+        assert cycle["observed_at"] == 1.0
+        span = next(s for s in telemetry.spans.spans if s.name == "slo.adaptation")
+        assert any(e.name == "adaptation.observed-again" for e in span.events)
+
+    def test_self_resolved_cycle(self, telemetry):
+        tracker = AdaptationTracker(telemetry)
+        tracker.violation_observed("rate-low", now=1.0)
+        tracker.effect_visible(now=2.0)
+        assert tracker.cycles[0]["self_resolved"] is True
+
+    def test_commit_and_effect_without_observation_are_noops(self, telemetry):
+        tracker = AdaptationTracker(telemetry)
+        tracker.plan_committed("addWorker", now=1.0)
+        tracker.effect_visible(now=2.0)
+        assert tracker.cycles == []
+
+    def test_latency_histogram_has_all_stages(self, telemetry):
+        tracker = AdaptationTracker(telemetry)
+        tracker.violation_observed("x", now=0.0)
+        tracker.plan_committed("addWorker", now=1.0)
+        tracker.effect_visible(now=3.0)
+        family = telemetry.metrics.get("repro_adaptation_latency_seconds")
+        stages = {dict(ls)["stage"] for ls, _ in family.samples()}
+        assert stages == {"observe_to_commit", "commit_to_effect", "total"}
+
+
+class TestSLOFromContract:
+    def test_throughput_contract_compiles(self, store, clock, telemetry):
+        (slo,) = slo_from_contract(
+            ThroughputRangeContract(40.0, 60.0), name="f", manager="AM_t"
+        )
+        telemetry.metrics.gauge("repro_farm_departure_rate", "r").labels(
+            manager="AM_t"
+        ).set(50.0)
+        _tick(clock, store, 1)
+        assert slo.sample(store, clock.now()) == {"departure_rate": 50.0}
+        assert slo.contract.check(slo.sample(store, clock.now())) is True
+
+    def test_latency_contract_compiles(self, store, clock, telemetry):
+        (slo,) = slo_from_contract(MaxLatencyContract(0.1), name="f", manager="AM_t")
+        telemetry.metrics.gauge("repro_farm_latency_seconds", "l").labels(
+            manager="AM_t"
+        ).set(0.5)
+        _tick(clock, store, 1)
+        assert slo.contract.check(slo.sample(store, clock.now())) is False
+
+    def test_missing_series_is_unjudgeable(self, store, clock):
+        (slo,) = slo_from_contract(MinThroughputContract(1.0), name="f", manager="AM_t")
+        assert slo.sample(store, clock.now()) == {}
+
+    def test_composite_flattens_and_besteffort_vanishes(self):
+        composite = CompositeContract(
+            [MinThroughputContract(1.0), BestEffortContract(), MaxLatencyContract(0.1)]
+        )
+        slos = slo_from_contract(composite, name="f", manager="AM_t")
+        assert [s.name for s in slos] == ["f.0", "f.2"]
+        assert slo_from_contract(BestEffortContract(), name="f") == []
+
+    def test_tenant_rate_contract_is_demand_aware(self, store, clock, telemetry):
+        (slo,) = slo_from_contract(
+            RateContract(20.0), name="sla", tenant="acme", rate_window=5.0
+        )
+        dispatched = telemetry.metrics.counter("repro_tenant_dispatched_total", "d")
+        backlog = telemetry.metrics.gauge("repro_tenant_backlog", "b")
+        backlog.labels(tenant="acme").set(0.0)
+        for _ in range(6):
+            dispatched.labels(tenant="acme").inc(5)  # 10/s: under the SLA
+            _tick(clock, store, 1)
+        # nothing queued behind the shortfall: demand-limited, compliant
+        assert slo.contract.check(slo.sample(store, clock.now())) is True
+        backlog.labels(tenant="acme").set(40.0)
+        _tick(clock, store, 1)
+        # same shortfall with a backlog: now it is a real violation
+        assert slo.contract.check(slo.sample(store, clock.now())) is False
+
+    def test_security_contract_counts_leaks(self, store, clock, telemetry):
+        (slo,) = slo_from_contract(SecurityContract(), name="sec", rate_window=5.0)
+        leaks = telemetry.metrics.counter("repro_mc_insecure_dispatch_total", "l")
+        leaks.labels(farm="F").inc(0)
+        _tick(clock, store, 2)
+        assert slo.contract.check(slo.sample(store, clock.now())) is True
+        leaks.labels(farm="F").inc(3)
+        _tick(clock, store, 1)
+        assert slo.contract.check(slo.sample(store, clock.now())) is False
+
+    def test_labels_carry_scope(self):
+        (slo,) = slo_from_contract(
+            MinThroughputContract(1.0), name="f", manager="AM_t"
+        )
+        assert slo.labels == {"manager": "AM_t"}
+
+
+class TestSlosForSharded:
+    class _FakeSharded:
+        name = "S"
+        shards = [object(), object()]
+        contract = RateContract(100.0)
+        sub_contracts = [RateContract(50.0), RateContract(50.0)]
+        registry = None
+
+    def test_root_sums_the_shard_gauges(self, store, clock, telemetry):
+        slos = slos_for_sharded(self._FakeSharded())
+        root = next(s for s in slos if s.name == "S.root")
+        g = telemetry.metrics.gauge("repro_farm_departure_rate", "r")
+        g.labels(manager="AM_S-s0").set(30.0)
+        g.labels(manager="AM_S-s1").set(80.0)
+        _tick(clock, store, 1)
+        monitor = root.sample(store, clock.now())
+        assert monitor["rate"] == pytest.approx(110.0)
+        assert root.contract.check(monitor) is True
+
+    def test_per_shard_objectives_exist(self):
+        slos = slos_for_sharded(self._FakeSharded())
+        assert {s.name for s in slos} == {"S.root", "S.s0", "S.s1"}

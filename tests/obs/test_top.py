@@ -1,0 +1,159 @@
+"""The ASCII dashboard: pure-function frames from scripted snapshots.
+
+``render_frame`` is exercised without any HTTP server — exactly how the
+CI smoke job runs it — plus one end-to-end fetch against a live
+:class:`TelemetryServer` to prove the wire shape matches.
+"""
+
+import re
+
+from repro.obs.telemetry import Telemetry
+from repro.obs.top import fetch_snapshot, main, render_frame, sparkline
+
+_ANSI_RE = re.compile(r"\x1b\[[0-9;]*[A-Za-z]")
+
+
+def _snapshot(**overrides):
+    base = {
+        "url": "http://127.0.0.1:9177",
+        "healthz": {
+            "status": "ok",
+            "spans": 12,
+            "open_spans": 0,
+            "traces": 3,
+            "timeseries": {"scrapes": 40, "metrics": 6},
+        },
+        "slo": {
+            "objectives": [
+                {
+                    "name": "fig4.thread",
+                    "objective": "throughput >= 40/s",
+                    "level": "page",
+                    "burn_fast": 20.0,
+                    "burn_slow": 4.4,
+                    "budget_remaining": 0.62,
+                    "violation_seconds": 1.86,
+                },
+                {
+                    "name": "tenant.acme",
+                    "objective": "rate >= 20/s",
+                    "level": "ok",
+                    "burn_fast": 0.0,
+                    "burn_slow": 0.0,
+                    "budget_remaining": 1.0,
+                    "violation_seconds": 0.0,
+                },
+            ],
+            "open_alerts": 1,
+        },
+        "series": {
+            "farm_rate": {
+                "series": [
+                    {
+                        "labels": {"manager": "AM_thread"},
+                        "points": [[t, 40.0 + t] for t in range(10)],
+                    }
+                ]
+            },
+            "farm_workers": {
+                "series": [
+                    {"labels": {"manager": "AM_thread"}, "points": [[9.0, 4.0]]}
+                ]
+            },
+            "tenant_backlog": {
+                "series": [
+                    {"labels": {"tenant": "acme"}, "points": [[9.0, 17.0]]}
+                ]
+            },
+        },
+    }
+    base.update(overrides)
+    return base
+
+
+class TestSparkline:
+    def test_fixed_width_and_monotone_ramp(self):
+        line = sparkline([[t, float(t)] for t in range(16)], width=8)
+        assert len(line) == 8
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_empty_points_render_blank(self):
+        assert sparkline([], width=5) == "     "
+
+    def test_flat_series_sits_mid_ramp(self):
+        line = sparkline([[0, 3.0], [1, 3.0]], width=2)
+        assert len(set(line)) == 1
+
+
+class TestRenderFrame:
+    def test_frame_carries_every_section(self):
+        frame = render_frame(_snapshot())
+        assert "FARMS" in frame and "TENANTS" in frame and "SLOs" in frame
+        assert "AM_thread" in frame and "workers=4" in frame
+        assert "backlog=17" in frame
+        assert "[page]" in frame and "[ ok ]" in frame
+        assert "open_alerts=1" in frame
+
+    def test_no_color_frame_is_ansi_clean(self):
+        frame = render_frame(_snapshot(), color=False)
+        assert frame
+        assert not _ANSI_RE.search(frame)
+
+    def test_color_frame_paints_the_page(self):
+        frame = render_frame(_snapshot(), color=True)
+        assert "\x1b[31m" in frame  # the page tag is red
+        # stripping the escapes gives back the plain frame
+        assert _ANSI_RE.sub("", frame) == render_frame(_snapshot(), color=False)
+
+    def test_unreachable_endpoint_is_one_clear_line(self):
+        frame = render_frame(_snapshot(healthz=None))
+        assert "unreachable" in frame
+        assert "FARMS" not in frame
+
+    def test_missing_slo_engine_is_not_an_error(self):
+        frame = render_frame(_snapshot(slo=None))
+        assert "(no slo engine attached)" in frame
+
+    def test_empty_series_render_placeholders(self):
+        frame = render_frame(_snapshot(series={}))
+        assert "(no farm gauges yet)" in frame
+        assert "TENANTS" not in frame
+
+
+class TestAgainstLiveServer:
+    def test_fetch_snapshot_matches_the_wire(self):
+        tel = Telemetry()
+        tel.metrics.gauge("repro_farm_departure_rate", "r").labels(
+            manager="AM_x"
+        ).set(42.0)
+        tel.start_timeseries(interval=0.5, scraper_thread=False)
+        tel.timeseries.scrape_once()
+        with tel.serve(port=0) as srv:
+            snap = fetch_snapshot(srv.url(""), timeout=5)
+        assert snap["healthz"]["status"] == "ok"
+        assert snap["slo"] is None  # no engine attached: /slo is 404
+        frame = render_frame(snap)
+        assert "AM_x" in frame
+        tel.stop_timeseries()
+
+    def test_main_once_writes_one_frame(self, capsys, monkeypatch):
+        monkeypatch.setenv("NO_COLOR", "1")
+        tel = Telemetry()
+        tel.metrics.gauge("repro_farm_departure_rate", "r").labels(
+            manager="AM_x"
+        ).set(7.0)
+        tel.start_timeseries(interval=0.5, scraper_thread=False)
+        tel.timeseries.scrape_once()
+        with tel.serve(port=0) as srv:
+            rc = main(["--once", "--url", srv.url("")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "repro.obs.top" in out and "AM_x" in out
+        assert not _ANSI_RE.search(out)
+        tel.stop_timeseries()
+
+    def test_main_against_a_dead_port_still_renders(self, capsys, monkeypatch):
+        monkeypatch.setenv("NO_COLOR", "1")
+        rc = main(["--once", "--url", "http://127.0.0.1:9"])
+        assert rc == 0
+        assert "unreachable" in capsys.readouterr().out

@@ -9,6 +9,7 @@ secured payloads on the wire, dead-lettering, error results, and the
 """
 
 import asyncio
+import importlib.util
 import subprocess
 import sys
 import time
@@ -220,6 +221,49 @@ class TestRemoteAttach:
             farm.shutdown()
             if proc is not None and proc.poll() is None:
                 proc.kill()
+
+
+class TestCodecPinning:
+    def test_env_var_pins_an_auto_session(self, monkeypatch):
+        """``REPRO_DIST_CODEC`` forces the negotiated codec fleet-wide —
+        the hook the CI msgpack conformance leg rides. Pinning to json is
+        observable because spawned (trusted) workers would otherwise
+        negotiate pickle."""
+        monkeypatch.setenv("REPRO_DIST_CODEC", "json")
+        farm = quick_farm(initial_workers=1)
+        try:
+            assert farm.codec == "json"
+            farm.submit((0.0, 5))
+            assert farm.drain_results(1, timeout=30.0) == [25]
+            assert all(w.codec == "json" for w in farm.workers)
+        finally:
+            farm.shutdown()
+
+    def test_explicit_codec_beats_the_env(self, monkeypatch):
+        """The env var only resolves ``codec="auto"``; a call site that
+        pinned a codec keeps it."""
+        monkeypatch.setenv("REPRO_DIST_CODEC", "json")
+        farm = quick_farm(initial_workers=1, codec="pickle")
+        try:
+            assert farm.codec == "pickle"
+            farm.submit((0.0, 4))
+            assert farm.drain_results(1, timeout=30.0) == [16]
+            assert all(w.codec == "pickle" for w in farm.workers)
+        finally:
+            farm.shutdown()
+
+    @pytest.mark.skipif(
+        importlib.util.find_spec("msgpack") is None,
+        reason="msgpack not installed (CI installs it via the codecs extra)",
+    )
+    def test_msgpack_session_end_to_end(self):
+        farm = quick_farm(initial_workers=1, codec="msgpack")
+        try:
+            farm.submit((0.0, 6))
+            assert farm.drain_results(1, timeout=30.0) == [36]
+            assert all(w.codec == "msgpack" for w in farm.workers)
+        finally:
+            farm.shutdown()
 
 
 class TestSecuredChannel:
